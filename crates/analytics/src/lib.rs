@@ -1,0 +1,34 @@
+//! # oda-analytics — well-packaged data applications (§VII)
+//!
+//! The paper's "sustainable software services" built on the data
+//! pipelines, each reproduced here:
+//!
+//! * [`profiles`] — contextualized job power profiles, the specialized
+//!   Silver artifact behind Live Visual Analytics (Fig. 8).
+//! * [`lva`] — Live Visual Analytics: a precomputed profile index that
+//!   answers interactive queries orders of magnitude faster than
+//!   re-scanning Bronze (the design claim benchmarked in `lva_query`).
+//! * [`rats`] — the RATS usage report (Fig. 7): per-program CPU/GPU
+//!   usage, node-hours, and allocation burn rates.
+//! * [`dashboard`] — the User Assistance dashboard (Fig. 6): one
+//!   indexed, job-contextualized view replacing manual per-source scans.
+//! * [`copacetic`] — the security correlator: flags auth-failure bursts
+//!   followed by a success, from the real-time event feed.
+//! * [`sparkline`] — terminal rendering for the example binaries.
+
+pub mod copacetic;
+pub mod dashboard;
+pub mod io_profile;
+pub mod lva;
+pub mod profiles;
+pub mod rats;
+pub mod reliability;
+pub mod sparkline;
+
+pub use copacetic::{Copacetic, SecurityAlert};
+pub use dashboard::{TicketContext, UaDashboard};
+pub use io_profile::JobIoProfile;
+pub use lva::{LvaIndex, ProfileSummary};
+pub use profiles::JobPowerProfile;
+pub use rats::RatsReport;
+pub use reliability::{reliability_report, ReliabilityReport};

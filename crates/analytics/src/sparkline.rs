@@ -1,0 +1,90 @@
+//! Terminal sparklines and heat rows for the example binaries.
+
+/// Unicode block ramp.
+const BLOCKS: [char; 8] = [
+    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+];
+
+/// Render values as a one-line sparkline (NaN renders as space).
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(values.len());
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let idx = ((v - min) / span * 7.0).round() as usize;
+                BLOCKS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Downsample to `width` buckets (mean per bucket) then sparkline.
+pub fn sparkline_fit(values: &[f64], width: usize) -> String {
+    if values.len() <= width || width == 0 {
+        return sparkline(values);
+    }
+    let bucket = values.len() as f64 / width as f64;
+    let down: Vec<f64> = (0..width)
+        .map(|i| {
+            let lo = (i as f64 * bucket) as usize;
+            let hi = (((i + 1) as f64 * bucket) as usize).min(values.len());
+            let slice = &values[lo..hi.max(lo + 1)];
+            let finite: Vec<f64> = slice.iter().copied().filter(|v| v.is_finite()).collect();
+            if finite.is_empty() {
+                f64::NAN
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            }
+        })
+        .collect();
+    sparkline(&down)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_low_to_high() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.first(), Some(&'\u{2581}'));
+        assert_eq!(chars.last(), Some(&'\u{2588}'));
+    }
+
+    #[test]
+    fn constant_input_is_flat() {
+        let s = sparkline(&[5.0; 4]);
+        assert_eq!(s.chars().collect::<Vec<_>>(), vec!['\u{2581}'; 4]);
+    }
+
+    #[test]
+    fn nan_renders_as_space() {
+        let s = sparkline(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn all_nan_is_blank() {
+        assert_eq!(sparkline(&[f64::NAN; 3]), "   ");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn fit_downsamples() {
+        let values: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+        let s = sparkline_fit(&values, 40);
+        assert_eq!(s.chars().count(), 40);
+        // Short inputs pass through.
+        assert_eq!(sparkline_fit(&[1.0, 2.0], 40).chars().count(), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Ablation (§V-B): predicate pushdown in the OCEAN columnar format.
+//!
+//! The colfile footer keeps per-chunk min/max statistics so time-range
+//! scans skip row groups. Expected shape: a narrow time slice over many
+//! row groups is far cheaper with pushdown than a full decode, and the
+//! gap widens with file size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oda_storage::colfile::{ColumnData, ColumnType, TableFile, TableSchema};
+use std::hint::black_box;
+
+fn build_file(groups: usize, rows_per_group: usize) -> TableFile {
+    let schema = TableSchema::new(&[
+        ("ts_ms", ColumnType::I64),
+        ("node", ColumnType::I64),
+        ("value", ColumnType::F64),
+    ]);
+    let mut w = TableFile::writer(schema);
+    for g in 0..groups {
+        let base = (g * rows_per_group) as i64 * 1_000;
+        w.write_row_group(&[
+            ColumnData::I64(
+                (0..rows_per_group as i64)
+                    .map(|i| base + i * 1_000)
+                    .collect(),
+            ),
+            ColumnData::I64((0..rows_per_group as i64).map(|i| i % 64).collect()),
+            ColumnData::F64(
+                (0..rows_per_group)
+                    .map(|i| 500.0 + (i % 9) as f64)
+                    .collect(),
+            ),
+        ])
+        .unwrap();
+    }
+    TableFile::open(w.finish()).unwrap()
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pushdown");
+    group.sample_size(20);
+    for groups in [16usize, 64, 256] {
+        let file = build_file(groups, 10_000);
+        // A slice covering ~1/16 of the time range.
+        let total_span = (groups * 10_000) as f64 * 1_000.0;
+        let (lo, hi) = (total_span * 0.5, total_span * 0.5 + total_span / 16.0);
+        group.bench_with_input(
+            BenchmarkId::new("with_pushdown", groups),
+            &groups,
+            |b, _| {
+                b.iter(|| {
+                    let mut rows = 0;
+                    for g in file.row_groups_in_range("ts_ms", lo, hi) {
+                        rows += file.read_row_group(g).unwrap()[0].len();
+                    }
+                    black_box(rows)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("full_decode", groups), &groups, |b, _| {
+            b.iter(|| {
+                let mut rows = 0;
+                for g in 0..file.row_group_count() {
+                    let cols = file.read_row_group(g).unwrap();
+                    // Post-filter on the decoded timestamps.
+                    if let ColumnData::I64(ts) = &cols[0] {
+                        rows += ts
+                            .iter()
+                            .filter(|&&t| (t as f64) >= lo && (t as f64) <= hi)
+                            .count();
+                    }
+                }
+                black_box(rows)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Experiment T2/F12 (paper Table II, Fig. 12): the advisory chain.
+//!
+//! Prints the stage-by-stage flow statistics for a mixed batch of 200
+//! requests (every rejection terminates at its stage; every external
+//! PII release passes through sanitization), then benchmarks the chain
+//! and the sanitizer — the "gateway that accelerates empowerment" must
+//! itself be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oda_govern::advisory::{DataRuc, ReleaseRequest, RequestState};
+use oda_govern::Sanitizer;
+use std::hint::black_box;
+
+fn mixed_requests(n: usize) -> Vec<ReleaseRequest> {
+    (0..n)
+        .map(|i| {
+            let mut r = if i % 3 == 0 {
+                ReleaseRequest::external("staff", &format!("ds-{i}"), "collaboration")
+            } else {
+                ReleaseRequest::internal("staff", &format!("ds-{i}"), "dashboards")
+            };
+            r.contains_pii = i % 3 == 0;
+            r.export_controlled = i % 11 == 0;
+            r.human_subjects = i % 7 == 0;
+            if i % 14 == 0 {
+                r.irb_protocol = Some(format!("IRB-{i}"));
+            }
+            r.mission_aligned = i % 17 != 0;
+            r
+        })
+        .collect()
+}
+
+fn run_batch(requests: Vec<ReleaseRequest>) -> (usize, usize, usize) {
+    let mut ruc = DataRuc::new();
+    let mut approved = 0;
+    let mut rejected = 0;
+    let mut sanitized = 0;
+    for req in requests {
+        let id = ruc.submit(req);
+        let mut state = ruc.review_to_completion(id).unwrap();
+        if matches!(state, RequestState::UnderReview(_)) {
+            ruc.mark_sanitized(id);
+            sanitized += 1;
+            state = ruc.review_to_completion(id).unwrap();
+        }
+        match state {
+            RequestState::Approved => approved += 1,
+            RequestState::Rejected { .. } => rejected += 1,
+            RequestState::UnderReview(_) => unreachable!("chain must settle"),
+        }
+    }
+    (approved, rejected, sanitized)
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let (approved, rejected, sanitized) = run_batch(mixed_requests(200));
+    println!("\n=== T2/F12: 200 mixed requests through the advisory chain ===");
+    println!("  approved {approved}, rejected {rejected}, sanitization holds {sanitized}");
+    println!("  every settled request has a complete, ordered audit trail\n");
+    assert_eq!(approved + rejected, 200);
+
+    let mut group = c.benchmark_group("t2_advisory_chain");
+    group.throughput(Throughput::Elements(200));
+    group.bench_function("review_200_requests", |b| {
+        b.iter(|| black_box(run_batch(mixed_requests(200))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("f12_sanitizer");
+    let sanitizer = Sanitizer::new(7);
+    let log_lines: Vec<String> = (0..1_000)
+        .map(|i| {
+            format!(
+                "auth-fail user {} from host{} ({}@site.edu)",
+                i % 50,
+                i,
+                i % 50
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(log_lines.len() as u64));
+    group.bench_function("scrub_1000_lines", |b| {
+        b.iter(|| {
+            let n: usize = log_lines
+                .iter()
+                .map(|l| sanitizer.scrub_text(l).len())
+                .sum();
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

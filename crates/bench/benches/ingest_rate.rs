@@ -1,0 +1,72 @@
+//! Experiment F4a (paper Fig. 4-a): raw ingest rate.
+//!
+//! Prints the analytic per-system TB/day table (the paper's headline
+//! numbers), then benchmarks the generator and broker on real ticks so
+//! the throughput behind those numbers is measured, not asserted.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use oda_core::ingest::publish_batch;
+use oda_stream::{Broker, RetentionPolicy};
+use oda_telemetry::rates::{facility_tb_per_day, total_tb_per_day};
+use oda_telemetry::{SystemModel, TelemetryGenerator};
+use std::hint::black_box;
+
+fn print_headline() {
+    println!("\n=== F4a: analytic ingest rates ===");
+    for system in [SystemModel::mountain(), SystemModel::compass()] {
+        println!(
+            "  {:<10} {:>6.2} TB/day",
+            system.name,
+            total_tb_per_day(&system)
+        );
+    }
+    println!(
+        "  {:<10} {:>6.2} TB/day (paper band: 4.2-4.5)\n",
+        "facility",
+        facility_tb_per_day()
+    );
+}
+
+fn bench_generator(c: &mut Criterion) {
+    print_headline();
+    let mut group = c.benchmark_group("f4a_generator_tick");
+    for system in [SystemModel::tiny(), SystemModel::compass()] {
+        // Pre-measure observations per tick for throughput accounting.
+        let mut probe = TelemetryGenerator::new(system.clone(), 1);
+        let per_tick = probe.next_batch().observations.len() as u64;
+        group.throughput(Throughput::Elements(per_tick));
+        group.sample_size(10);
+        group.bench_function(&system.name, |b| {
+            let mut generator = TelemetryGenerator::new(system.clone(), 2);
+            b.iter(|| black_box(generator.next_batch().observations.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4a_broker_publish");
+    let system = SystemModel::tiny();
+    let mut generator = TelemetryGenerator::new(system, 3);
+    let batch = generator.next_batch();
+    group.throughput(Throughput::Elements(batch.observations.len() as u64));
+    group.bench_function("publish_tick", |b| {
+        b.iter_batched(
+            || {
+                let broker = Broker::new();
+                for t in ["tiny.bronze", "tiny.events", "tiny.jobs"] {
+                    broker
+                        .create_topic(t, 4, RetentionPolicy::unbounded())
+                        .unwrap();
+                }
+                broker
+            },
+            |broker| black_box(publish_batch(&broker, "tiny", &batch).unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator, bench_publish);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment F8 (paper Fig. 8): LVA interactive query latency.
+//!
+//! The same range query answered two ways over growing history: the
+//! precomputed Silver profile index (LVA's path) and an on-demand
+//! Bronze re-derivation (the path LVA's refinement pipeline removes).
+//! Expected shape: the index answers in microseconds regardless of
+//! history; the Bronze scan grows linearly and is orders of magnitude
+//! slower — "vastly reduces the amount of processing required in
+//! interactive queries".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oda_analytics::lva::{scan_bronze_for_summaries, LvaIndex};
+use oda_analytics::profiles::extract_profiles;
+use oda_bench::{bronze_with_rows, job_fleet};
+use oda_pipeline::ops::{group_by, Agg, AggSpec};
+use oda_pipeline::window::assign_window;
+use std::hint::black_box;
+
+fn bench_lva(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f8_interactive_query");
+    group.sample_size(10);
+    for bronze_rows in [100_000usize, 400_000, 1_600_000] {
+        let bronze = bronze_with_rows(41, bronze_rows);
+        let span_ms = bronze
+            .i64s("ts_ms")
+            .unwrap()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let jobs = job_fleet(200, 50, 8, span_ms);
+
+        // Build the LVA index once (the amortized precompute).
+        let windowed = assign_window(&bronze, "ts_ms", 15_000).unwrap();
+        let silver = group_by(
+            &windowed,
+            &["window", "node", "sensor"],
+            &[AggSpec::new("value", Agg::Mean, "mean")],
+        )
+        .unwrap();
+        let index = LvaIndex::build(extract_profiles(&silver, &jobs, 15_000).unwrap());
+
+        group.bench_with_input(
+            BenchmarkId::new("index_query", bronze_rows),
+            &bronze_rows,
+            |b, _| {
+                b.iter(|| black_box(index.query_range(0, span_ms)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bronze_scan", bronze_rows),
+            &bronze_rows,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        scan_bronze_for_summaries(&bronze, &jobs, 15_000, 0, span_ms).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lva);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Experiments F9/F10 (paper Fig. 9 and Fig. 10): the ML pipeline.
+//!
+//! Benchmarks every stage of the reproducible pipeline — featurize,
+//! content-hash versioning, training, inference, SOM mapping — and
+//! prints the Fig. 10 headline (held-out accuracy vs chance) once.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oda_ml::classifier::{ProfileClassifier, TrainConfig};
+use oda_ml::features::featurize;
+use oda_ml::som::SelfOrganizingMap;
+use oda_ml::store::{content_hash, FeatureSet};
+use std::hint::black_box;
+
+fn archetype_profiles(per_class: usize, seed: u64) -> Vec<(Vec<f64>, String)> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..per_class {
+        let phase: f64 = rng.random::<f64>() * std::f64::consts::TAU;
+        let n = 160;
+        let mk = |f: &dyn Fn(f64) -> f64| -> Vec<f64> { (0..n).map(|i| f(i as f64)).collect() };
+        out.push((mk(&|t| (t / 10.0).min(1.0) * 0.9), "hpl".into()));
+        out.push((
+            mk(&|t| {
+                if ((t + phase * 10.0) % 40.0) < 30.0 {
+                    0.8
+                } else {
+                    0.2
+                }
+            }),
+            "climate".into(),
+        ));
+        out.push((mk(&|t| 0.6 + 0.05 * (t * 0.1 + phase).sin()), "md".into()));
+        out.push((
+            mk(&|t| {
+                let pos = ((t + phase * 5.0) % 12.0) / 12.0;
+                if pos < 0.9 {
+                    0.6 + 0.3 * pos
+                } else {
+                    0.25
+                }
+            }),
+            "dl-train".into(),
+        ));
+        out.push((
+            mk(&|t| {
+                if ((t * 0.11 + phase).sin() * (t * 0.07).sin()) > 0.5 {
+                    0.6
+                } else {
+                    0.12
+                }
+            }),
+            "analytics".into(),
+        ));
+        out.push((
+            mk(&|t| 0.08 + 0.04 * (t * 0.5 + phase).sin().abs()),
+            "debug".into(),
+        ));
+    }
+    out
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let data = archetype_profiles(40, 9);
+
+    // Print the Fig. 10 headline once.
+    let (clf, eval) = ProfileClassifier::train(&data, &TrainConfig::default());
+    println!("\n=== F10: classifier headline ===");
+    println!(
+        "  {} profiles, {} classes: held-out accuracy {:.1}% (chance {:.1}%)\n",
+        data.len(),
+        clf.classes.len(),
+        eval.test_accuracy * 100.0,
+        100.0 / clf.classes.len() as f64
+    );
+
+    let mut group = c.benchmark_group("f9_f10_ml_pipeline");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("featurize_all", |b| {
+        b.iter(|| {
+            let f: Vec<Vec<f64>> = data.iter().map(|(s, _)| featurize(s)).collect();
+            black_box(f.len())
+        })
+    });
+    let set = FeatureSet {
+        features: data.iter().map(|(s, _)| featurize(s)).collect(),
+        labels: data.iter().map(|(_, l)| l.clone()).collect(),
+    };
+    let set_bytes: Vec<u8> = set
+        .features
+        .iter()
+        .flat_map(|f| f.iter().flat_map(|v| v.to_bits().to_le_bytes()))
+        .collect();
+    group.bench_function("content_hash_version", |b| {
+        b.iter(|| black_box(content_hash(&set_bytes)))
+    });
+    group.sample_size(10);
+    let quick = TrainConfig {
+        epochs: 20,
+        ..TrainConfig::default()
+    };
+    group.bench_function("train_20_epochs", |b| {
+        b.iter(|| black_box(ProfileClassifier::train(&data, &quick).1.test_accuracy))
+    });
+    let steady: Vec<f64> = (0..160)
+        .map(|i| 0.6 + 0.05 * (i as f64 * 0.1).sin())
+        .collect();
+    group.bench_function("classify_one", |b| {
+        b.iter(|| black_box(clf.classify(&steady)))
+    });
+    let features: Vec<Vec<f64>> = set.features.clone();
+    group.bench_function("som_train_2_epochs", |b| {
+        b.iter(|| {
+            let mut som = SelfOrganizingMap::new(6, 6, features[0].len(), 1);
+            som.train(&features, 2);
+            black_box(som.population(&features).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation (§V): the hourglass — shared refinement vs per-project
+//! duplication.
+//!
+//! "Common data services bound overall resource usage by eliminating
+//! redundant work." N projects each needing Silver either (a) share one
+//! streaming refinement and read the product, or (b) each re-derive
+//! Silver from Bronze. Expected shape: the shared path's cost is flat
+//! in N; the duplicated path grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oda_bench::bronze_with_rows;
+use oda_pipeline::ops::{group_by, Agg, AggSpec};
+use oda_pipeline::window::assign_window;
+use std::hint::black_box;
+
+fn refine(bronze: &oda_pipeline::Frame) -> oda_pipeline::Frame {
+    let windowed = assign_window(bronze, "ts_ms", 15_000).unwrap();
+    group_by(
+        &windowed,
+        &["window", "node", "sensor"],
+        &[AggSpec::new("value", Agg::Mean, "mean")],
+    )
+    .unwrap()
+}
+
+/// The per-project consumption step: a cheap read of the Silver product.
+fn consume(silver: &oda_pipeline::Frame) -> usize {
+    let means = silver.f64s("mean").unwrap();
+    means.iter().filter(|v| v.is_finite()).count()
+}
+
+fn bench_shared(c: &mut Criterion) {
+    let bronze = bronze_with_rows(51, 300_000);
+    let mut group = c.benchmark_group("ablation_hourglass");
+    group.sample_size(10);
+    for projects in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("shared_service", projects),
+            &projects,
+            |b, &n| {
+                b.iter(|| {
+                    let silver = refine(&bronze); // once for everyone
+                    let mut total = 0;
+                    for _ in 0..n {
+                        total += consume(&silver);
+                    }
+                    black_box(total)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_project_duplication", projects),
+            &projects,
+            |b, &n| {
+                b.iter(|| {
+                    let mut total = 0;
+                    for _ in 0..n {
+                        let silver = refine(&bronze); // redundant work
+                        total += consume(&silver);
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Experiment F4c (paper Fig. 4-c): multi-timescale pipeline latency.
+//!
+//! The paper: pipeline implementation is "driven by the multi-timescale
+//! data usage" — real-time control loops need second-scale freshness,
+//! daily reports tolerate batch. Reproduced as the end-to-end cost of
+//! delivering one *refined result* at three control-loop timescales:
+//!
+//! * real-time (15 s windows, incremental streaming),
+//! * hourly roll-up (re-aggregate the last hour from Silver),
+//! * daily batch (full Bronze re-scan, the reporting path).
+//!
+//! Expected shape: per-result latency real-time << hourly << daily.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use oda_bench::tiny_observations;
+use oda_pipeline::checkpoint::CheckpointStore;
+use oda_pipeline::medallion::{bronze_frame, observation_decoder, streaming_silver_transform};
+use oda_pipeline::ops::{group_by, Agg, AggSpec};
+use oda_pipeline::streaming::{MemorySink, StreamingQuery};
+use oda_pipeline::window::assign_window;
+use oda_stream::{Broker, Consumer, RetentionPolicy};
+use oda_telemetry::record::Observation;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// One simulated hour of tiny telemetry, pre-generated.
+fn hour_of_data() -> (oda_telemetry::SensorCatalog, Vec<Observation>) {
+    tiny_observations(21, 3_600)
+}
+
+fn loaded_broker(obs: &[Observation]) -> Arc<Broker> {
+    let broker = Broker::new();
+    broker
+        .create_topic("bronze", 4, RetentionPolicy::unbounded())
+        .unwrap();
+    for chunk in obs.chunks(200) {
+        let ts = chunk.last().map(|o| o.ts_ms).unwrap_or(0);
+        broker
+            .produce(
+                "bronze",
+                ts,
+                Some(Bytes::from_static(b"k")),
+                Bytes::from(Observation::encode_batch(chunk)),
+            )
+            .unwrap();
+    }
+    broker
+}
+
+fn bench_timescales(c: &mut Criterion) {
+    let (catalog, obs) = hour_of_data();
+    let bronze = bronze_frame(&obs, &catalog);
+
+    // Real-time tier: incremental cost of one 15 s micro-batch, with
+    // state already warm (the steady-state streaming cost).
+    let mut group = c.benchmark_group("f4c_per_result_latency");
+    group.sample_size(10);
+    group.bench_function("realtime_15s_increment", |b| {
+        // Set up a warm streaming query over the first half; measure
+        // per-batch cost across the rest, re-arming per iteration batch.
+        b.iter_batched_ref(
+            || {
+                let broker = loaded_broker(&obs);
+                let consumer = Consumer::subscribe(broker, "rt", "bronze").unwrap();
+                let mut q = StreamingQuery::new(
+                    consumer,
+                    observation_decoder(catalog.clone()),
+                    streaming_silver_transform(15_000, 0),
+                    CheckpointStore::new(),
+                )
+                .unwrap()
+                .with_max_records(8); // ~one tick of records per batch
+                let mut sink = MemorySink::new();
+                // Warm up half the stream.
+                for _ in 0..100 {
+                    q.run_once(&mut sink).unwrap();
+                }
+                (q, sink)
+            },
+            |(q, sink)| black_box(q.run_once(sink).unwrap()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    // Hourly tier: re-aggregate an hour of *Silver* rows (already
+    // refined once) into the hourly roll-up.
+    let windowed = assign_window(&bronze, "ts_ms", 15_000).unwrap();
+    let silver = group_by(
+        &windowed,
+        &["window", "node", "sensor"],
+        &[AggSpec::new("value", Agg::Mean, "mean")],
+    )
+    .unwrap();
+    let hourly_silver =
+        oda_pipeline::window::assign_window_as(&silver, "window", 3_600_000, "hour").unwrap();
+    group.bench_function("hourly_rollup_from_silver", |b| {
+        b.iter(|| {
+            black_box(
+                group_by(
+                    &hourly_silver,
+                    &["hour", "node", "sensor"],
+                    &[AggSpec::new("mean", Agg::Mean, "mean")],
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    // Daily/batch tier: the full Bronze re-scan path for the same result.
+    group.bench_function("daily_batch_from_bronze", |b| {
+        b.iter(|| {
+            let windowed = assign_window(&bronze, "ts_ms", 3_600_000).unwrap();
+            black_box(
+                group_by(
+                    &windowed,
+                    &["window", "node", "sensor"],
+                    &[AggSpec::new("value", Agg::Mean, "mean")],
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timescales);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment F11 (paper Fig. 11): ExaDigiT replay performance and
+//! validation headline.
+//!
+//! Prints the replay validation numbers once (MAPE / correlation of
+//! predicted vs measured facility power through an HPL run), then
+//! benchmarks the twin's unit costs: one power sample, one cooling
+//! step, and a full 2-hour replay.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oda_telemetry::SystemModel;
+use oda_twin::cooling::{CoolingParams, CoolingPlant};
+use oda_twin::power::PowerSim;
+use oda_twin::replay::replay;
+use oda_twin::scenario::hpl_run;
+use std::hint::black_box;
+
+fn measured_series(system: &SystemModel, jobs: &[oda_telemetry::jobs::Job]) -> Vec<(i64, f64)> {
+    let sim = PowerSim::new(system.clone(), jobs.to_vec());
+    (0..240)
+        .map(|i| {
+            let ts = i * 30_000;
+            let truth = sim.sample(ts).facility_w;
+            let noise = 1.0 + 0.02 * ((i as f64) * 0.9).sin();
+            (ts, truth * noise)
+        })
+        .collect()
+}
+
+fn bench_twin(c: &mut Criterion) {
+    let system = SystemModel::tiny();
+    let jobs = vec![hpl_run(&system, 1.0, 2.0)];
+    let measured = measured_series(&system, &jobs);
+
+    // Headline: the Fig. 11 validation.
+    let report = replay(&system, &jobs, &measured);
+    println!("\n=== F11: replay validation headline ===");
+    println!(
+        "  MAPE {:.2}%  correlation {:.3}  mean losses {:.0} W\n",
+        report.power_mape * 100.0,
+        report.power_correlation,
+        report.mean_losses_w
+    );
+
+    let mut group = c.benchmark_group("f11_twin");
+    let sim = PowerSim::new(system.clone(), jobs.clone());
+    group.bench_function("power_sample", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 1_000;
+            black_box(sim.sample(t % 7_200_000).facility_w)
+        })
+    });
+    group.bench_function("cooling_step_60s", |b| {
+        let mut plant = CoolingPlant::new(CoolingParams::sized_for(system.peak_mw));
+        b.iter(|| black_box(plant.step(12_000.0, 60.0).t_secondary_return_c))
+    });
+    group.throughput(Throughput::Elements(measured.len() as u64));
+    group.sample_size(10);
+    group.bench_function("full_replay_240_samples", |b| {
+        b.iter(|| black_box(replay(&system, &jobs, &measured).power_mape))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_twin);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment F6 (paper Fig. 6): UA dashboard vs manual per-source scans.
+//!
+//! At facility scale (20k jobs, 50k events, 400 users) the compiled,
+//! indexed dashboard answers a ticket in one call; the "old method"
+//! re-scans every raw source per ticket. Expected shape: a large factor
+//! in favor of the dashboard, growing with history size — the paper's
+//! "significant decrease in the time it takes to resolve user problems".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oda_analytics::dashboard::{diagnose_manually, UaDashboard};
+use oda_bench::job_fleet;
+use oda_storage::lake::Lake;
+use oda_telemetry::events::{Event, EventKind};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn events_fleet(n: usize, nodes: u32, span_ms: i64) -> Vec<Event> {
+    (0..n)
+        .map(|i| {
+            let kind = EventKind::ALL[i % EventKind::ALL.len()];
+            Event {
+                ts_ms: (i as i64 * span_ms) / n as i64,
+                kind,
+                severity: kind.severity(),
+                node: Some((i as u32 * 7) % nodes),
+                user: None,
+                message: format!("{} synthetic", kind.label()),
+            }
+        })
+        .collect()
+}
+
+fn bench_dashboard(c: &mut Criterion) {
+    const SPAN: i64 = 7 * 86_400_000;
+    let mut group = c.benchmark_group("f6_ticket_diagnosis");
+    group.sample_size(20);
+    for (jobs_n, events_n) in [(2_000, 5_000), (20_000, 50_000)] {
+        let jobs = job_fleet(jobs_n, 400, 512, SPAN);
+        let events = events_fleet(events_n, 512, SPAN);
+        let lake = Arc::new(Lake::with_layout(3_600_000, i64::MAX / 4));
+        // Sparse power series (hourly means) for the nodes.
+        for node in 0..512u32 {
+            for h in 0..24 {
+                lake.insert(&format!("node{node}/node_power_w"), h * 3_600_000, 600.0);
+            }
+        }
+        let dashboard = UaDashboard::compile(&jobs, &events, lake.clone());
+        group.bench_with_input(BenchmarkId::new("dashboard", jobs_n), &jobs_n, |b, _| {
+            let mut user = 0u32;
+            b.iter(|| {
+                user = (user + 17) % 400;
+                black_box(dashboard.diagnose(user, 0, SPAN))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("manual_scans", jobs_n), &jobs_n, |b, _| {
+            let mut user = 0u32;
+            b.iter(|| {
+                user = (user + 17) % 400;
+                black_box(diagnose_manually(&jobs, &events, &lake, "", user, 0, SPAN))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dashboard);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Telemetry publication into STREAM topics.
+//!
+//! One tick of a system becomes three streams, matching the paper's
+//! source taxonomy: `"<system>.bronze"` (binary observation batches,
+//! keyed by node shard so per-component order is preserved),
+//! `"<system>.events"` (JSON syslog events), and `"<system>.jobs"`
+//! (JSON resource-manager lifecycle records).
+
+use bytes::Bytes;
+use oda_stream::{Broker, StreamError};
+use oda_telemetry::record::Observation;
+use oda_telemetry::TelemetryBatch;
+
+/// Number of node shards bronze observations are keyed into.
+pub const BRONZE_SHARDS: u32 = 64;
+
+/// Topic names of one system.
+pub fn topics(system: &str) -> (String, String, String) {
+    (
+        format!("{system}.bronze"),
+        format!("{system}.events"),
+        format!("{system}.jobs"),
+    )
+}
+
+/// Publish one telemetry batch; returns (observations, events, job events).
+pub fn publish_batch(
+    broker: &Broker,
+    system: &str,
+    batch: &TelemetryBatch,
+) -> Result<(usize, usize, usize), StreamError> {
+    let (bronze, events, jobs) = topics(system);
+    // Shard observations by node so each shard is one ordered record.
+    let mut shards: Vec<Vec<Observation>> = vec![Vec::new(); BRONZE_SHARDS as usize];
+    for &obs in &batch.observations {
+        shards[(obs.component.node % BRONZE_SHARDS) as usize].push(obs);
+    }
+    for (i, shard) in shards.iter().enumerate() {
+        if shard.is_empty() {
+            continue;
+        }
+        let payload = Observation::encode_batch(shard);
+        broker.produce(
+            &bronze,
+            batch.ts_ms,
+            Some(Bytes::from(format!("shard-{i}"))),
+            Bytes::from(payload),
+        )?;
+    }
+    for e in &batch.events {
+        let body = serde_json::to_vec(e).expect("event serializes");
+        broker.produce(&events, e.ts_ms, None, Bytes::from(body))?;
+    }
+    for j in &batch.job_events {
+        let body = serde_json::to_vec(j).expect("job event serializes");
+        broker.produce(&jobs, batch.ts_ms, None, Bytes::from(body))?;
+    }
+    Ok((
+        batch.observations.len(),
+        batch.events.len(),
+        batch.job_events.len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oda_stream::{Consumer, RetentionPolicy};
+    use oda_telemetry::{SystemModel, TelemetryGenerator};
+
+    #[test]
+    fn publish_and_consume_roundtrip() {
+        let broker = Broker::new();
+        for t in ["tiny.bronze", "tiny.events", "tiny.jobs"] {
+            broker
+                .create_topic(t, 2, RetentionPolicy::unbounded())
+                .unwrap();
+        }
+        let mut g = TelemetryGenerator::new(SystemModel::tiny(), 3);
+        let mut published_obs = 0;
+        for _ in 0..30 {
+            let batch = g.next_batch();
+            let (o, _, _) = publish_batch(&broker, "tiny", &batch).unwrap();
+            published_obs += o;
+        }
+        // Consume everything back and count observations.
+        let mut c = Consumer::subscribe(broker, "t", "tiny.bronze").unwrap();
+        let mut consumed = 0;
+        loop {
+            let recs = c.poll(128).unwrap();
+            if recs.is_empty() {
+                break;
+            }
+            for r in recs {
+                consumed += Observation::decode_batch(&r.value).unwrap().len();
+            }
+        }
+        assert_eq!(consumed, published_obs);
+        assert!(consumed > 0);
+    }
+
+    #[test]
+    fn same_node_keeps_order() {
+        let broker = Broker::new();
+        broker
+            .create_topic("s.bronze", 4, RetentionPolicy::unbounded())
+            .unwrap();
+        broker
+            .create_topic("s.events", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        broker
+            .create_topic("s.jobs", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        let mut g = TelemetryGenerator::new(SystemModel::tiny(), 5);
+        for _ in 0..20 {
+            publish_batch(&broker, "s", &g.next_batch()).unwrap();
+        }
+        let mut c = Consumer::subscribe(broker, "t", "s.bronze").unwrap();
+        // Per node, timestamps must be non-decreasing in consumption order
+        // within a partition (keyed sharding guarantees it).
+        let mut per_node_last: std::collections::HashMap<(u32, u32), i64> =
+            std::collections::HashMap::new();
+        loop {
+            let recs = c.poll(64).unwrap();
+            if recs.is_empty() {
+                break;
+            }
+            for r in recs {
+                // We poll partitions separately; track per (partition-ish
+                // shard via node, node) pair using node only is enough
+                // because a node maps to exactly one shard/partition.
+                for obs in Observation::decode_batch(&r.value).unwrap() {
+                    let key = (obs.component.node, 0u32);
+                    let last = per_node_last.entry(key).or_insert(i64::MIN);
+                    assert!(
+                        obs.ts_ms >= *last,
+                        "node {} went back in time",
+                        obs.component.node
+                    );
+                    *last = obs.ts_ms;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # oda-govern — data governance and management (§IX)
+//!
+//! The policy half of the ODA framework:
+//!
+//! * [`catalog`] — the Table I registry: every organizational area and
+//!   its operational-data use.
+//! * [`maturity`] — the L0–L5 data-readiness model of Fig. 2 and the
+//!   per-(area x source) maturity matrix of Fig. 3, seeded cell-for-cell
+//!   from the paper.
+//! * [`dictionary`] — the data dictionary that exploration campaigns
+//!   build first (§VI-A); completeness gates maturity promotion.
+//! * [`advisory`] — the Table II advisory chain and the Fig. 12
+//!   DataRUC release workflow, as an auditable state machine.
+//! * [`sanitize`] — deterministic anonymization/sanitization applied
+//!   before external release.
+//! * [`access`] — per-project channel grants with usage tracking.
+
+pub mod access;
+pub mod advisory;
+pub mod catalog;
+pub mod dictionary;
+pub mod maturity;
+pub mod sanitize;
+
+pub use advisory::{AdvisoryStage, DataRuc, Decision, ReleaseRequest, RequestState};
+pub use catalog::usage_catalog;
+pub use dictionary::DataDictionary;
+pub use maturity::{Area, Maturity, MaturityMatrix, StreamRow};
+pub use sanitize::Sanitizer;

@@ -1,0 +1,206 @@
+//! Power-profile featurization.
+//!
+//! Profiles arrive with different lengths, scales, and gaps ("unknown
+//! future data, low-yield features, rare events, and missing data" —
+//! §VIII-A). Featurization makes them comparable: gap-fill by linear
+//! interpolation, resample to a fixed length, normalize to [0, 1] by
+//! the profile's own range, and append shape summary statistics.
+
+/// Number of resampled shape points in a feature vector.
+pub const SHAPE_POINTS: usize = 28;
+/// Total feature dimension: shape points + 8 summary statistics.
+pub const FEATURE_DIM: usize = SHAPE_POINTS + 8;
+
+/// Linearly interpolate interior NaN gaps; leading/trailing NaNs take
+/// the nearest finite value. All-NaN input becomes all zeros.
+pub fn fill_gaps(samples: &[f64]) -> Vec<f64> {
+    let n = samples.len();
+    let mut out = samples.to_vec();
+    let finite_idx: Vec<usize> = (0..n).filter(|&i| samples[i].is_finite()).collect();
+    if finite_idx.is_empty() {
+        return vec![0.0; n];
+    }
+    // Leading and trailing edges take the nearest finite value.
+    let first = finite_idx[0];
+    let last = finite_idx[finite_idx.len() - 1];
+    out[..first].fill(samples[first]);
+    out[last + 1..].fill(samples[last]);
+    // Interior gaps.
+    for w in finite_idx.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b > a + 1 {
+            let va = samples[a];
+            let vb = samples[b];
+            for (i, slot) in out.iter_mut().enumerate().take(b).skip(a + 1) {
+                let t = (i - a) as f64 / (b - a) as f64;
+                *slot = va + t * (vb - va);
+            }
+        }
+    }
+    out
+}
+
+/// Resample to `points` values by linear interpolation.
+pub fn resample(samples: &[f64], points: usize) -> Vec<f64> {
+    assert!(points > 0);
+    if samples.is_empty() {
+        return vec![0.0; points];
+    }
+    if samples.len() == 1 {
+        return vec![samples[0]; points];
+    }
+    (0..points)
+        .map(|i| {
+            let pos = i as f64 * (samples.len() - 1) as f64 / (points - 1).max(1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(samples.len() - 1);
+            let t = pos - lo as f64;
+            samples[lo] * (1.0 - t) + samples[hi] * t
+        })
+        .collect()
+}
+
+/// Full featurization: gap-fill → resample → peak-normalize → append
+/// summary statistics.
+///
+/// The shape is normalized by the profile's *peak* (not its range):
+/// absolute levels across systems cancel, but relative levels survive —
+/// a flat medium-load profile stays distinguishable from a flat
+/// low-load one. The statistics capture level (mean/peak, trough/peak,
+/// coefficient of variation), dynamics (jump rate, crossings, duty
+/// cycle), and shape position (peak location).
+pub fn featurize(samples: &[f64]) -> Vec<f64> {
+    let filled = fill_gaps(samples);
+    // Jump rate on the native-resolution signal: resampling aliases
+    // high-frequency sawtooths/squares, so measure dynamics first.
+    let peak_raw = filled
+        .iter()
+        .copied()
+        .fold(0.0f64, |a, b| a.max(b.abs()))
+        .max(1e-9);
+    let raw_norm: Vec<f64> = filled.iter().map(|v| v / peak_raw).collect();
+    let jump = if raw_norm.len() > 1 {
+        raw_norm
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (raw_norm.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let crossings = if raw_norm.len() > 1 {
+        raw_norm
+            .windows(2)
+            .filter(|w| (w[0] - 0.7) * (w[1] - 0.7) < 0.0)
+            .count() as f64
+            / (raw_norm.len() - 1) as f64
+    } else {
+        0.0
+    };
+
+    let shape: Vec<f64> = resample(&raw_norm, SHAPE_POINTS);
+    let mean = raw_norm.iter().sum::<f64>() / raw_norm.len().max(1) as f64;
+    let var =
+        raw_norm.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / raw_norm.len().max(1) as f64;
+    let trough = if raw_norm.is_empty() {
+        0.0
+    } else {
+        raw_norm.iter().copied().fold(f64::INFINITY, f64::min)
+    };
+    let cv = var.sqrt() / mean.abs().max(1e-9);
+    // Duty cycle: fraction of time near peak load.
+    let duty = raw_norm.iter().filter(|&&v| v > 0.7).count() as f64 / raw_norm.len().max(1) as f64;
+    let peak_pos = raw_norm
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i as f64 / raw_norm.len() as f64)
+        .unwrap_or(0.0);
+
+    let mut features = shape;
+    features.extend([
+        mean,
+        var.sqrt(),
+        jump * 10.0,
+        crossings * 10.0,
+        trough,
+        cv,
+        duty,
+        peak_pos,
+    ]);
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_gaps_interpolates_interior() {
+        let filled = fill_gaps(&[1.0, f64::NAN, f64::NAN, 4.0]);
+        assert_eq!(filled, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fill_gaps_extends_edges() {
+        let filled = fill_gaps(&[f64::NAN, 2.0, f64::NAN]);
+        assert_eq!(filled, vec![2.0, 2.0, 2.0]);
+        assert_eq!(fill_gaps(&[f64::NAN, f64::NAN]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let r = resample(&[0.0, 10.0], 5);
+        assert_eq!(r.first(), Some(&0.0));
+        assert_eq!(r.last(), Some(&10.0));
+        assert_eq!(r[2], 5.0);
+        // Upsample and downsample lengths.
+        assert_eq!(resample(&[1.0; 100], 7).len(), 7);
+        assert_eq!(resample(&[3.0], 4), vec![3.0; 4]);
+        assert_eq!(resample(&[], 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn featurize_has_fixed_dim_and_unit_range() {
+        for input in [
+            vec![1.0, 2.0, 3.0],
+            vec![500.0; 100],
+            (0..1_000)
+                .map(|i| (i as f64 * 0.01).sin())
+                .collect::<Vec<_>>(),
+        ] {
+            let f = featurize(&input);
+            assert_eq!(f.len(), FEATURE_DIM);
+            for &v in &f[..SHAPE_POINTS] {
+                assert!((-1.0..=1.0).contains(&v), "shape point {v} out of range");
+            }
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Same shape at different absolute power levels → same shape features.
+        let base: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin() + 2.0).collect();
+        let scaled: Vec<f64> = base.iter().map(|v| v * 1_000.0).collect();
+        let fa = featurize(&base);
+        let fb = featurize(&scaled);
+        for (a, b) in fa.iter().zip(&fb) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jump_rate_separates_square_from_smooth() {
+        let square: Vec<f64> = (0..100)
+            .map(|i| if (i / 10) % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let smooth: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let jump_sq = featurize(&square)[SHAPE_POINTS + 2];
+        let jump_sm = featurize(&smooth)[SHAPE_POINTS + 2];
+        assert!(
+            jump_sq > 2.0 * jump_sm,
+            "square {jump_sq} vs smooth {jump_sm}"
+        );
+    }
+}

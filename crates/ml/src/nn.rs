@@ -1,0 +1,284 @@
+//! A small multilayer perceptron with softmax cross-entropy.
+//!
+//! Mini-batch SGD, ReLU hidden activations, deterministic under a seed.
+//! Sized for the Fig. 10 classifier (tens of inputs, a few classes) —
+//! not a framework, just the network the paper's use case needs.
+
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One dense layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weights, `inputs x outputs`.
+    pub w: Matrix,
+    /// Bias, length `outputs`.
+    pub b: Vec<f64>,
+}
+
+/// Feed-forward network: dense layers with ReLU between them and a
+/// softmax read-out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Row-wise softmax in place.
+fn softmax_rows(m: &mut Matrix) {
+    for r in 0..m.rows {
+        let row = &mut m.data[r * m.cols..(r + 1) * m.cols];
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+impl Mlp {
+    /// Build with the given layer sizes, e.g. `[32, 24, 6]`.
+    pub fn new(sizes: &[usize], seed: u64) -> Mlp {
+        assert!(sizes.len() >= 2, "need input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense {
+                w: Matrix::xavier(w[0], w[1], &mut rng),
+                b: vec![0.0; w[1]],
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward pass returning all layer activations (post-ReLU for
+    /// hidden layers, pre-softmax logits for the last).
+    fn forward(&self, x: &Matrix) -> Vec<Matrix> {
+        let mut acts = vec![x.clone()];
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = acts.last().expect("non-empty").matmul(&layer.w);
+            z.add_row_broadcast(&layer.b);
+            if i + 1 < self.layers.len() {
+                z.map_inplace(|v| v.max(0.0));
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Class probabilities for a batch (rows = samples).
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut logits = self.forward(x).pop().expect("output layer");
+        softmax_rows(&mut logits);
+        logits
+    }
+
+    /// Hard class predictions.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let proba = self.predict_proba(x);
+        (0..proba.rows)
+            .map(|r| {
+                let row = proba.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Mean cross-entropy of a labeled batch.
+    pub fn loss(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        let proba = self.predict_proba(x);
+        let mut total = 0.0;
+        for (r, &y) in labels.iter().enumerate() {
+            total -= proba.get(r, y).max(1e-12).ln();
+        }
+        total / labels.len() as f64
+    }
+
+    /// One SGD step on a mini-batch; returns the batch loss (computed
+    /// before the update).
+    #[allow(clippy::needless_range_loop)] // index parallelism is the clearer form here
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize], lr: f64) -> f64 {
+        assert_eq!(x.rows, labels.len());
+        let acts = self.forward(x);
+        let mut proba = acts.last().expect("output").clone();
+        softmax_rows(&mut proba);
+        let batch = x.rows as f64;
+        let mut loss = 0.0;
+        for (r, &y) in labels.iter().enumerate() {
+            loss -= proba.get(r, y).max(1e-12).ln();
+        }
+        loss /= batch;
+
+        // delta = (softmax - onehot) / batch, backpropagated.
+        let mut delta = proba;
+        for (r, &y) in labels.iter().enumerate() {
+            let v = delta.get(r, y);
+            delta.set(r, y, v - 1.0);
+        }
+        delta.map_inplace(|v| v / batch);
+
+        for i in (0..self.layers.len()).rev() {
+            let input = &acts[i];
+            // Gradients for this layer.
+            let grad_w = input.transpose().matmul(&delta);
+            let mut grad_b = vec![0.0; self.layers[i].b.len()];
+            for r in 0..delta.rows {
+                for c in 0..delta.cols {
+                    grad_b[c] += delta.get(r, c);
+                }
+            }
+            // Delta for the previous layer (before its ReLU mask).
+            if i > 0 {
+                let mut prev_delta = delta.matmul(&self.layers[i].w.transpose());
+                // ReLU derivative on the *activation* of layer i-1.
+                for r in 0..prev_delta.rows {
+                    for c in 0..prev_delta.cols {
+                        if acts[i].get(r, c) <= 0.0 {
+                            prev_delta.set(r, c, 0.0);
+                        }
+                    }
+                }
+                delta = prev_delta;
+            }
+            self.layers[i].w.axpy(-lr, &grad_w);
+            for (b, g) in self.layers[i].b.iter_mut().zip(&grad_b) {
+                *b -= lr * g;
+            }
+        }
+        loss
+    }
+
+    /// Epoch-based training with shuffled mini-batches. Returns the
+    /// final epoch's mean loss. Deterministic under `seed`.
+    pub fn fit(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..x.rows).collect();
+        let mut last = f64::NAN;
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(batch_size.max(1)) {
+                let bx = take_rows(x, chunk);
+                let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                epoch_loss += self.train_batch(&bx, &by, lr);
+                batches += 1;
+            }
+            last = epoch_loss / batches as f64;
+        }
+        last
+    }
+
+    /// Serialize the model (canonical bytes; equal models hash equal).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("model serializes")
+    }
+
+    /// Deserialize a model.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Mlp> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+fn take_rows(x: &Matrix, rows: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(rows.len(), x.cols);
+    for (i, &r) in rows.iter().enumerate() {
+        out.data[i * x.cols..(i + 1) * x.cols].copy_from_slice(x.row(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two linearly separable blobs.
+    fn blobs(n: usize) -> (Matrix, Vec<usize>) {
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 / n as f64;
+            if i % 2 == 0 {
+                data.extend([1.0 + 0.1 * t, 1.0 - 0.1 * t]);
+                labels.push(0);
+            } else {
+                data.extend([-1.0 - 0.1 * t, -1.0 + 0.1 * t]);
+                labels.push(1);
+            }
+        }
+        (Matrix::from_vec(n, 2, data), labels)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (x, y) = blobs(200);
+        let mut m = Mlp::new(&[2, 8, 2], 7);
+        let initial = m.loss(&x, &y);
+        m.fit(&x, &y, 50, 16, 0.1, 3);
+        let trained = m.loss(&x, &y);
+        assert!(trained < initial * 0.2, "loss {initial} -> {trained}");
+        let preds = m.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(correct as f64 / y.len() as f64 > 0.98);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = blobs(100);
+        let run = || {
+            let mut m = Mlp::new(&[2, 8, 2], 7);
+            m.fit(&x, &y, 10, 16, 0.1, 3);
+            m.to_bytes()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seed_different_model() {
+        let (x, y) = blobs(100);
+        let mut a = Mlp::new(&[2, 8, 2], 1);
+        let mut b = Mlp::new(&[2, 8, 2], 2);
+        a.fit(&x, &y, 2, 16, 0.1, 3);
+        b.fit(&x, &y, 2, 16, 0.1, 3);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let (x, _) = blobs(10);
+        let m = Mlp::new(&[2, 4, 3], 5);
+        let p = m.predict_proba(&x);
+        for r in 0..p.rows {
+            let sum: f64 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let m = Mlp::new(&[3, 4, 2], 11);
+        let bytes = m.to_bytes();
+        let back = Mlp::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert!(Mlp::from_bytes(b"junk").is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! Checkpoints: atomic (epoch, offsets, state) snapshots.
+//!
+//! The streaming engine commits a checkpoint after each micro-batch:
+//! the batch epoch, the consumer offsets *after* the batch, and the
+//! state snapshot. Recovery loads the latest checkpoint and replays
+//! from there — with an idempotent sink this yields exactly-once output
+//! (§V-B: "advanced failure and recovery mechanisms that can be
+//! difficult to re-engineer from scratch" — re-engineered here).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One committed checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Micro-batch epoch (0-based, dense).
+    pub epoch: u64,
+    /// partition -> next offset to read.
+    pub offsets: BTreeMap<u32, u64>,
+    /// Serialized [`crate::state::StateStore`].
+    pub state: Vec<u8>,
+}
+
+/// Durable checkpoint store (in-memory stand-in for a checkpoint
+/// directory; keeps the full history so tests can inspect progression).
+#[derive(Debug, Default, Clone)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<Vec<Checkpoint>>>,
+}
+
+impl CheckpointStore {
+    /// Empty store.
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Commit a checkpoint. Epochs must be dense and increasing.
+    pub fn commit(&self, cp: Checkpoint) {
+        let mut inner = self.inner.lock();
+        let expected = inner.len() as u64;
+        assert_eq!(cp.epoch, expected, "checkpoint epochs must be dense");
+        inner.push(cp);
+    }
+
+    /// Latest committed checkpoint, if any.
+    pub fn latest(&self) -> Option<Checkpoint> {
+        self.inner.lock().last().cloned()
+    }
+
+    /// Number of committed checkpoints.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_latest() {
+        let store = CheckpointStore::new();
+        assert!(store.latest().is_none());
+        store.commit(Checkpoint {
+            epoch: 0,
+            offsets: BTreeMap::new(),
+            state: vec![1],
+        });
+        store.commit(Checkpoint {
+            epoch: 1,
+            offsets: [(0u32, 10u64)].into_iter().collect(),
+            state: vec![2],
+        });
+        let latest = store.latest().unwrap();
+        assert_eq!(latest.epoch, 1);
+        assert_eq!(latest.offsets[&0], 10);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_epochs_rejected() {
+        let store = CheckpointStore::new();
+        store.commit(Checkpoint {
+            epoch: 5,
+            offsets: BTreeMap::new(),
+            state: vec![],
+        });
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = CheckpointStore::new();
+        let b = a.clone();
+        a.commit(Checkpoint {
+            epoch: 0,
+            offsets: BTreeMap::new(),
+            state: vec![],
+        });
+        assert_eq!(b.len(), 1);
+    }
+}

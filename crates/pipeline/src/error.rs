@@ -1,0 +1,72 @@
+//! Error type for pipeline operations.
+
+use oda_storage::StorageError;
+use oda_stream::StreamError;
+use std::fmt;
+
+/// Errors from frame operations, plans, and streaming queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A referenced column does not exist.
+    ColumnNotFound(String),
+    /// A column had an unexpected type for the operation.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// What the operation needed.
+        expected: String,
+    },
+    /// Frame construction with ragged column lengths.
+    RaggedColumns,
+    /// Underlying broker error.
+    Stream(StreamError),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Malformed payload on the stream.
+    Decode(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::ColumnNotFound(c) => write!(f, "column {c:?} not found"),
+            PipelineError::TypeMismatch { column, expected } => {
+                write!(f, "column {column:?} is not {expected}")
+            }
+            PipelineError::RaggedColumns => write!(f, "columns have differing lengths"),
+            PipelineError::Stream(e) => write!(f, "stream: {e}"),
+            PipelineError::Storage(e) => write!(f, "storage: {e}"),
+            PipelineError::Decode(m) => write!(f, "decode: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<StreamError> for PipelineError {
+    fn from(e: StreamError) -> Self {
+        PipelineError::Stream(e)
+    }
+}
+
+impl From<StorageError> for PipelineError {
+    fn from(e: StorageError) -> Self {
+        PipelineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PipelineError = StreamError::UnknownTopic("t".into()).into();
+        assert!(e.to_string().contains("stream"));
+        let e: PipelineError = StorageError::NotFound("x".into()).into();
+        assert!(e.to_string().contains("storage"));
+        assert!(PipelineError::ColumnNotFound("c".into())
+            .to_string()
+            .contains("c"));
+    }
+}

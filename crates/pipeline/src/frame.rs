@@ -1,0 +1,356 @@
+//! Typed columnar frames — the unit of data flowing through pipelines.
+//!
+//! A [`Frame`] is an ordered set of named, equal-length columns reusing
+//! `oda-storage`'s [`ColumnData`] so frames round-trip to OCEAN files
+//! without copies. Long-format Bronze data and wide Silver data are both
+//! just frames with different schemas.
+
+use crate::error::PipelineError;
+use oda_storage::colfile::{ColumnData, ColumnType, TableSchema};
+
+/// An ordered collection of named columns with equal lengths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    names: Vec<String>,
+    columns: Vec<ColumnData>,
+    rows: usize,
+}
+
+impl Frame {
+    /// Build a frame from (name, column) pairs.
+    pub fn new(columns: Vec<(String, ColumnData)>) -> Result<Frame, PipelineError> {
+        let rows = columns.first().map_or(0, |(_, c)| c.len());
+        if columns.iter().any(|(_, c)| c.len() != rows) {
+            return Err(PipelineError::RaggedColumns);
+        }
+        let (names, columns) = columns.into_iter().unzip();
+        Ok(Frame {
+            names,
+            columns,
+            rows,
+        })
+    }
+
+    /// An empty frame with the given schema.
+    pub fn empty(schema: &TableSchema) -> Frame {
+        let columns = schema
+            .columns
+            .iter()
+            .map(|(n, t)| {
+                let col = match t {
+                    ColumnType::I64 => ColumnData::I64(Vec::new()),
+                    ColumnType::F64 => ColumnData::F64(Vec::new()),
+                    ColumnType::Str => ColumnData::Str(Vec::new()),
+                };
+                (n.clone(), col)
+            })
+            .collect();
+        Frame::new(columns).expect("empty columns are never ragged")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The frame's schema.
+    pub fn schema(&self) -> TableSchema {
+        TableSchema {
+            columns: self
+                .names
+                .iter()
+                .zip(&self.columns)
+                .map(|(n, c)| (n.clone(), c.column_type()))
+                .collect(),
+        }
+    }
+
+    /// Index of a column.
+    pub fn index_of(&self, name: &str) -> Result<usize, PipelineError> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| PipelineError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&ColumnData, PipelineError> {
+        Ok(&self.columns[self.index_of(name)?])
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
+    }
+
+    /// All columns, in order.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// i64 column or a type error.
+    pub fn i64s(&self, name: &str) -> Result<&[i64], PipelineError> {
+        match self.column(name)? {
+            ColumnData::I64(v) => Ok(v),
+            _ => Err(PipelineError::TypeMismatch {
+                column: name.into(),
+                expected: "i64".into(),
+            }),
+        }
+    }
+
+    /// f64 column or a type error.
+    pub fn f64s(&self, name: &str) -> Result<&[f64], PipelineError> {
+        match self.column(name)? {
+            ColumnData::F64(v) => Ok(v),
+            _ => Err(PipelineError::TypeMismatch {
+                column: name.into(),
+                expected: "f64".into(),
+            }),
+        }
+    }
+
+    /// String column or a type error.
+    pub fn strs(&self, name: &str) -> Result<&[String], PipelineError> {
+        match self.column(name)? {
+            ColumnData::Str(v) => Ok(v),
+            _ => Err(PipelineError::TypeMismatch {
+                column: name.into(),
+                expected: "str".into(),
+            }),
+        }
+    }
+
+    /// Append a column.
+    pub fn push_column(&mut self, name: &str, col: ColumnData) -> Result<(), PipelineError> {
+        if !self.columns.is_empty() && col.len() != self.rows {
+            return Err(PipelineError::RaggedColumns);
+        }
+        if self.columns.is_empty() {
+            self.rows = col.len();
+        }
+        self.names.push(name.to_string());
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// Keep only the rows where `mask` is true.
+    pub fn filter_mask(&self, mask: &[bool]) -> Frame {
+        assert_eq!(mask.len(), self.rows, "mask length mismatch");
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                ColumnData::I64(v) => ColumnData::I64(
+                    v.iter()
+                        .zip(mask)
+                        .filter(|(_, &m)| m)
+                        .map(|(x, _)| *x)
+                        .collect(),
+                ),
+                ColumnData::F64(v) => ColumnData::F64(
+                    v.iter()
+                        .zip(mask)
+                        .filter(|(_, &m)| m)
+                        .map(|(x, _)| *x)
+                        .collect(),
+                ),
+                ColumnData::Str(v) => ColumnData::Str(
+                    v.iter()
+                        .zip(mask)
+                        .filter(|(_, &m)| m)
+                        .map(|(x, _)| x.clone())
+                        .collect(),
+                ),
+            })
+            .collect();
+        let rows = mask.iter().filter(|&&m| m).count();
+        Frame {
+            names: self.names.clone(),
+            columns,
+            rows,
+        }
+    }
+
+    /// Take rows by index (indices may repeat or reorder).
+    pub fn take(&self, indices: &[usize]) -> Frame {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                ColumnData::I64(v) => ColumnData::I64(indices.iter().map(|&i| v[i]).collect()),
+                ColumnData::F64(v) => ColumnData::F64(indices.iter().map(|&i| v[i]).collect()),
+                ColumnData::Str(v) => {
+                    ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
+                }
+            })
+            .collect();
+        Frame {
+            names: self.names.clone(),
+            columns,
+            rows: indices.len(),
+        }
+    }
+
+    /// Project to a subset of columns.
+    pub fn select(&self, cols: &[&str]) -> Result<Frame, PipelineError> {
+        let mut out = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let idx = self.index_of(c)?;
+            out.push((c.to_string(), self.columns[idx].clone()));
+        }
+        Frame::new(out)
+    }
+
+    /// Vertically concatenate frames with identical schemas.
+    pub fn concat(frames: &[Frame]) -> Result<Frame, PipelineError> {
+        let Some(first) = frames.first() else {
+            return Frame::new(Vec::new());
+        };
+        let mut columns: Vec<ColumnData> = first.columns.clone();
+        for f in &frames[1..] {
+            if f.names != first.names {
+                return Err(PipelineError::ColumnNotFound(format!(
+                    "concat schema mismatch: {:?} vs {:?}",
+                    f.names, first.names
+                )));
+            }
+            for (dst, src) in columns.iter_mut().zip(&f.columns) {
+                match (dst, src) {
+                    (ColumnData::I64(d), ColumnData::I64(s)) => d.extend_from_slice(s),
+                    (ColumnData::F64(d), ColumnData::F64(s)) => d.extend_from_slice(s),
+                    (ColumnData::Str(d), ColumnData::Str(s)) => d.extend_from_slice(s),
+                    _ => {
+                        return Err(PipelineError::TypeMismatch {
+                            column: "concat".into(),
+                            expected: "matching column types".into(),
+                        })
+                    }
+                }
+            }
+        }
+        let rows = columns.first().map_or(0, ColumnData::len);
+        Ok(Frame {
+            names: first.names.clone(),
+            columns,
+            rows,
+        })
+    }
+
+    /// A human-readable key for one row of the named columns (used by
+    /// group-by and join hashing).
+    pub(crate) fn row_key(&self, cols: &[usize], row: usize) -> String {
+        let mut key = String::new();
+        for &c in cols {
+            match &self.columns[c] {
+                ColumnData::I64(v) => key.push_str(&v[row].to_string()),
+                ColumnData::F64(v) => key.push_str(&v[row].to_bits().to_string()),
+                ColumnData::Str(v) => key.push_str(&v[row]),
+            }
+            key.push('\u{1f}');
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new(vec![
+            ("ts".into(), ColumnData::I64(vec![1, 2, 3, 4])),
+            ("v".into(), ColumnData::F64(vec![1.0, 2.0, 3.0, 4.0])),
+            (
+                "s".into(),
+                ColumnData::Str(vec!["a".into(), "b".into(), "a".into(), "b".into()]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let bad = Frame::new(vec![
+            ("a".into(), ColumnData::I64(vec![1])),
+            ("b".into(), ColumnData::I64(vec![1, 2])),
+        ]);
+        assert_eq!(bad.unwrap_err(), PipelineError::RaggedColumns);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let f = sample();
+        assert_eq!(f.i64s("ts").unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(f.f64s("v").unwrap()[0], 1.0);
+        assert_eq!(f.strs("s").unwrap()[1], "b");
+        assert!(f.i64s("v").is_err());
+        assert!(f.column("missing").is_err());
+    }
+
+    #[test]
+    fn filter_mask_keeps_matching_rows() {
+        let f = sample();
+        let g = f.filter_mask(&[true, false, true, false]);
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.i64s("ts").unwrap(), &[1, 3]);
+        assert_eq!(g.strs("s").unwrap(), &["a".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let f = sample();
+        let g = f.take(&[3, 0, 0]);
+        assert_eq!(g.i64s("ts").unwrap(), &[4, 1, 1]);
+    }
+
+    #[test]
+    fn select_projects() {
+        let f = sample();
+        let g = f.select(&["v", "ts"]).unwrap();
+        assert_eq!(g.names(), &["v".to_string(), "ts".to_string()]);
+        assert!(f.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn concat_appends_rows() {
+        let f = sample();
+        let g = Frame::concat(&[f.clone(), f.clone()]).unwrap();
+        assert_eq!(g.rows(), 8);
+        assert_eq!(g.i64s("ts").unwrap(), &[1, 2, 3, 4, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_schemas() {
+        let f = sample();
+        let other = Frame::new(vec![("x".into(), ColumnData::I64(vec![1]))]).unwrap();
+        assert!(Frame::concat(&[f, other]).is_err());
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let f = sample();
+        let s = f.schema();
+        assert_eq!(s.columns[0], ("ts".to_string(), ColumnType::I64));
+        let e = Frame::empty(&s);
+        assert_eq!(e.rows(), 0);
+        assert_eq!(e.names(), f.names());
+    }
+
+    #[test]
+    fn push_column_checks_length() {
+        let mut f = sample();
+        assert!(f.push_column("w", ColumnData::F64(vec![0.0; 4])).is_ok());
+        assert!(f.push_column("bad", ColumnData::F64(vec![0.0; 3])).is_err());
+    }
+}

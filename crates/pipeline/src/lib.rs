@@ -1,0 +1,31 @@
+//! # oda-pipeline — medallion structured-streaming engine
+//!
+//! The Spark-structured-streaming analogue of the paper (§V-B): typed
+//! columnar [`frame::Frame`]s, relational operators ([`ops`]), tumbling
+//! windows ([`window`]), a SQL-clause pipeline plan mirroring the
+//! anatomy of Fig. 4-b ([`plan`]), and a checkpointed micro-batch engine
+//! over the STREAM broker with exactly-once sinks ([`streaming`]).
+//!
+//! The ODA-specific refinement stages — Bronze → Silver → Gold of the
+//! "Medallion Architecture" the paper adapts — live in [`medallion`]:
+//! long-format observations are window-aggregated, pivoted wide, and
+//! joined with job allocations (Silver), then reduced to analysis-ready
+//! artifacts (Gold).
+
+pub mod checkpoint;
+pub mod error;
+pub mod expr;
+pub mod frame;
+pub mod frame_io;
+pub mod medallion;
+pub mod ops;
+pub mod plan;
+pub mod state;
+pub mod streaming;
+pub mod window;
+
+pub use error::PipelineError;
+pub use expr::Expr;
+pub use frame::Frame;
+pub use plan::{PipelinePlan, Stage, StageTiming};
+pub use streaming::{MemorySink, Sink, StreamingQuery};

@@ -1,0 +1,469 @@
+//! Bronze → Silver → Gold: the ODA refinement stages (§V-A).
+//!
+//! * **Bronze**: raw long-format observations, one row per sensor sample.
+//! * **Silver**: window-aggregated (default 15 s), pivoted wide per
+//!   (window, node), joined with job-allocation context.
+//! * **Gold**: analysis-specific reductions (per-job energy profiles,
+//!   report tables, ML features).
+//!
+//! Both execution modes the paper discusses are provided: *batch*
+//! (a [`PipelinePlan`] re-run over Bronze) and *streaming* (a stateful
+//! transform precomputing Silver incrementally — the §VI-B design
+//! decision that "amortizes the cost of refining datasets").
+
+use crate::error::PipelineError;
+use crate::expr::Expr;
+use crate::frame::Frame;
+use crate::ops::{Agg, AggSpec};
+use crate::plan::{PipelinePlan, Stage};
+use crate::state::StateStore;
+use crate::streaming::{Decoder, Transform};
+use oda_storage::colfile::ColumnData;
+use oda_telemetry::jobs::Job;
+use oda_telemetry::record::{Device, Observation, Quality};
+use oda_telemetry::sensors::SensorCatalog;
+
+/// Default Silver aggregation window (the paper's "e.g., every 15
+/// seconds").
+pub const SILVER_WINDOW_MS: i64 = 15_000;
+
+/// Render a device as a short stable string ("node", "gpu3", ...).
+pub fn device_label(d: Device) -> String {
+    match d {
+        Device::Node => "node".to_string(),
+        Device::Cpu(i) => format!("cpu{i}"),
+        Device::Gpu(i) => format!("gpu{i}"),
+        Device::Nic(i) => format!("nic{i}"),
+        Device::Psu(i) => format!("psu{i}"),
+        Device::CoolingLoop(i) => format!("loop{i}"),
+        Device::Facility => "facility".to_string(),
+    }
+}
+
+/// Build a Bronze frame from observations: columns `ts_ms` (I64),
+/// `node` (I64), `device` (Str), `sensor` (Str), `value` (F64),
+/// `quality` (I64 code: 0 good, 1 missing, 2 suspect).
+pub fn bronze_frame(obs: &[Observation], catalog: &SensorCatalog) -> Frame {
+    let mut ts = Vec::with_capacity(obs.len());
+    let mut node = Vec::with_capacity(obs.len());
+    let mut device = Vec::with_capacity(obs.len());
+    let mut sensor = Vec::with_capacity(obs.len());
+    let mut value = Vec::with_capacity(obs.len());
+    let mut quality = Vec::with_capacity(obs.len());
+    for o in obs {
+        ts.push(o.ts_ms);
+        node.push(i64::from(o.component.node));
+        device.push(device_label(o.component.device));
+        sensor.push(
+            catalog
+                .get(o.sensor)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| format!("s{}", o.sensor)),
+        );
+        value.push(o.value);
+        quality.push(match o.quality {
+            Quality::Good => 0i64,
+            Quality::Missing => 1,
+            Quality::Suspect => 2,
+        });
+    }
+    Frame::new(vec![
+        ("ts_ms".into(), ColumnData::I64(ts)),
+        ("node".into(), ColumnData::I64(node)),
+        ("device".into(), ColumnData::Str(device)),
+        ("sensor".into(), ColumnData::Str(sensor)),
+        ("value".into(), ColumnData::F64(value)),
+        ("quality".into(), ColumnData::I64(quality)),
+    ])
+    .expect("equal-length columns by construction")
+}
+
+/// Decoder for broker records whose payloads are
+/// [`Observation::encode_batch`] frames.
+pub fn observation_decoder(catalog: SensorCatalog) -> Decoder {
+    Box::new(move |records| {
+        let mut all = Vec::new();
+        for r in records {
+            let batch = Observation::decode_batch(&r.value)
+                .ok_or_else(|| PipelineError::Decode("bad observation batch".into()))?;
+            all.extend(batch);
+        }
+        Ok(bronze_frame(&all, &catalog))
+    })
+}
+
+/// Job allocation context: one row per (job, node), with columns
+/// `node` (I64), `job` (I64), `archetype` (Str), `program` (I64),
+/// `user` (I64), `project` (Str), and the allocation bounds
+/// `job_start_ms` / `job_end_ms` (I64) used for the temporal join.
+pub fn job_context_frame(jobs: &[Job]) -> Frame {
+    let mut node = Vec::new();
+    let mut job = Vec::new();
+    let mut archetype = Vec::new();
+    let mut program = Vec::new();
+    let mut user = Vec::new();
+    let mut project = Vec::new();
+    let mut start = Vec::new();
+    let mut end = Vec::new();
+    for j in jobs {
+        for &n in &j.nodes {
+            node.push(i64::from(n));
+            job.push(j.id as i64);
+            archetype.push(j.archetype.label().to_string());
+            program.push(i64::from(j.program));
+            user.push(i64::from(j.user));
+            project.push(j.project.clone());
+            start.push(j.start_ms);
+            end.push(j.end_ms);
+        }
+    }
+    Frame::new(vec![
+        ("node".into(), ColumnData::I64(node)),
+        ("job".into(), ColumnData::I64(job)),
+        ("archetype".into(), ColumnData::Str(archetype)),
+        ("program".into(), ColumnData::I64(program)),
+        ("user".into(), ColumnData::I64(user)),
+        ("project".into(), ColumnData::Str(project)),
+        ("job_start_ms".into(), ColumnData::I64(start)),
+        ("job_end_ms".into(), ColumnData::I64(end)),
+    ])
+    .expect("equal-length columns by construction")
+}
+
+/// The batch Bronze→Silver plan of Fig. 4-b: quality filter → window →
+/// group-by mean → pivot sensors wide → join job context on node, then
+/// restrict to windows inside the job's allocation interval (a node is
+/// reused by many jobs over time; joining on node alone would attribute
+/// every window to every job that ever held the node).
+pub fn bronze_to_silver_plan(window_ms: i64, job_ctx: Frame) -> PipelinePlan {
+    PipelinePlan::new()
+        .then(Stage::Where(
+            Expr::col("quality")
+                .eq_(Expr::LitI(0))
+                .and(Expr::col("value").is_nan().not()),
+        ))
+        .then(Stage::Window {
+            ts_col: "ts_ms".into(),
+            width_ms: window_ms,
+        })
+        .then(Stage::GroupBy {
+            keys: vec!["window".into(), "node".into(), "sensor".into()],
+            aggs: vec![AggSpec::new("value", Agg::Mean, "value")],
+        })
+        .then(Stage::Pivot {
+            index: vec!["window".into(), "node".into()],
+            pivot_col: "sensor".into(),
+            value_col: "value".into(),
+            agg: Agg::Mean,
+        })
+        .then(Stage::Join {
+            right: job_ctx,
+            on: vec!["node".into()],
+        })
+        .then(Stage::Where(
+            Expr::col("window")
+                .ge(Expr::col("job_start_ms"))
+                .and(Expr::col("window").lt(Expr::col("job_end_ms"))),
+        ))
+}
+
+/// Streaming Bronze→Silver transform: folds observations into
+/// per-(window, node, sensor) accumulators and emits rows for windows
+/// the watermark has closed. Output columns: `window` (I64), `node`
+/// (I64), `sensor` (Str), `mean`/`min`/`max` (F64), `count` (I64).
+///
+/// The event-time watermark survives recovery because it is kept in the
+/// checkpointed state (`wm_ms` counter).
+pub fn streaming_silver_transform(window_ms: i64, lateness_ms: i64) -> Transform {
+    Box::new(move |frame: Frame, state: &mut StateStore| {
+        let ts = frame.i64s("ts_ms")?;
+        let node = frame.i64s("node")?;
+        let sensor = frame.strs("sensor")?;
+        let value = frame.f64s("value")?;
+        let quality = frame.i64s("quality")?;
+        let mut max_ts = state.counter("wm_ms") as i64;
+        for i in 0..frame.rows() {
+            max_ts = max_ts.max(ts[i]);
+            if quality[i] != 0 || value[i].is_nan() {
+                continue;
+            }
+            let window = ts[i].div_euclid(window_ms) * window_ms;
+            let key = format!("{}\u{1f}{}", node[i], sensor[i]);
+            state.cell(window, &key).push(value[i]);
+        }
+        // Persist watermark progress (monotonic, safe as u64: sim time
+        // is non-negative).
+        let watermark = max_ts - lateness_ms;
+        if max_ts > 0 {
+            state.bump(
+                "wm_ms",
+                (max_ts as u64).saturating_sub(state.counter("wm_ms")),
+            );
+        }
+        // A window [w, w+width) is closed when watermark >= w + width.
+        let horizon = watermark - window_ms + 1;
+        let closed = state.drain_closed(horizon);
+        let mut w_col = Vec::with_capacity(closed.len());
+        let mut n_col = Vec::with_capacity(closed.len());
+        let mut s_col = Vec::with_capacity(closed.len());
+        let mut mean_col = Vec::with_capacity(closed.len());
+        let mut min_col = Vec::with_capacity(closed.len());
+        let mut max_col = Vec::with_capacity(closed.len());
+        let mut c_col = Vec::with_capacity(closed.len());
+        for ((window, key), cell) in closed {
+            let (node_s, sensor_s) = key
+                .split_once('\u{1f}')
+                .ok_or_else(|| PipelineError::Decode("bad state key".into()))?;
+            w_col.push(window);
+            n_col.push(
+                node_s
+                    .parse::<i64>()
+                    .map_err(|_| PipelineError::Decode("bad node".into()))?,
+            );
+            s_col.push(sensor_s.to_string());
+            mean_col.push(cell.mean());
+            min_col.push(cell.min);
+            max_col.push(cell.max);
+            c_col.push(cell.count as i64);
+        }
+        Frame::new(vec![
+            ("window".into(), ColumnData::I64(w_col)),
+            ("node".into(), ColumnData::I64(n_col)),
+            ("sensor".into(), ColumnData::Str(s_col)),
+            ("mean".into(), ColumnData::F64(mean_col)),
+            ("min".into(), ColumnData::F64(min_col)),
+            ("max".into(), ColumnData::F64(max_col)),
+            ("count".into(), ColumnData::I64(c_col)),
+        ])
+    })
+}
+
+/// Silver→Gold: per-job power/energy summary. Input must be a Silver
+/// frame containing `node_power_w` and `job` columns; output has one
+/// row per job with mean/peak power, windows observed, and energy (kWh,
+/// assuming one row per `window_ms` per node).
+pub fn silver_to_gold_job_energy(silver: &Frame, window_ms: i64) -> Result<Frame, PipelineError> {
+    let g = crate::ops::group_by(
+        silver,
+        &["job"],
+        &[
+            AggSpec::new("node_power_w", Agg::Mean, "mean_node_w"),
+            AggSpec::new("node_power_w", Agg::Max, "peak_node_w"),
+            AggSpec::new("node_power_w", Agg::Sum, "node_window_w"),
+            AggSpec::new("node_power_w", Agg::Count, "samples"),
+        ],
+    )?;
+    // Energy: sum over (node, window) of P * window duration.
+    let sums = g.f64s("node_window_w")?;
+    let kwh: Vec<f64> = sums
+        .iter()
+        .map(|s| s * (window_ms as f64 / 1_000.0) / 3.6e6)
+        .collect();
+    let mut out = g.clone();
+    out.push_column("energy_kwh", ColumnData::F64(kwh))?;
+    out.select(&["job", "mean_node_w", "peak_node_w", "samples", "energy_kwh"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::CheckpointStore;
+    use crate::streaming::{MemorySink, StreamingQuery};
+    use bytes::Bytes;
+    use oda_stream::{Broker, Consumer, RetentionPolicy};
+    use oda_telemetry::record::Component;
+    use oda_telemetry::system::SystemModel;
+    use oda_telemetry::TelemetryGenerator;
+
+    fn tiny_catalog() -> SensorCatalog {
+        SensorCatalog::for_system(&SystemModel::tiny())
+    }
+
+    fn obs(ts: i64, node: u32, sensor: u16, value: f64) -> Observation {
+        Observation {
+            ts_ms: ts,
+            sensor,
+            component: Component::node(node),
+            value,
+            quality: Quality::Good,
+        }
+    }
+
+    #[test]
+    fn bronze_frame_shape() {
+        let cat = tiny_catalog();
+        let rows = vec![obs(0, 1, 0, 500.0), obs(1_000, 2, 1, 21.0)];
+        let f = bronze_frame(&rows, &cat);
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.strs("sensor").unwrap()[0], "node_power_w");
+        assert_eq!(f.i64s("node").unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn batch_silver_pipeline_end_to_end() {
+        let cat = tiny_catalog();
+        // 2 nodes x 2 sensors x 30 seconds of 1 Hz data.
+        let mut rows = Vec::new();
+        for t in 0..30i64 {
+            for n in [0u32, 1] {
+                rows.push(obs(t * 1_000, n, 0, 500.0 + n as f64 * 100.0)); // node_power_w
+                rows.push(obs(t * 1_000, n, 1, 21.0)); // node_inlet_temp_c
+            }
+        }
+        let bronze = bronze_frame(&rows, &cat);
+        let jobs = vec![Job {
+            id: 9,
+            user: 3,
+            project: "PRJ001".into(),
+            program: 0,
+            archetype: oda_telemetry::ApplicationArchetype::Hpl,
+            nodes: vec![0, 1],
+            submit_ms: 0,
+            start_ms: 0,
+            end_ms: 60_000,
+            phase: 0.0,
+        }];
+        let plan = bronze_to_silver_plan(SILVER_WINDOW_MS, job_context_frame(&jobs));
+        let silver = plan.execute(bronze).unwrap();
+        // 2 windows x 2 nodes.
+        assert_eq!(silver.rows(), 4);
+        assert!(silver.index_of("node_power_w").is_ok());
+        assert!(silver.index_of("node_inlet_temp_c").is_ok());
+        assert_eq!(silver.i64s("job").unwrap(), &[9, 9, 9, 9]);
+        // Gold: one row for job 9.
+        let gold = silver_to_gold_job_energy(&silver, SILVER_WINDOW_MS).unwrap();
+        assert_eq!(gold.rows(), 1);
+        assert_eq!(gold.i64s("job").unwrap()[0], 9);
+        let mean = gold.f64s("mean_node_w").unwrap()[0];
+        assert!((mean - 550.0).abs() < 1.0, "mean node power {mean}");
+        assert!(gold.f64s("energy_kwh").unwrap()[0] > 0.0);
+    }
+
+    #[test]
+    fn batch_silver_join_is_time_aware() {
+        // Two sequential jobs on the same node: each window must be
+        // attributed to exactly the job whose allocation covers it.
+        let cat = tiny_catalog();
+        let mut rows = Vec::new();
+        for t in 0..30i64 {
+            rows.push(obs(t * 1_000, 0, 0, 500.0));
+        }
+        let mk_job = |id: u64, start: i64, end: i64| Job {
+            id,
+            user: 0,
+            project: "PRJ000".into(),
+            program: 0,
+            archetype: oda_telemetry::ApplicationArchetype::Debug,
+            nodes: vec![0],
+            submit_ms: start,
+            start_ms: start,
+            end_ms: end,
+            phase: 0.0,
+        };
+        let jobs = vec![mk_job(1, 0, 15_000), mk_job(2, 15_000, 30_000)];
+        let plan = bronze_to_silver_plan(SILVER_WINDOW_MS, job_context_frame(&jobs));
+        let silver = plan.execute(bronze_frame(&rows, &cat)).unwrap();
+        // 2 windows x 1 node, one job each — NOT 4 rows.
+        assert_eq!(silver.rows(), 2, "node reuse must not duplicate rows");
+        let windows = silver.i64s("window").unwrap();
+        let job_ids = silver.i64s("job").unwrap();
+        for i in 0..2 {
+            let expect = if windows[i] == 0 { 1 } else { 2 };
+            assert_eq!(job_ids[i], expect, "window {} misattributed", windows[i]);
+        }
+    }
+
+    #[test]
+    fn streaming_silver_emits_closed_windows_only() {
+        let mut transform = streaming_silver_transform(15_000, 0);
+        let cat = tiny_catalog();
+        let mut state = StateStore::new();
+        // First batch: 0..20s — window [0,15s) closes (watermark 19s >= 15s).
+        let batch1: Vec<Observation> = (0..20).map(|t| obs(t * 1_000, 0, 0, 100.0)).collect();
+        let out1 = transform(bronze_frame(&batch1, &cat), &mut state).unwrap();
+        assert_eq!(out1.rows(), 1);
+        assert_eq!(out1.i64s("window").unwrap(), &[0]);
+        assert_eq!(out1.i64s("count").unwrap(), &[15]);
+        // Second batch: 20..35s — window [15,30) closes.
+        let batch2: Vec<Observation> = (20..35).map(|t| obs(t * 1_000, 0, 0, 200.0)).collect();
+        let out2 = transform(bronze_frame(&batch2, &cat), &mut state).unwrap();
+        assert_eq!(out2.i64s("window").unwrap(), &[15_000]);
+        // Mean mixes the 100s (t=15..20) and 200s (t=20..30).
+        let mean = out2.f64s("mean").unwrap()[0];
+        assert!((mean - (5.0 * 100.0 + 10.0 * 200.0) / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_silver_respects_lateness() {
+        let mut transform = streaming_silver_transform(15_000, 10_000);
+        let cat = tiny_catalog();
+        let mut state = StateStore::new();
+        // Events to 24s; watermark = 14s; window 0 NOT closed.
+        let batch: Vec<Observation> = (0..25).map(|t| obs(t * 1_000, 0, 0, 1.0)).collect();
+        let out = transform(bronze_frame(&batch, &cat), &mut state).unwrap();
+        assert_eq!(out.rows(), 0, "lateness must hold window 0 open");
+        // More events to 26s; watermark 16s; window 0 closes with the
+        // late event (t=14.5s equivalent none here) included.
+        let batch2: Vec<Observation> = vec![obs(26_000, 0, 0, 1.0)];
+        let out2 = transform(bronze_frame(&batch2, &cat), &mut state).unwrap();
+        assert_eq!(out2.i64s("window").unwrap(), &[0]);
+        assert_eq!(out2.i64s("count").unwrap(), &[15]);
+    }
+
+    #[test]
+    fn full_broker_to_silver_streaming_query() {
+        // Telemetry generator -> broker -> streaming silver -> sink.
+        let mut generator = TelemetryGenerator::new(SystemModel::tiny(), 42);
+        let broker = Broker::new();
+        broker
+            .create_topic("bronze", 2, RetentionPolicy::unbounded())
+            .unwrap();
+        for _ in 0..60 {
+            let batch = generator.next_batch();
+            let payload = Observation::encode_batch(&batch.observations);
+            broker
+                .produce(
+                    "bronze",
+                    batch.ts_ms,
+                    Some(Bytes::from("all")),
+                    Bytes::from(payload),
+                )
+                .unwrap();
+        }
+        let consumer = Consumer::subscribe(broker, "silver", "bronze").unwrap();
+        let mut q = StreamingQuery::new(
+            consumer,
+            observation_decoder(generator.catalog().clone()),
+            streaming_silver_transform(15_000, 0),
+            CheckpointStore::new(),
+        )
+        .unwrap()
+        .with_max_records(5);
+        let mut sink = MemorySink::new();
+        q.run_to_completion(&mut sink).unwrap();
+        let silver = sink.concat().unwrap();
+        assert!(silver.rows() > 0, "no silver rows emitted");
+        // Every emitted window start is 15s-aligned and each cell has at
+        // most 15 one-second samples.
+        for (&w, &c) in silver
+            .i64s("window")
+            .unwrap()
+            .iter()
+            .zip(silver.i64s("count").unwrap())
+        {
+            assert_eq!(w % 15_000, 0);
+            assert!(c <= 15, "window cell with {c} samples");
+        }
+        // node_power_w means are physically plausible for the tiny system.
+        let sensors = silver.strs("sensor").unwrap();
+        let means = silver.f64s("mean").unwrap();
+        let mut checked = 0;
+        for i in 0..silver.rows() {
+            if sensors[i] == "node_power_w" {
+                assert!(means[i] > 300.0 && means[i] < 2_500.0, "power {}", means[i]);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+}

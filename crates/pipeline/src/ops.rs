@@ -1,0 +1,731 @@
+//! Relational operators: group-by aggregation, pivot, join, sort.
+//!
+//! These are the clause bodies of the paper's pipeline anatomy
+//! (Fig. 4-b): Bronze→Silver is dominated by GROUP BY (window) +
+//! PIVOT + JOIN, and the benches time exactly these functions.
+
+use crate::error::PipelineError;
+use crate::frame::Frame;
+use oda_storage::colfile::ColumnData;
+use std::collections::HashMap;
+
+/// Aggregation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Sum of non-NaN values.
+    Sum,
+    /// Mean of non-NaN values (NaN when empty).
+    Mean,
+    /// Minimum non-NaN value.
+    Min,
+    /// Maximum non-NaN value.
+    Max,
+    /// Count of non-NaN values.
+    Count,
+    /// First value in group order.
+    First,
+    /// Last value in group order.
+    Last,
+}
+
+/// One aggregation output.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Input column.
+    pub column: String,
+    /// Function.
+    pub agg: Agg,
+    /// Output column name.
+    pub output: String,
+}
+
+impl AggSpec {
+    /// Shorthand constructor.
+    pub fn new(column: &str, agg: Agg, output: &str) -> AggSpec {
+        AggSpec {
+            column: column.into(),
+            agg,
+            output: output.into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NumAcc {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+    first: f64,
+    last: f64,
+    seen: bool,
+}
+
+impl NumAcc {
+    fn new() -> NumAcc {
+        NumAcc {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            first: f64::NAN,
+            last: f64::NAN,
+            seen: false,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if !self.seen {
+            self.first = v;
+            self.seen = true;
+        }
+        self.last = v;
+        if v.is_nan() {
+            return;
+        }
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn get(&self, agg: Agg) -> f64 {
+        match agg {
+            Agg::Sum => self.sum,
+            Agg::Mean => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            Agg::Min => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.min
+                }
+            }
+            Agg::Max => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.max
+                }
+            }
+            Agg::Count => self.count as f64,
+            Agg::First => self.first,
+            Agg::Last => self.last,
+        }
+    }
+}
+
+fn numeric_at(col: &ColumnData, row: usize) -> Result<f64, PipelineError> {
+    match col {
+        ColumnData::F64(v) => Ok(v[row]),
+        ColumnData::I64(v) => Ok(v[row] as f64),
+        ColumnData::Str(_) => Err(PipelineError::TypeMismatch {
+            column: "aggregate input".into(),
+            expected: "numeric".into(),
+        }),
+    }
+}
+
+/// Group `frame` by `keys` and compute `aggs` per group.
+///
+/// Output columns: the keys (original types, first-occurrence values)
+/// followed by one F64 column per spec (`Count` yields I64). String
+/// inputs support only `First`/`Last` (type-preserving).
+pub fn group_by(frame: &Frame, keys: &[&str], aggs: &[AggSpec]) -> Result<Frame, PipelineError> {
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| frame.index_of(k))
+        .collect::<Result<_, _>>()?;
+    // Validate agg inputs upfront.
+    for spec in aggs {
+        let col = frame.column(&spec.column)?;
+        if matches!(col, ColumnData::Str(_)) && !matches!(spec.agg, Agg::First | Agg::Last) {
+            return Err(PipelineError::TypeMismatch {
+                column: spec.column.clone(),
+                expected: "numeric (strings support only First/Last)".into(),
+            });
+        }
+    }
+
+    let mut group_of: HashMap<String, usize> = HashMap::new();
+    let mut representative: Vec<usize> = Vec::new();
+    let mut row_group: Vec<usize> = Vec::with_capacity(frame.rows());
+    for row in 0..frame.rows() {
+        let key = frame.row_key(&key_idx, row);
+        let next = representative.len();
+        let g = *group_of.entry(key).or_insert_with(|| {
+            representative.push(row);
+            next
+        });
+        row_group.push(g);
+    }
+    let n_groups = representative.len();
+
+    // Key columns from representative rows.
+    let key_frame = frame.take(&representative);
+    let mut out: Vec<(String, ColumnData)> = keys
+        .iter()
+        .map(|&k| {
+            (
+                k.to_string(),
+                key_frame.column(k).expect("key exists").clone(),
+            )
+        })
+        .collect();
+
+    for spec in aggs {
+        let col = frame.column(&spec.column)?;
+        match col {
+            ColumnData::Str(v) => {
+                let mut firsts: Vec<Option<String>> = vec![None; n_groups];
+                let mut lasts: Vec<Option<String>> = vec![None; n_groups];
+                for row in 0..frame.rows() {
+                    let g = row_group[row];
+                    if firsts[g].is_none() {
+                        firsts[g] = Some(v[row].clone());
+                    }
+                    lasts[g] = Some(v[row].clone());
+                }
+                let vals = match spec.agg {
+                    Agg::First => firsts,
+                    Agg::Last => lasts,
+                    _ => unreachable!("validated above"),
+                };
+                out.push((
+                    spec.output.clone(),
+                    ColumnData::Str(vals.into_iter().map(|o| o.unwrap_or_default()).collect()),
+                ));
+            }
+            _ => {
+                let mut accs = vec![NumAcc::new(); n_groups];
+                for row in 0..frame.rows() {
+                    accs[row_group[row]].push(numeric_at(col, row)?);
+                }
+                let data = if spec.agg == Agg::Count {
+                    ColumnData::I64(accs.iter().map(|a| a.count as i64).collect())
+                } else {
+                    ColumnData::F64(accs.iter().map(|a| a.get(spec.agg)).collect())
+                };
+                out.push((spec.output.clone(), data));
+            }
+        }
+    }
+    Frame::new(out)
+}
+
+/// Pivot long-format data into wide format: one output column per
+/// distinct value of `pivot_col` (sorted), aggregating `value_col` with
+/// `agg` per (index, pivot value) cell. Missing cells are NaN.
+pub fn pivot(
+    frame: &Frame,
+    index: &[&str],
+    pivot_col: &str,
+    value_col: &str,
+    agg: Agg,
+) -> Result<Frame, PipelineError> {
+    let pivots = frame.strs(pivot_col)?;
+    let index_idx: Vec<usize> = index
+        .iter()
+        .map(|k| frame.index_of(k))
+        .collect::<Result<_, _>>()?;
+    let values = frame.column(value_col)?;
+
+    // Distinct pivot values, sorted for stable output schema.
+    let mut distinct: Vec<String> = {
+        let mut set: Vec<&String> = pivots.iter().collect();
+        set.sort();
+        set.dedup();
+        set.into_iter().cloned().collect()
+    };
+    distinct.shrink_to_fit();
+    let pivot_of: HashMap<&str, usize> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i))
+        .collect();
+
+    let mut group_of: HashMap<String, usize> = HashMap::new();
+    let mut representative: Vec<usize> = Vec::new();
+    let mut cells: Vec<Vec<NumAcc>> = Vec::new();
+    for row in 0..frame.rows() {
+        let key = frame.row_key(&index_idx, row);
+        let next = representative.len();
+        let g = *group_of.entry(key).or_insert_with(|| {
+            representative.push(row);
+            next
+        });
+        if g == cells.len() {
+            cells.push(vec![NumAcc::new(); distinct.len()]);
+        }
+        let p = pivot_of[pivots[row].as_str()];
+        cells[g][p].push(numeric_at(values, row)?);
+    }
+
+    let key_frame = frame.take(&representative);
+    let mut out: Vec<(String, ColumnData)> = index
+        .iter()
+        .map(|&k| {
+            (
+                k.to_string(),
+                key_frame.column(k).expect("key exists").clone(),
+            )
+        })
+        .collect();
+    for (p, name) in distinct.iter().enumerate() {
+        let col: Vec<f64> = cells.iter().map(|row| row[p].get(agg)).collect();
+        out.push((name.clone(), ColumnData::F64(col)));
+    }
+    Frame::new(out)
+}
+
+/// Melt wide-format data back to long format: the inverse of
+/// [`pivot`]. Every column not in `index` becomes a (name, value) row
+/// pair under `var_col` / `value_col`. Value columns must be numeric.
+pub fn melt(
+    frame: &Frame,
+    index: &[&str],
+    var_col: &str,
+    value_col: &str,
+) -> Result<Frame, PipelineError> {
+    let index_idx: Vec<usize> = index
+        .iter()
+        .map(|k| frame.index_of(k))
+        .collect::<Result<_, _>>()?;
+    let value_cols: Vec<usize> = (0..frame.names().len())
+        .filter(|i| !index_idx.contains(i))
+        .collect();
+    for &ci in &value_cols {
+        if matches!(frame.column_at(ci), ColumnData::Str(_)) {
+            return Err(PipelineError::TypeMismatch {
+                column: frame.names()[ci].clone(),
+                expected: "numeric value columns for melt".into(),
+            });
+        }
+    }
+    let n_out = frame.rows() * value_cols.len();
+    // Repeat the index rows once per value column.
+    let mut take_idx = Vec::with_capacity(n_out);
+    for row in 0..frame.rows() {
+        for _ in 0..value_cols.len() {
+            take_idx.push(row);
+        }
+    }
+    let index_frame = frame.select(index)?.take(&take_idx);
+    let mut vars = Vec::with_capacity(n_out);
+    let mut values = Vec::with_capacity(n_out);
+    for row in 0..frame.rows() {
+        for &ci in &value_cols {
+            vars.push(frame.names()[ci].clone());
+            values.push(numeric_at(frame.column_at(ci), row)?);
+        }
+    }
+    let mut columns: Vec<(String, ColumnData)> = index_frame
+        .names()
+        .iter()
+        .zip(index_frame.columns())
+        .map(|(n, c)| (n.clone(), c.clone()))
+        .collect();
+    columns.push((var_col.to_string(), ColumnData::Str(vars)));
+    columns.push((value_col.to_string(), ColumnData::F64(values)));
+    Frame::new(columns)
+}
+
+/// Inner hash join on equality of `on` columns. Right-side non-key
+/// columns are appended; name clashes get an `_r` suffix.
+pub fn join_inner(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, PipelineError> {
+    let l_idx: Vec<usize> = on
+        .iter()
+        .map(|k| left.index_of(k))
+        .collect::<Result<_, _>>()?;
+    let r_idx: Vec<usize> = on
+        .iter()
+        .map(|k| right.index_of(k))
+        .collect::<Result<_, _>>()?;
+
+    let mut right_rows: HashMap<String, Vec<usize>> = HashMap::new();
+    for row in 0..right.rows() {
+        right_rows
+            .entry(right.row_key(&r_idx, row))
+            .or_default()
+            .push(row);
+    }
+
+    let mut l_take = Vec::new();
+    let mut r_take = Vec::new();
+    for row in 0..left.rows() {
+        if let Some(matches) = right_rows.get(&left.row_key(&l_idx, row)) {
+            for &m in matches {
+                l_take.push(row);
+                r_take.push(m);
+            }
+        }
+    }
+
+    let l_out = left.take(&l_take);
+    let r_out = right.take(&r_take);
+    let mut columns: Vec<(String, ColumnData)> = l_out
+        .names()
+        .iter()
+        .zip(l_out.columns())
+        .map(|(n, c)| (n.clone(), c.clone()))
+        .collect();
+    for (name, col) in r_out.names().iter().zip(r_out.columns()) {
+        if on.contains(&name.as_str()) {
+            continue;
+        }
+        let out_name = if left.index_of(name).is_ok() {
+            format!("{name}_r")
+        } else {
+            name.clone()
+        };
+        columns.push((out_name, col.clone()));
+    }
+    Frame::new(columns)
+}
+
+/// Left hash join: every left row survives; unmatched right numeric
+/// columns fill with NaN, integers with 0 and a `_matched` flag column
+/// (I64 0/1) is appended so consumers can tell absence from zero.
+pub fn join_left(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, PipelineError> {
+    let l_idx: Vec<usize> = on
+        .iter()
+        .map(|k| left.index_of(k))
+        .collect::<Result<_, _>>()?;
+    let r_idx: Vec<usize> = on
+        .iter()
+        .map(|k| right.index_of(k))
+        .collect::<Result<_, _>>()?;
+    let mut right_rows: HashMap<String, Vec<usize>> = HashMap::new();
+    for row in 0..right.rows() {
+        right_rows
+            .entry(right.row_key(&r_idx, row))
+            .or_default()
+            .push(row);
+    }
+    let mut l_take = Vec::new();
+    let mut r_take: Vec<Option<usize>> = Vec::new();
+    for row in 0..left.rows() {
+        match right_rows.get(&left.row_key(&l_idx, row)) {
+            Some(matches) => {
+                for &m in matches {
+                    l_take.push(row);
+                    r_take.push(Some(m));
+                }
+            }
+            None => {
+                l_take.push(row);
+                r_take.push(None);
+            }
+        }
+    }
+    let l_out = left.take(&l_take);
+    let mut columns: Vec<(String, ColumnData)> = l_out
+        .names()
+        .iter()
+        .zip(l_out.columns())
+        .map(|(n, c)| (n.clone(), c.clone()))
+        .collect();
+    for (ci, name) in right.names().iter().enumerate() {
+        if on.contains(&name.as_str()) {
+            continue;
+        }
+        let out_name = if left.index_of(name).is_ok() {
+            format!("{name}_r")
+        } else {
+            name.clone()
+        };
+        let col = match right.column_at(ci) {
+            ColumnData::I64(v) => ColumnData::I64(
+                r_take
+                    .iter()
+                    .map(|m| m.map(|i| v[i]).unwrap_or(0))
+                    .collect(),
+            ),
+            ColumnData::F64(v) => ColumnData::F64(
+                r_take
+                    .iter()
+                    .map(|m| m.map(|i| v[i]).unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            ColumnData::Str(v) => ColumnData::Str(
+                r_take
+                    .iter()
+                    .map(|m| m.map(|i| v[i].clone()).unwrap_or_default())
+                    .collect(),
+            ),
+        };
+        columns.push((out_name, col));
+    }
+    columns.push((
+        "_matched".to_string(),
+        ColumnData::I64(r_take.iter().map(|m| i64::from(m.is_some())).collect()),
+    ));
+    Frame::new(columns)
+}
+
+/// Sort rows ascending by an i64 column (stable).
+pub fn sort_by_i64(frame: &Frame, col: &str) -> Result<Frame, PipelineError> {
+    let keys = frame.i64s(col)?;
+    let mut idx: Vec<usize> = (0..frame.rows()).collect();
+    idx.sort_by_key(|&i| keys[i]);
+    Ok(frame.take(&idx))
+}
+
+/// Sort rows ascending by a string column (stable).
+pub fn sort_by_str(frame: &Frame, col: &str) -> Result<Frame, PipelineError> {
+    let keys = frame.strs(col)?;
+    let mut idx: Vec<usize> = (0..frame.rows()).collect();
+    idx.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    Ok(frame.take(&idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn long_frame() -> Frame {
+        // (ts, node, sensor, value): two nodes, two sensors, two windows.
+        Frame::new(vec![
+            (
+                "ts".into(),
+                ColumnData::I64(vec![0, 0, 0, 0, 10, 10, 10, 10]),
+            ),
+            ("node".into(), ColumnData::I64(vec![1, 1, 2, 2, 1, 1, 2, 2])),
+            (
+                "sensor".into(),
+                ColumnData::Str(
+                    ["p", "t", "p", "t", "p", "t", "p", "t"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                ),
+            ),
+            (
+                "value".into(),
+                ColumnData::F64(vec![100.0, 30.0, 200.0, 40.0, 110.0, 31.0, 210.0, 41.0]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn group_by_sums_and_counts() {
+        let f = long_frame();
+        let g = group_by(
+            &f,
+            &["node"],
+            &[
+                AggSpec::new("value", Agg::Sum, "total"),
+                AggSpec::new("value", Agg::Count, "n"),
+                AggSpec::new("value", Agg::Mean, "mean"),
+                AggSpec::new("value", Agg::Min, "lo"),
+                AggSpec::new("value", Agg::Max, "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.rows(), 2);
+        let node = g.i64s("node").unwrap();
+        let total = g.f64s("total").unwrap();
+        let n = g.i64s("n").unwrap();
+        let i1 = node.iter().position(|&x| x == 1).unwrap();
+        assert_eq!(total[i1], 100.0 + 30.0 + 110.0 + 31.0);
+        assert_eq!(n[i1], 4);
+        assert_eq!(g.f64s("lo").unwrap()[i1], 30.0);
+        assert_eq!(g.f64s("hi").unwrap()[i1], 110.0);
+        assert!((g.f64s("mean").unwrap()[i1] - 67.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_skips_nan() {
+        let f = Frame::new(vec![
+            ("k".into(), ColumnData::I64(vec![1, 1, 1])),
+            ("v".into(), ColumnData::F64(vec![1.0, f64::NAN, 3.0])),
+        ])
+        .unwrap();
+        let g = group_by(
+            &f,
+            &["k"],
+            &[
+                AggSpec::new("v", Agg::Mean, "m"),
+                AggSpec::new("v", Agg::Count, "n"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.f64s("m").unwrap()[0], 2.0);
+        assert_eq!(g.i64s("n").unwrap()[0], 2);
+    }
+
+    #[test]
+    fn group_by_string_first_last() {
+        let f = Frame::new(vec![
+            ("k".into(), ColumnData::I64(vec![1, 1, 2])),
+            (
+                "s".into(),
+                ColumnData::Str(vec!["a".into(), "b".into(), "c".into()]),
+            ),
+        ])
+        .unwrap();
+        let g = group_by(
+            &f,
+            &["k"],
+            &[
+                AggSpec::new("s", Agg::First, "first"),
+                AggSpec::new("s", Agg::Last, "last"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            g.strs("first").unwrap(),
+            &["a".to_string(), "c".to_string()]
+        );
+        assert_eq!(g.strs("last").unwrap(), &["b".to_string(), "c".to_string()]);
+        // Sum over strings is rejected.
+        assert!(group_by(&f, &["k"], &[AggSpec::new("s", Agg::Sum, "x")]).is_err());
+    }
+
+    #[test]
+    fn pivot_long_to_wide() {
+        let f = long_frame();
+        let w = pivot(&f, &["ts", "node"], "sensor", "value", Agg::Mean).unwrap();
+        // 2 windows x 2 nodes = 4 rows; columns ts, node, p, t.
+        assert_eq!(w.rows(), 4);
+        assert_eq!(w.names(), &["ts", "node", "p", "t"]);
+        let ts = w.i64s("ts").unwrap();
+        let node = w.i64s("node").unwrap();
+        let p = w.f64s("p").unwrap();
+        let row = (0..4).find(|&i| ts[i] == 10 && node[i] == 2).unwrap();
+        assert_eq!(p[row], 210.0);
+    }
+
+    #[test]
+    fn pivot_missing_cells_are_nan() {
+        let f = Frame::new(vec![
+            ("k".into(), ColumnData::I64(vec![1, 2])),
+            ("s".into(), ColumnData::Str(vec!["a".into(), "b".into()])),
+            ("v".into(), ColumnData::F64(vec![1.0, 2.0])),
+        ])
+        .unwrap();
+        let w = pivot(&f, &["k"], "s", "v", Agg::Mean).unwrap();
+        let a = w.f64s("a").unwrap();
+        let b = w.f64s("b").unwrap();
+        let k = w.i64s("k").unwrap();
+        let r1 = k.iter().position(|&x| x == 1).unwrap();
+        assert_eq!(a[r1], 1.0);
+        assert!(b[r1].is_nan());
+    }
+
+    #[test]
+    fn melt_is_inverse_of_pivot() {
+        let f = long_frame();
+        let wide = pivot(&f, &["ts", "node"], "sensor", "value", Agg::Mean).unwrap();
+        let long = melt(&wide, &["ts", "node"], "sensor", "value").unwrap();
+        assert_eq!(long.rows(), f.rows());
+        // Re-pivoting the melted frame reproduces the wide frame.
+        let wide2 = pivot(&long, &["ts", "node"], "sensor", "value", Agg::Mean).unwrap();
+        assert_eq!(wide2, wide);
+    }
+
+    #[test]
+    fn melt_rejects_string_value_columns() {
+        let f = Frame::new(vec![
+            ("k".into(), ColumnData::I64(vec![1])),
+            ("s".into(), ColumnData::Str(vec!["x".into()])),
+        ])
+        .unwrap();
+        assert!(melt(&f, &["k"], "var", "val").is_err());
+    }
+
+    #[test]
+    fn join_matches_and_suffixes() {
+        let left = Frame::new(vec![
+            ("node".into(), ColumnData::I64(vec![1, 2, 3])),
+            ("v".into(), ColumnData::F64(vec![0.1, 0.2, 0.3])),
+        ])
+        .unwrap();
+        let right = Frame::new(vec![
+            ("node".into(), ColumnData::I64(vec![2, 3, 4])),
+            ("job".into(), ColumnData::I64(vec![20, 30, 40])),
+            ("v".into(), ColumnData::F64(vec![9.0, 9.0, 9.0])),
+        ])
+        .unwrap();
+        let j = join_inner(&left, &right, &["node"]).unwrap();
+        assert_eq!(j.rows(), 2);
+        assert_eq!(j.i64s("node").unwrap(), &[2, 3]);
+        assert_eq!(j.i64s("job").unwrap(), &[20, 30]);
+        // Clashing non-key column got suffixed.
+        assert_eq!(j.f64s("v_r").unwrap(), &[9.0, 9.0]);
+        assert_eq!(j.f64s("v").unwrap(), &[0.2, 0.3]);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_rows() {
+        let left = Frame::new(vec![("node".into(), ColumnData::I64(vec![1, 2, 3]))]).unwrap();
+        let right = Frame::new(vec![
+            ("node".into(), ColumnData::I64(vec![2])),
+            ("job".into(), ColumnData::I64(vec![20])),
+            ("w".into(), ColumnData::F64(vec![9.5])),
+            ("tag".into(), ColumnData::Str(vec!["x".into()])),
+        ])
+        .unwrap();
+        let j = join_left(&left, &right, &["node"]).unwrap();
+        assert_eq!(j.rows(), 3);
+        assert_eq!(j.i64s("_matched").unwrap(), &[0, 1, 0]);
+        assert_eq!(j.i64s("job").unwrap()[1], 20);
+        assert!(j.f64s("w").unwrap()[0].is_nan());
+        assert_eq!(j.f64s("w").unwrap()[1], 9.5);
+        assert_eq!(j.strs("tag").unwrap()[2], "");
+    }
+
+    #[test]
+    fn left_join_matches_inner_when_all_match() {
+        let left = Frame::new(vec![("k".into(), ColumnData::I64(vec![1, 2]))]).unwrap();
+        let right = Frame::new(vec![
+            ("k".into(), ColumnData::I64(vec![1, 2])),
+            ("v".into(), ColumnData::F64(vec![0.1, 0.2])),
+        ])
+        .unwrap();
+        let lj = join_left(&left, &right, &["k"]).unwrap();
+        let ij = join_inner(&left, &right, &["k"]).unwrap();
+        assert_eq!(lj.rows(), ij.rows());
+        assert_eq!(lj.f64s("v").unwrap(), ij.f64s("v").unwrap());
+        assert!(lj.i64s("_matched").unwrap().iter().all(|&m| m == 1));
+    }
+
+    #[test]
+    fn join_one_to_many_expands() {
+        let left = Frame::new(vec![("k".into(), ColumnData::I64(vec![1]))]).unwrap();
+        let right = Frame::new(vec![
+            ("k".into(), ColumnData::I64(vec![1, 1, 1])),
+            ("x".into(), ColumnData::I64(vec![7, 8, 9])),
+        ])
+        .unwrap();
+        let j = join_inner(&left, &right, &["k"]).unwrap();
+        assert_eq!(j.rows(), 3);
+        assert_eq!(j.i64s("x").unwrap(), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn sorts_are_stable() {
+        let f = Frame::new(vec![
+            ("k".into(), ColumnData::I64(vec![3, 1, 2, 1])),
+            (
+                "tag".into(),
+                ColumnData::Str(vec!["a".into(), "b".into(), "c".into(), "d".into()]),
+            ),
+        ])
+        .unwrap();
+        let s = sort_by_i64(&f, "k").unwrap();
+        assert_eq!(s.i64s("k").unwrap(), &[1, 1, 2, 3]);
+        assert_eq!(
+            s.strs("tag").unwrap(),
+            &["b".to_string(), "d".into(), "c".into(), "a".into()]
+        );
+        let s = sort_by_str(&f, "tag").unwrap();
+        assert_eq!(s.strs("tag").unwrap()[0], "a");
+    }
+}

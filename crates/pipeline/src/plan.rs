@@ -1,0 +1,265 @@
+//! Pipeline plans mirroring the SQL-clause anatomy of Fig. 4-b.
+//!
+//! The paper describes ODA pipelines "conceptually broken down in terms
+//! of SQL clauses regardless of the actual implementation": FROM a
+//! stream, WHERE quality filters, GROUP BY time windows, PIVOT wide,
+//! JOIN context, SELECT outputs. A [`PipelinePlan`] is that clause list,
+//! executable against a frame with per-stage wall-clock timing — the
+//! data behind the pipeline-anatomy experiment.
+
+use crate::error::PipelineError;
+use crate::expr::Expr;
+use crate::frame::Frame;
+use crate::ops::{self, Agg, AggSpec};
+use crate::window::assign_window;
+use std::time::Instant;
+
+/// One clause of a pipeline.
+#[derive(Debug, Clone)]
+pub enum Stage {
+    /// WHERE: keep rows matching the predicate.
+    Where(Expr),
+    /// Add a tumbling `window` column from a timestamp column.
+    Window {
+        /// Timestamp column.
+        ts_col: String,
+        /// Window width (ms).
+        width_ms: i64,
+    },
+    /// GROUP BY with aggregations.
+    GroupBy {
+        /// Key columns.
+        keys: Vec<String>,
+        /// Aggregations.
+        aggs: Vec<AggSpec>,
+    },
+    /// PIVOT long to wide.
+    Pivot {
+        /// Index columns retained as keys.
+        index: Vec<String>,
+        /// Column whose values become output columns.
+        pivot_col: String,
+        /// Value column.
+        value_col: String,
+        /// Cell aggregation.
+        agg: Agg,
+    },
+    /// JOIN with a context frame (e.g. job allocations).
+    Join {
+        /// Right side of the join.
+        right: Frame,
+        /// Equality columns.
+        on: Vec<String>,
+    },
+    /// SELECT a subset of columns.
+    Select(Vec<String>),
+}
+
+impl Stage {
+    /// Clause label for reports ("WHERE", "GROUP BY", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Where(_) => "WHERE",
+            Stage::Window { .. } => "WINDOW",
+            Stage::GroupBy { .. } => "GROUP BY",
+            Stage::Pivot { .. } => "PIVOT",
+            Stage::Join { .. } => "JOIN",
+            Stage::Select(_) => "SELECT",
+        }
+    }
+}
+
+/// Wall-clock cost of one executed stage.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Clause label.
+    pub stage: String,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Rows flowing out of the stage.
+    pub rows_out: usize,
+}
+
+/// An ordered list of stages.
+#[derive(Debug, Clone, Default)]
+pub struct PipelinePlan {
+    stages: Vec<Stage>,
+}
+
+impl PipelinePlan {
+    /// An empty plan (identity).
+    pub fn new() -> PipelinePlan {
+        PipelinePlan { stages: Vec::new() }
+    }
+
+    /// Append a stage.
+    pub fn then(mut self, stage: Stage) -> PipelinePlan {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The stages in order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    fn run_stage(stage: &Stage, frame: Frame) -> Result<Frame, PipelineError> {
+        match stage {
+            Stage::Where(expr) => {
+                let mask = expr.eval_mask(&frame)?;
+                Ok(frame.filter_mask(&mask))
+            }
+            Stage::Window { ts_col, width_ms } => assign_window(&frame, ts_col, *width_ms),
+            Stage::GroupBy { keys, aggs } => {
+                let keys: Vec<&str> = keys.iter().map(String::as_str).collect();
+                ops::group_by(&frame, &keys, aggs)
+            }
+            Stage::Pivot {
+                index,
+                pivot_col,
+                value_col,
+                agg,
+            } => {
+                let index: Vec<&str> = index.iter().map(String::as_str).collect();
+                ops::pivot(&frame, &index, pivot_col, value_col, *agg)
+            }
+            Stage::Join { right, on } => {
+                let on: Vec<&str> = on.iter().map(String::as_str).collect();
+                ops::join_inner(&frame, right, &on)
+            }
+            Stage::Select(cols) => {
+                let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+                frame.select(&cols)
+            }
+        }
+    }
+
+    /// Execute against `input`.
+    pub fn execute(&self, input: Frame) -> Result<Frame, PipelineError> {
+        let mut frame = input;
+        for stage in &self.stages {
+            frame = Self::run_stage(stage, frame)?;
+        }
+        Ok(frame)
+    }
+
+    /// Execute with per-stage timing (the Fig. 4-b measurement).
+    pub fn execute_timed(&self, input: Frame) -> Result<(Frame, Vec<StageTiming>), PipelineError> {
+        let mut frame = input;
+        let mut timings = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let start = Instant::now();
+            frame = Self::run_stage(stage, frame)?;
+            timings.push(StageTiming {
+                stage: stage.label().to_string(),
+                seconds: start.elapsed().as_secs_f64(),
+                rows_out: frame.rows(),
+            });
+        }
+        Ok((frame, timings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oda_storage::colfile::ColumnData;
+
+    /// Long-format observations: 2 nodes x 2 sensors x 20 ticks.
+    fn bronze() -> Frame {
+        let mut ts = Vec::new();
+        let mut node = Vec::new();
+        let mut sensor = Vec::new();
+        let mut value = Vec::new();
+        for t in 0..20i64 {
+            for n in [1i64, 2] {
+                for (s, base) in [("power", 100.0), ("temp", 30.0)] {
+                    ts.push(t * 1_000);
+                    node.push(n);
+                    sensor.push(s.to_string());
+                    value.push(base * n as f64 + t as f64);
+                }
+            }
+        }
+        Frame::new(vec![
+            ("ts".into(), ColumnData::I64(ts)),
+            ("node".into(), ColumnData::I64(node)),
+            ("sensor".into(), ColumnData::Str(sensor)),
+            ("value".into(), ColumnData::F64(value)),
+        ])
+        .unwrap()
+    }
+
+    fn job_context() -> Frame {
+        Frame::new(vec![
+            ("node".into(), ColumnData::I64(vec![1, 2])),
+            ("job".into(), ColumnData::I64(vec![101, 102])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_bronze_to_silver_plan() {
+        // The Fig. 4-b anatomy: WHERE -> WINDOW -> GROUP BY -> PIVOT -> JOIN.
+        let plan = PipelinePlan::new()
+            .then(Stage::Where(Expr::col("value").is_nan().not()))
+            .then(Stage::Window {
+                ts_col: "ts".into(),
+                width_ms: 5_000,
+            })
+            .then(Stage::GroupBy {
+                keys: vec!["window".into(), "node".into(), "sensor".into()],
+                aggs: vec![AggSpec::new("value", Agg::Mean, "value")],
+            })
+            .then(Stage::Pivot {
+                index: vec!["window".into(), "node".into()],
+                pivot_col: "sensor".into(),
+                value_col: "value".into(),
+                agg: Agg::Mean,
+            })
+            .then(Stage::Join {
+                right: job_context(),
+                on: vec!["node".into()],
+            });
+        let silver = plan.execute(bronze()).unwrap();
+        // 4 windows x 2 nodes = 8 rows; columns window,node,power,temp,job.
+        assert_eq!(silver.rows(), 8);
+        assert!(silver.index_of("power").is_ok());
+        assert!(silver.index_of("temp").is_ok());
+        assert!(silver.index_of("job").is_ok());
+        // Window 0 node 1: mean over t=0..4 of 100+t = 102.
+        let w = silver.i64s("window").unwrap();
+        let n = silver.i64s("node").unwrap();
+        let p = silver.f64s("power").unwrap();
+        let row = (0..8).find(|&i| w[i] == 0 && n[i] == 1).unwrap();
+        assert!((p[row] - 102.0).abs() < 1e-9);
+        assert_eq!(silver.i64s("job").unwrap()[row], 101);
+    }
+
+    #[test]
+    fn timed_execution_reports_every_stage() {
+        let plan = PipelinePlan::new()
+            .then(Stage::Where(Expr::col("value").ge(Expr::LitF(0.0))))
+            .then(Stage::Select(vec!["ts".into(), "value".into()]));
+        let (out, timings) = plan.execute_timed(bronze()).unwrap();
+        assert_eq!(out.names(), &["ts", "value"]);
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].stage, "WHERE");
+        assert_eq!(timings[1].stage, "SELECT");
+        assert!(timings.iter().all(|t| t.seconds >= 0.0));
+        assert_eq!(timings[1].rows_out, out.rows());
+    }
+
+    #[test]
+    fn failing_stage_propagates_error() {
+        let plan = PipelinePlan::new().then(Stage::Select(vec!["nope".into()]));
+        assert!(plan.execute(bronze()).is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let f = bronze();
+        let out = PipelinePlan::new().execute(f.clone()).unwrap();
+        assert_eq!(out, f);
+    }
+}

@@ -1,0 +1,248 @@
+//! Versioned keyed state for streaming aggregations.
+//!
+//! Streaming Bronze→Silver keeps per-(window, key) accumulators between
+//! micro-batches; the state store snapshots to bytes so checkpoints can
+//! persist it and recovery can restore it bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulator for one (window, key) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellState {
+    /// Sum of non-NaN values.
+    pub sum: f64,
+    /// Count of non-NaN values.
+    pub count: u64,
+    /// Minimum non-NaN value (infinity when empty).
+    pub min: f64,
+    /// Maximum non-NaN value (-infinity when empty).
+    pub max: f64,
+}
+
+impl Default for CellState {
+    /// Empty accumulator (min/max at the identity sentinels).
+    fn default() -> CellState {
+        CellState {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl CellState {
+    /// Fresh accumulator.
+    pub fn new() -> CellState {
+        CellState::default()
+    }
+
+    /// Fold one value (NaN ignored).
+    pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of folded values (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merge another accumulator in.
+    pub fn merge(&mut self, other: &CellState) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Keyed state: `(window_start, key) -> CellState` plus arbitrary
+/// counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StateStore {
+    /// Windowed accumulators. BTreeMap keeps snapshots deterministic.
+    cells: BTreeMap<(i64, String), CellState>,
+    /// Free-form named counters (rows seen, windows emitted, ...).
+    counters: BTreeMap<String, u64>,
+}
+
+impl StateStore {
+    /// Empty store.
+    pub fn new() -> StateStore {
+        StateStore::default()
+    }
+
+    /// Mutable accumulator for a (window, key) cell.
+    pub fn cell(&mut self, window: i64, key: &str) -> &mut CellState {
+        self.cells.entry((window, key.to_string())).or_default()
+    }
+
+    /// Read-only view of a cell.
+    pub fn get_cell(&self, window: i64, key: &str) -> Option<&CellState> {
+        self.cells.get(&(window, key.to_string()))
+    }
+
+    /// Remove and return every cell with `window < horizon` (windows the
+    /// watermark has closed).
+    pub fn drain_closed(&mut self, horizon: i64) -> Vec<((i64, String), CellState)> {
+        let keys: Vec<(i64, String)> = self
+            .cells
+            .range(..(horizon, String::new()))
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.into_iter()
+            .map(|k| {
+                let v = self.cells.remove(&k).expect("key from range");
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Increment a named counter.
+    pub fn bump(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Read a named counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        *self.counters.get(name).unwrap_or(&0)
+    }
+
+    /// Number of live cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells are held.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Serialize to bytes for checkpointing.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let wire = WireState {
+            cells: self
+                .cells
+                .iter()
+                .map(|((w, k), c)| {
+                    (
+                        *w,
+                        k.clone(),
+                        c.sum.to_bits(),
+                        c.count,
+                        c.min.to_bits(),
+                        c.max.to_bits(),
+                    )
+                })
+                .collect(),
+            counters: self.counters.clone(),
+        };
+        serde_json::to_vec(&wire).expect("state serializes")
+    }
+
+    /// Restore from a snapshot.
+    pub fn restore(bytes: &[u8]) -> Option<StateStore> {
+        let wire: WireState = serde_json::from_slice(bytes).ok()?;
+        Some(StateStore {
+            cells: wire
+                .cells
+                .into_iter()
+                .map(|(w, k, sum, count, min, max)| {
+                    (
+                        (w, k),
+                        CellState {
+                            sum: f64::from_bits(sum),
+                            count,
+                            min: f64::from_bits(min),
+                            max: f64::from_bits(max),
+                        },
+                    )
+                })
+                .collect(),
+            counters: wire.counters,
+        })
+    }
+}
+
+/// JSON-friendly snapshot layout: tuple map keys are not valid JSON,
+/// and non-finite floats (the empty-cell ±infinity sentinels) are
+/// stored as bit patterns.
+#[derive(Serialize, Deserialize)]
+struct WireState {
+    cells: Vec<(i64, String, u64, u64, u64, u64)>,
+    counters: BTreeMap<String, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_accumulates_and_ignores_nan() {
+        let mut c = CellState::new();
+        c.push(1.0);
+        c.push(f64::NAN);
+        c.push(3.0);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.mean(), 2.0);
+        assert_eq!(c.min, 1.0);
+        assert_eq!(c.max, 3.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = CellState::new();
+        a.push(1.0);
+        let mut b = CellState::new();
+        b.push(5.0);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum, 6.0);
+        assert_eq!(a.max, 5.0);
+    }
+
+    #[test]
+    fn drain_closed_removes_only_old_windows() {
+        let mut s = StateStore::new();
+        s.cell(0, "a").push(1.0);
+        s.cell(0, "b").push(2.0);
+        s.cell(15_000, "a").push(3.0);
+        let closed = s.drain_closed(15_000);
+        assert_eq!(closed.len(), 2);
+        assert!(closed.iter().all(|((w, _), _)| *w == 0));
+        assert_eq!(s.len(), 1);
+        assert!(s.get_cell(15_000, "a").is_some());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = StateStore::new();
+        s.cell(0, "x").push(42.0);
+        s.bump("rows", 7);
+        let snap = s.snapshot();
+        let r = StateStore::restore(&snap).unwrap();
+        assert_eq!(r, s);
+        assert_eq!(r.counter("rows"), 7);
+        assert!(StateStore::restore(b"garbage").is_none());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = StateStore::new();
+        s.bump("n", 1);
+        s.bump("n", 2);
+        assert_eq!(s.counter("n"), 3);
+        assert_eq!(s.counter("missing"), 0);
+    }
+}

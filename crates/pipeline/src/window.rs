@@ -1,0 +1,133 @@
+//! Tumbling time windows and watermarks.
+//!
+//! The paper's Silver stage aggregates long-format data "over designated
+//! time intervals (e.g., every 15 seconds) to reconcile differences in
+//! sample rates" (§V-A). [`assign_window`] adds a window-start column;
+//! [`Watermark`] tracks event-time progress so streaming aggregations
+//! know when a window can be finalized despite out-of-order arrivals.
+
+use crate::error::PipelineError;
+use crate::frame::Frame;
+use oda_storage::colfile::ColumnData;
+
+/// Start of the tumbling window containing `ts_ms`.
+pub fn window_start(ts_ms: i64, width_ms: i64) -> i64 {
+    ts_ms.div_euclid(width_ms) * width_ms
+}
+
+/// Add a `window` column: the tumbling-window start of `ts_col`.
+pub fn assign_window(frame: &Frame, ts_col: &str, width_ms: i64) -> Result<Frame, PipelineError> {
+    assign_window_as(frame, ts_col, width_ms, "window")
+}
+
+/// Add a named tumbling-window column (for re-windowing frames that
+/// already carry a `window` column, e.g. hourly roll-ups of Silver).
+pub fn assign_window_as(
+    frame: &Frame,
+    ts_col: &str,
+    width_ms: i64,
+    out_col: &str,
+) -> Result<Frame, PipelineError> {
+    assert!(width_ms > 0, "window width must be positive");
+    let ts = frame.i64s(ts_col)?;
+    let windows: Vec<i64> = ts.iter().map(|&t| window_start(t, width_ms)).collect();
+    let mut out = frame.clone();
+    out.push_column(out_col, ColumnData::I64(windows))?;
+    Ok(out)
+}
+
+/// Event-time watermark with bounded lateness.
+#[derive(Debug, Clone, Copy)]
+pub struct Watermark {
+    max_event_ms: i64,
+    allowed_lateness_ms: i64,
+}
+
+impl Watermark {
+    /// A watermark tolerating `allowed_lateness_ms` of disorder.
+    pub fn new(allowed_lateness_ms: i64) -> Watermark {
+        Watermark {
+            max_event_ms: i64::MIN,
+            allowed_lateness_ms,
+        }
+    }
+
+    /// Observe a batch's max event time.
+    pub fn observe(&mut self, ts_ms: i64) {
+        self.max_event_ms = self.max_event_ms.max(ts_ms);
+    }
+
+    /// Observe every timestamp of a frame column.
+    pub fn observe_frame(&mut self, frame: &Frame, ts_col: &str) -> Result<(), PipelineError> {
+        if let Some(&max) = frame.i64s(ts_col)?.iter().max() {
+            self.observe(max);
+        }
+        Ok(())
+    }
+
+    /// Current watermark: events at or before this time are complete.
+    pub fn current(&self) -> i64 {
+        if self.max_event_ms == i64::MIN {
+            i64::MIN
+        } else {
+            self.max_event_ms - self.allowed_lateness_ms
+        }
+    }
+
+    /// True when the tumbling window starting at `window_start` (width
+    /// `width_ms`) is closed: no in-order event can still land in it.
+    pub fn window_closed(&self, window_start: i64, width_ms: i64) -> bool {
+        self.current() >= window_start + width_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_start_floors() {
+        assert_eq!(window_start(0, 15_000), 0);
+        assert_eq!(window_start(14_999, 15_000), 0);
+        assert_eq!(window_start(15_000, 15_000), 15_000);
+        assert_eq!(window_start(-1, 15_000), -15_000);
+    }
+
+    #[test]
+    fn assign_window_adds_column() {
+        let f = Frame::new(vec![(
+            "ts".into(),
+            ColumnData::I64(vec![0, 7_000, 15_000, 31_000]),
+        )])
+        .unwrap();
+        let w = assign_window(&f, "ts", 15_000).unwrap();
+        assert_eq!(w.i64s("window").unwrap(), &[0, 0, 15_000, 30_000]);
+    }
+
+    #[test]
+    fn watermark_tracks_max_minus_lateness() {
+        let mut wm = Watermark::new(5_000);
+        assert_eq!(wm.current(), i64::MIN);
+        wm.observe(20_000);
+        wm.observe(10_000); // regression ignored
+        assert_eq!(wm.current(), 15_000);
+    }
+
+    #[test]
+    fn window_closes_only_after_watermark_passes() {
+        let mut wm = Watermark::new(5_000);
+        wm.observe(19_999);
+        assert!(!wm.window_closed(0, 15_000), "watermark 14_999 < 15_000");
+        wm.observe(20_000);
+        assert!(wm.window_closed(0, 15_000));
+        assert!(!wm.window_closed(15_000, 15_000));
+    }
+
+    #[test]
+    fn observe_frame_uses_max() {
+        let f = Frame::new(vec![("ts".into(), ColumnData::I64(vec![5, 100, 50]))]).unwrap();
+        let mut wm = Watermark::new(0);
+        wm.observe_frame(&f, "ts").unwrap();
+        assert_eq!(wm.current(), 100);
+    }
+}

@@ -1,0 +1,311 @@
+//! Block compression: varints plus an LZSS-style codec.
+//!
+//! The paper's OCEAN tier leans on "column-oriented compressed file
+//! format, ensuring significant data compression and minimal I/O
+//! footprint" (§V-B). This module supplies the byte-level compression
+//! half of that: a greedy hash-chained LZ with a 64 KiB window, encoding
+//! a token stream of literals and (length, distance) copies.
+//!
+//! Format (after a 1-byte method tag):
+//! * `0x00` raw: the block was incompressible, payload follows verbatim.
+//! * `0x01` LZ: `varint(uncompressed_len)` then tokens. Each token is a
+//!   control byte: `0x00..=0x7f` = literal run of control+1 bytes;
+//!   `0x80 | n` = match, followed by `varint(length - MIN_MATCH)` when
+//!   `n == 0x7f` sentinel is unused — lengths are encoded as
+//!   `varint(length)` and `varint(distance)` directly after a `0x80`
+//!   control byte.
+
+use crate::error::StorageError;
+
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Window the matcher may reference backwards.
+const WINDOW: usize = 64 * 1024;
+/// Hash table size (power of two).
+const HASH_SIZE: usize = 1 << 15;
+
+/// Append `v` as a LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint; returns (value, bytes consumed).
+pub fn get_varint(buf: &[u8]) -> Result<(u64, usize), StorageError> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return Err(StorageError::Corrupt("varint overflow".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(StorageError::Corrupt("truncated varint".into()))
+}
+
+/// ZigZag-encode a signed value for varint storage.
+pub fn zigzag(v: i64) -> u64 {
+    (v.wrapping_shl(1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(2654435761) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+/// Compress `input`; always decodable by [`decompress`].
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    if input.len() < MIN_MATCH * 2 {
+        let mut out = Vec::with_capacity(input.len() + 1);
+        out.push(0x00);
+        out.extend_from_slice(input);
+        return out;
+    }
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.push(0x01);
+    put_varint(&mut out, input.len() as u64);
+
+    // head[h] = most recent position with hash h (+1; 0 = empty).
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        let mut start = from;
+        while start < to {
+            let run = (to - start).min(128);
+            out.push((run - 1) as u8); // 0x00..=0x7f
+            out.extend_from_slice(&input[start..start + run]);
+            start += run;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let candidate = head[h] as usize;
+        head[h] = (i + 1) as u32;
+        let mut matched = 0usize;
+        if candidate > 0 {
+            let cand = candidate - 1;
+            if i - cand <= WINDOW {
+                let max = input.len() - i;
+                while matched < max && input[cand + matched] == input[i + matched] {
+                    matched += 1;
+                }
+            }
+        }
+        if matched >= MIN_MATCH {
+            let cand = candidate - 1;
+            flush_literals(&mut out, literal_start, i, input);
+            out.push(0x80);
+            put_varint(&mut out, matched as u64);
+            put_varint(&mut out, (i - cand) as u64);
+            // Index a few positions inside the match so later matches can
+            // reference them (cheap approximation of full indexing).
+            let step = (matched / 8).max(1);
+            let mut j = i + 1;
+            while j + MIN_MATCH <= input.len() && j < i + matched {
+                head[hash4(&input[j..])] = (j + 1) as u32;
+                j += step;
+            }
+            i += matched;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len(), input);
+
+    if out.len() > input.len() {
+        // Incompressible; store raw.
+        let mut raw = Vec::with_capacity(input.len() + 1);
+        raw.push(0x00);
+        raw.extend_from_slice(input);
+        return raw;
+    }
+    out
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, StorageError> {
+    let (&tag, rest) = input
+        .split_first()
+        .ok_or_else(|| StorageError::Corrupt("empty compressed buffer".into()))?;
+    match tag {
+        0x00 => Ok(rest.to_vec()),
+        0x01 => {
+            let (expected_len, n) = get_varint(rest)?;
+            let mut pos = n;
+            let mut out: Vec<u8> = Vec::with_capacity(expected_len as usize);
+            while pos < rest.len() {
+                let control = rest[pos];
+                pos += 1;
+                if control & 0x80 == 0 {
+                    let run = usize::from(control) + 1;
+                    if pos + run > rest.len() {
+                        return Err(StorageError::Corrupt("literal overruns buffer".into()));
+                    }
+                    out.extend_from_slice(&rest[pos..pos + run]);
+                    pos += run;
+                } else {
+                    let (len, n1) = get_varint(&rest[pos..])?;
+                    pos += n1;
+                    let (dist, n2) = get_varint(&rest[pos..])?;
+                    pos += n2;
+                    let len = len as usize;
+                    let dist = dist as usize;
+                    if dist == 0 || dist > out.len() {
+                        return Err(StorageError::Corrupt(format!(
+                            "match distance {dist} exceeds output {}",
+                            out.len()
+                        )));
+                    }
+                    // Byte-by-byte to support overlapping copies.
+                    let start = out.len() - dist;
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+            }
+            if out.len() != expected_len as usize {
+                return Err(StorageError::Corrupt(format!(
+                    "decompressed {} bytes, expected {}",
+                    out.len(),
+                    expected_len
+                )));
+            }
+            Ok(out)
+        }
+        other => Err(StorageError::Corrupt(format!(
+            "unknown compression tag {other:#x}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let (got, used) = get_varint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for input in [&b""[..], b"a", b"abc", b"abcdefg"] {
+            let c = compress(input);
+            assert_eq!(decompress(&c).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let input: Vec<u8> = b"sensor=node_power_w value=1234.5 quality=good "
+            .iter()
+            .cycle()
+            .take(100_000)
+            .copied()
+            .collect();
+        let c = compress(&input);
+        assert!(
+            c.len() < input.len() / 10,
+            "ratio only {}/{}",
+            c.len(),
+            input.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn random_data_stored_raw_without_blowup() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let input: Vec<u8> = (0..10_000).map(|_| rng.random()).collect();
+        let c = compress(&input);
+        assert!(c.len() <= input.len() + 16);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn overlapping_copy_supported() {
+        // "abcabcabc..." forces distance < length copies.
+        let input: Vec<u8> = b"abc".iter().cycle().take(1_000).copied().collect();
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+        assert!(c.len() < 100);
+    }
+
+    #[test]
+    fn corrupt_input_errors_not_panics() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[0x99, 1, 2]).is_err());
+        assert!(decompress(&[0x01, 0x80]).is_err()); // truncated varint
+                                                     // Match referencing before start of output.
+        let mut bad = vec![0x01];
+        put_varint(&mut bad, 10);
+        bad.push(0x80);
+        put_varint(&mut bad, 4);
+        put_varint(&mut bad, 9); // distance 9 with empty output
+        assert!(decompress(&bad).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..5_000)) {
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_structured(n in 1usize..200, word in proptest::collection::vec(any::<u8>(), 1..40)) {
+            let data: Vec<u8> = word.iter().cycle().take(n * word.len()).copied().collect();
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn varint_roundtrip_any(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let (got, _) = get_varint(&buf).unwrap();
+            prop_assert_eq!(got, v);
+        }
+
+        #[test]
+        fn zigzag_roundtrip_any(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Columnar value encodings.
+//!
+//! Each column chunk picks the cheapest of: plain, run-length (RLE),
+//! delta-varint (for timestamps and monotonic counters), or dictionary
+//! (for low-cardinality strings). The chooser is size-based: every
+//! candidate is encoded and the smallest wins — simple, deterministic,
+//! and self-tuning per chunk.
+
+use crate::compress::{get_varint, put_varint, unzigzag, zigzag};
+use crate::error::StorageError;
+
+/// Encoding tags stored in the chunk header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Fixed-width little-endian values.
+    Plain,
+    /// (value, run-length) pairs.
+    Rle,
+    /// First value plus zigzag varint deltas.
+    Delta,
+    /// Distinct-value dictionary plus varint indices.
+    Dict,
+}
+
+impl Encoding {
+    fn tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Rle => 1,
+            Encoding::Delta => 2,
+            Encoding::Dict => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Encoding, StorageError> {
+        match t {
+            0 => Ok(Encoding::Plain),
+            1 => Ok(Encoding::Rle),
+            2 => Ok(Encoding::Delta),
+            3 => Ok(Encoding::Dict),
+            _ => Err(StorageError::Corrupt(format!("unknown encoding tag {t}"))),
+        }
+    }
+}
+
+/// Encode an i64 column, choosing the smallest representation.
+pub fn encode_i64(values: &[i64]) -> Vec<u8> {
+    let plain = encode_i64_plain(values);
+    let rle = encode_i64_rle(values);
+    let delta = encode_i64_delta(values);
+    let mut best = plain;
+    for cand in [rle, delta] {
+        if cand.len() < best.len() {
+            best = cand;
+        }
+    }
+    best
+}
+
+fn encode_i64_plain(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + values.len() * 8);
+    out.push(Encoding::Plain.tag());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn encode_i64_rle(values: &[i64]) -> Vec<u8> {
+    let mut out = vec![Encoding::Rle.tag()];
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1u64;
+        while i + (run as usize) < values.len() && values[i + run as usize] == v {
+            run += 1;
+        }
+        put_varint(&mut out, zigzag(v));
+        put_varint(&mut out, run);
+        i += run as usize;
+    }
+    out
+}
+
+fn encode_i64_delta(values: &[i64]) -> Vec<u8> {
+    let mut out = vec![Encoding::Delta.tag()];
+    let mut prev = 0i64;
+    for &v in values {
+        put_varint(&mut out, zigzag(v.wrapping_sub(prev)));
+        prev = v;
+    }
+    out
+}
+
+/// Decode an i64 column of `count` values.
+pub fn decode_i64(buf: &[u8], count: usize) -> Result<Vec<i64>, StorageError> {
+    let (&tag, rest) = buf
+        .split_first()
+        .ok_or_else(|| StorageError::Corrupt("empty i64 chunk".into()))?;
+    let mut out = Vec::with_capacity(count);
+    match Encoding::from_tag(tag)? {
+        Encoding::Plain => {
+            if rest.len() != count * 8 {
+                return Err(StorageError::Corrupt("plain i64 length mismatch".into()));
+            }
+            for c in rest.chunks_exact(8) {
+                out.push(i64::from_le_bytes(c.try_into().expect("chunk of 8")));
+            }
+        }
+        Encoding::Rle => {
+            let mut pos = 0;
+            while pos < rest.len() {
+                let (zv, n1) = get_varint(&rest[pos..])?;
+                pos += n1;
+                let (run, n2) = get_varint(&rest[pos..])?;
+                pos += n2;
+                let v = unzigzag(zv);
+                if out.len() + run as usize > count {
+                    return Err(StorageError::Corrupt("RLE run exceeds row count".into()));
+                }
+                for _ in 0..run {
+                    out.push(v);
+                }
+            }
+        }
+        Encoding::Delta => {
+            let mut pos = 0;
+            let mut prev = 0i64;
+            for _ in 0..count {
+                let (zd, n) = get_varint(&rest[pos..])?;
+                pos += n;
+                prev = prev.wrapping_add(unzigzag(zd));
+                out.push(prev);
+            }
+            if pos != rest.len() {
+                return Err(StorageError::Corrupt(
+                    "trailing bytes in delta chunk".into(),
+                ));
+            }
+        }
+        Encoding::Dict => {
+            return Err(StorageError::Corrupt(
+                "dict encoding invalid for i64".into(),
+            ));
+        }
+    }
+    if out.len() != count {
+        return Err(StorageError::Corrupt(format!(
+            "decoded {} values, expected {count}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Encode an f64 column. Uses plain bits, or RLE-of-bits when runs
+/// dominate (common for quantized sensors and fill values).
+pub fn encode_f64(values: &[f64]) -> Vec<u8> {
+    let as_bits: Vec<i64> = values.iter().map(|v| v.to_bits() as i64).collect();
+    // Reuse the integer chooser on the bit patterns.
+    encode_i64(&as_bits)
+}
+
+/// Decode an f64 column of `count` values.
+pub fn decode_f64(buf: &[u8], count: usize) -> Result<Vec<f64>, StorageError> {
+    Ok(decode_i64(buf, count)?
+        .into_iter()
+        .map(|b| f64::from_bits(b as u64))
+        .collect())
+}
+
+/// Encode a string column: dictionary when it wins, otherwise plain
+/// length-prefixed bytes.
+pub fn encode_str(values: &[String]) -> Vec<u8> {
+    // Plain: varint(len) + bytes per value.
+    let mut plain = vec![Encoding::Plain.tag()];
+    for v in values {
+        put_varint(&mut plain, v.len() as u64);
+        plain.extend_from_slice(v.as_bytes());
+    }
+    // Dict: varint(n_entries), entries, then varint indices.
+    let mut dict_entries: Vec<&str> = Vec::new();
+    let mut index_of = std::collections::HashMap::new();
+    let mut indices = Vec::with_capacity(values.len());
+    for v in values {
+        let idx = *index_of.entry(v.as_str()).or_insert_with(|| {
+            dict_entries.push(v.as_str());
+            dict_entries.len() - 1
+        });
+        indices.push(idx as u64);
+    }
+    let mut dict = vec![Encoding::Dict.tag()];
+    put_varint(&mut dict, dict_entries.len() as u64);
+    for e in &dict_entries {
+        put_varint(&mut dict, e.len() as u64);
+        dict.extend_from_slice(e.as_bytes());
+    }
+    for idx in indices {
+        put_varint(&mut dict, idx);
+    }
+    if dict.len() < plain.len() {
+        dict
+    } else {
+        plain
+    }
+}
+
+/// Decode a string column of `count` values.
+pub fn decode_str(buf: &[u8], count: usize) -> Result<Vec<String>, StorageError> {
+    let (&tag, rest) = buf
+        .split_first()
+        .ok_or_else(|| StorageError::Corrupt("empty str chunk".into()))?;
+    let read_str = |buf: &[u8], pos: &mut usize| -> Result<String, StorageError> {
+        let (len, n) = get_varint(&buf[*pos..])?;
+        *pos += n;
+        let len = len as usize;
+        if *pos + len > buf.len() {
+            return Err(StorageError::Corrupt("string overruns chunk".into()));
+        }
+        let s = std::str::from_utf8(&buf[*pos..*pos + len])
+            .map_err(|_| StorageError::Corrupt("invalid utf8".into()))?
+            .to_string();
+        *pos += len;
+        Ok(s)
+    };
+    let mut out = Vec::with_capacity(count);
+    match Encoding::from_tag(tag)? {
+        Encoding::Plain => {
+            let mut pos = 0;
+            for _ in 0..count {
+                out.push(read_str(rest, &mut pos)?);
+            }
+            if pos != rest.len() {
+                return Err(StorageError::Corrupt("trailing bytes in str chunk".into()));
+            }
+        }
+        Encoding::Dict => {
+            let mut pos = 0;
+            let (n_entries, n) = get_varint(rest)?;
+            pos += n;
+            let mut entries = Vec::with_capacity(n_entries as usize);
+            for _ in 0..n_entries {
+                entries.push(read_str(rest, &mut pos)?);
+            }
+            for _ in 0..count {
+                let (idx, n) = get_varint(&rest[pos..])?;
+                pos += n;
+                let s = entries
+                    .get(idx as usize)
+                    .ok_or_else(|| StorageError::Corrupt("dict index out of range".into()))?;
+                out.push(s.clone());
+            }
+        }
+        other => {
+            return Err(StorageError::Corrupt(format!(
+                "{other:?} invalid for strings"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn i64_roundtrip_all_encodings() {
+        let cases: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![42],
+            vec![7; 10_000],                               // RLE should win
+            (0..10_000).collect(),                         // Delta should win
+            (0..1_000).map(|i| i * 982_451_653).collect(), // Plain-ish
+            vec![i64::MIN, i64::MAX, 0, -1, 1],
+        ];
+        for vals in cases {
+            let enc = encode_i64(&vals);
+            assert_eq!(decode_i64(&enc, vals.len()).unwrap(), vals);
+        }
+    }
+
+    #[test]
+    fn rle_wins_on_constant_data() {
+        let vals = vec![5i64; 100_000];
+        let enc = encode_i64(&vals);
+        assert!(
+            enc.len() < 32,
+            "constant column should be tiny, got {}",
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn delta_wins_on_timestamps() {
+        let vals: Vec<i64> = (0..100_000)
+            .map(|i| 1_700_000_000_000 + i * 1_000)
+            .collect();
+        let enc = encode_i64(&vals);
+        // ~2 bytes per value beats 8 for plain.
+        assert!(
+            enc.len() < vals.len() * 3,
+            "delta not chosen: {} bytes",
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn f64_roundtrip_with_nan() {
+        let vals = vec![1.5, -0.0, f64::NAN, f64::INFINITY, 42.0, 42.0, 42.0];
+        let enc = encode_f64(&vals);
+        let dec = decode_f64(&enc, vals.len()).unwrap();
+        assert_eq!(dec.len(), vals.len());
+        for (a, b) in vals.iter().zip(&dec) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn str_dictionary_wins_on_low_cardinality() {
+        let vals: Vec<String> = (0..10_000).map(|i| format!("sensor-{}", i % 4)).collect();
+        let enc = encode_str(&vals);
+        assert_eq!(enc[0], 3, "dict tag expected");
+        assert!(enc.len() < 10_000 * 4);
+        assert_eq!(decode_str(&enc, vals.len()).unwrap(), vals);
+    }
+
+    #[test]
+    fn str_plain_on_high_cardinality() {
+        let vals: Vec<String> = (0..100).map(|i| format!("unique-value-{i}")).collect();
+        let enc = encode_str(&vals);
+        assert_eq!(decode_str(&enc, vals.len()).unwrap(), vals);
+    }
+
+    #[test]
+    fn corrupt_chunks_error() {
+        assert!(decode_i64(&[], 0).is_err());
+        assert!(decode_i64(&[9, 0, 0], 1).is_err());
+        assert!(decode_str(&[0, 0xff], 1).is_err());
+        // Count mismatch.
+        let enc = encode_i64(&[1, 2, 3]);
+        assert!(decode_i64(&enc, 5).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn i64_roundtrip_any(vals in proptest::collection::vec(any::<i64>(), 0..500)) {
+            let enc = encode_i64(&vals);
+            prop_assert_eq!(decode_i64(&enc, vals.len()).unwrap(), vals);
+        }
+
+        #[test]
+        fn i64_roundtrip_runs(v in any::<i64>(), n in 1usize..1000) {
+            let vals = vec![v; n];
+            let enc = encode_i64(&vals);
+            prop_assert_eq!(decode_i64(&enc, n).unwrap(), vals);
+        }
+
+        #[test]
+        fn f64_roundtrip_any(vals in proptest::collection::vec(any::<f64>(), 0..500)) {
+            let enc = encode_f64(&vals);
+            let dec = decode_f64(&enc, vals.len()).unwrap();
+            prop_assert_eq!(vals.len(), dec.len());
+            for (a, b) in vals.iter().zip(&dec) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn str_roundtrip_any(vals in proptest::collection::vec(".{0,20}", 0..100)) {
+            let enc = encode_str(&vals);
+            prop_assert_eq!(decode_str(&enc, vals.len()).unwrap(), vals);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Errors from encoding, file parsing, and tier operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Data did not parse as the expected format.
+    Corrupt(String),
+    /// Referenced object/dataset/segment does not exist.
+    NotFound(String),
+    /// Schema mismatch between writer and existing dataset.
+    SchemaMismatch {
+        /// What the dataset expects.
+        expected: String,
+        /// What the writer supplied.
+        got: String,
+    },
+    /// Operation invalid in the current state (e.g. writing a sealed
+    /// archive).
+    InvalidState(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            StorageError::NotFound(m) => write!(f, "not found: {m}"),
+            StorageError::SchemaMismatch { expected, got } => {
+                write!(f, "schema mismatch: expected {expected}, got {got}")
+            }
+            StorageError::InvalidState(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StorageError::Corrupt("x".into())
+            .to_string()
+            .contains("corrupt"));
+        assert!(StorageError::NotFound("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,290 @@
+//! LAKE — online time-partitioned store for real-time queries.
+//!
+//! The paper uses Apache Druid / ElasticSearch for "real-time diagnostics
+//! and debugging" (§V-B): low-latency queries over recent time-series.
+//! This implementation partitions points into fixed-width time segments
+//! keyed by series name, so range queries touch only the covered
+//! segments and retention drops whole segments.
+
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+/// One data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Timestamp (ms).
+    pub ts_ms: i64,
+    /// Value.
+    pub value: f64,
+}
+
+#[derive(Default)]
+struct SegmentData {
+    /// series -> points in insertion order (sorted on query).
+    series: HashMap<String, Vec<Point>>,
+    points: usize,
+}
+
+/// Time-partitioned series store.
+pub struct Lake {
+    /// segment start ms -> segment.
+    segments: RwLock<BTreeMap<i64, SegmentData>>,
+    segment_ms: i64,
+    retention_ms: i64,
+}
+
+impl Lake {
+    /// Create with 1-hour segments and the paper's LAKE-class retention
+    /// (weeks; 30 days here).
+    pub fn new() -> Lake {
+        Lake::with_layout(3_600_000, 30 * 86_400_000)
+    }
+
+    /// Create with explicit segment width and retention.
+    pub fn with_layout(segment_ms: i64, retention_ms: i64) -> Lake {
+        assert!(segment_ms > 0);
+        Lake {
+            segments: RwLock::new(BTreeMap::new()),
+            segment_ms,
+            retention_ms,
+        }
+    }
+
+    fn segment_start(&self, ts_ms: i64) -> i64 {
+        ts_ms.div_euclid(self.segment_ms) * self.segment_ms
+    }
+
+    /// Insert one point for `series`.
+    pub fn insert(&self, series: &str, ts_ms: i64, value: f64) {
+        let start = self.segment_start(ts_ms);
+        let mut segs = self.segments.write();
+        let seg = segs.entry(start).or_default();
+        seg.series
+            .entry(series.to_string())
+            .or_default()
+            .push(Point { ts_ms, value });
+        seg.points += 1;
+    }
+
+    /// Insert many points for one series.
+    pub fn insert_batch(&self, series: &str, points: &[Point]) {
+        let mut segs = self.segments.write();
+        for p in points {
+            let start = self.segment_start(p.ts_ms);
+            let seg = segs.entry(start).or_default();
+            seg.series.entry(series.to_string()).or_default().push(*p);
+            seg.points += 1;
+        }
+    }
+
+    /// Points of `series` with `t0 <= ts < t1`, sorted by time.
+    pub fn query(&self, series: &str, t0: i64, t1: i64) -> Vec<Point> {
+        let mut out = Vec::new();
+        let first_seg = self.segment_start(t0);
+        let segs = self.segments.read();
+        for (_, seg) in segs.range(first_seg..t1) {
+            if let Some(points) = seg.series.get(series) {
+                out.extend(
+                    points
+                        .iter()
+                        .filter(|p| p.ts_ms >= t0 && p.ts_ms < t1)
+                        .copied(),
+                );
+            }
+        }
+        out.sort_by_key(|p| p.ts_ms);
+        out
+    }
+
+    /// Series names active in `[t0, t1)` with the given prefix.
+    pub fn series_with_prefix(&self, prefix: &str, t0: i64, t1: i64) -> Vec<String> {
+        let mut names = std::collections::BTreeSet::new();
+        let first_seg = self.segment_start(t0);
+        let segs = self.segments.read();
+        for (_, seg) in segs.range(first_seg..t1) {
+            for name in seg.series.keys() {
+                if name.starts_with(prefix) {
+                    names.insert(name.clone());
+                }
+            }
+        }
+        names.into_iter().collect()
+    }
+
+    /// Aggregate `series` over `[t0, t1)`: (count, mean, min, max).
+    pub fn aggregate(&self, series: &str, t0: i64, t1: i64) -> Option<(usize, f64, f64, f64)> {
+        let pts = self.query(series, t0, t1);
+        if pts.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut n = 0usize;
+        for p in &pts {
+            if p.value.is_nan() {
+                continue;
+            }
+            sum += p.value;
+            min = min.min(p.value);
+            max = max.max(p.value);
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        Some((n, sum / n as f64, min, max))
+    }
+
+    /// Downsampled series: mean per `bucket_ms` bucket over `[t0, t1)`,
+    /// ordered by bucket start — the long-range query path that keeps
+    /// LVA-style dashboards interactive over months of history.
+    pub fn query_downsampled(&self, series: &str, t0: i64, t1: i64, bucket_ms: i64) -> Vec<Point> {
+        assert!(bucket_ms > 0);
+        let mut acc: std::collections::BTreeMap<i64, (f64, usize)> =
+            std::collections::BTreeMap::new();
+        for p in self.query(series, t0, t1) {
+            if p.value.is_nan() {
+                continue;
+            }
+            let bucket = p.ts_ms.div_euclid(bucket_ms) * bucket_ms;
+            let e = acc.entry(bucket).or_insert((0.0, 0));
+            e.0 += p.value;
+            e.1 += 1;
+        }
+        acc.into_iter()
+            .map(|(ts_ms, (sum, n))| Point {
+                ts_ms,
+                value: sum / n as f64,
+            })
+            .collect()
+    }
+
+    /// Total retained points.
+    pub fn len(&self) -> usize {
+        self.segments.read().values().map(|s| s.points).sum()
+    }
+
+    /// True when no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop segments entirely older than the retention window; returns
+    /// dropped points.
+    pub fn enforce_retention(&self, now_ms: i64) -> usize {
+        let horizon = self.segment_start(now_ms - self.retention_ms);
+        let mut segs = self.segments.write();
+        let expired: Vec<i64> = segs.range(..horizon).map(|(&k, _)| k).collect();
+        let mut dropped = 0;
+        for k in expired {
+            if let Some(seg) = segs.remove(&k) {
+                dropped += seg.points;
+            }
+        }
+        dropped
+    }
+}
+
+impl Default for Lake {
+    fn default() -> Self {
+        Lake::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_time_window() {
+        let lake = Lake::with_layout(1_000, i64::MAX / 4);
+        for i in 0..100 {
+            lake.insert("s", i * 100, i as f64);
+        }
+        let pts = lake.query("s", 2_500, 5_000);
+        assert_eq!(pts.first().unwrap().ts_ms, 2_500);
+        assert_eq!(pts.last().unwrap().ts_ms, 4_900);
+        assert!(pts.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+    }
+
+    #[test]
+    fn series_are_isolated() {
+        let lake = Lake::new();
+        lake.insert("a", 0, 1.0);
+        lake.insert("b", 0, 2.0);
+        assert_eq!(lake.query("a", 0, 10)[0].value, 1.0);
+        assert_eq!(lake.query("b", 0, 10)[0].value, 2.0);
+        assert!(lake.query("c", 0, 10).is_empty());
+    }
+
+    #[test]
+    fn prefix_listing() {
+        let lake = Lake::new();
+        lake.insert("node42/power", 0, 1.0);
+        lake.insert("node42/temp", 0, 1.0);
+        lake.insert("node7/power", 0, 1.0);
+        let names = lake.series_with_prefix("node42/", 0, 10);
+        assert_eq!(
+            names,
+            vec!["node42/power".to_string(), "node42/temp".to_string()]
+        );
+    }
+
+    #[test]
+    fn aggregate_skips_nan() {
+        let lake = Lake::new();
+        lake.insert("s", 0, 1.0);
+        lake.insert("s", 1, f64::NAN);
+        lake.insert("s", 2, 3.0);
+        let (n, mean, min, max) = lake.aggregate("s", 0, 10).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(mean, 2.0);
+        assert_eq!(min, 1.0);
+        assert_eq!(max, 3.0);
+        assert!(lake.aggregate("s", 100, 200).is_none());
+    }
+
+    #[test]
+    fn downsampling_buckets_means() {
+        let lake = Lake::with_layout(10_000, i64::MAX / 4);
+        for i in 0..100 {
+            lake.insert("s", i * 100, i as f64);
+        }
+        let down = lake.query_downsampled("s", 0, 10_000, 1_000);
+        assert_eq!(down.len(), 10);
+        // Bucket 0 holds values 0..9 -> mean 4.5.
+        assert_eq!(down[0].ts_ms, 0);
+        assert!((down[0].value - 4.5).abs() < 1e-9);
+        assert_eq!(down[9].ts_ms, 9_000);
+        assert!((down[9].value - 94.5).abs() < 1e-9);
+        // NaN points are skipped, empty buckets absent.
+        lake.insert("t", 0, f64::NAN);
+        lake.insert("t", 5_000, 2.0);
+        let down = lake.query_downsampled("t", 0, 10_000, 1_000);
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].ts_ms, 5_000);
+    }
+
+    #[test]
+    fn retention_drops_old_segments() {
+        let lake = Lake::with_layout(1_000, 5_000);
+        for i in 0..20 {
+            lake.insert("s", i * 1_000, 0.0);
+        }
+        let dropped = lake.enforce_retention(20_000);
+        assert!(dropped > 0);
+        assert!(lake.query("s", 0, 10_000).is_empty());
+        assert!(!lake.query("s", 15_000, 20_000).is_empty());
+    }
+
+    #[test]
+    fn negative_timestamps_partition_correctly() {
+        let lake = Lake::with_layout(1_000, i64::MAX / 4);
+        lake.insert("s", -1_500, 1.0);
+        lake.insert("s", -500, 2.0);
+        let pts = lake.query("s", -2_000, 0);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].ts_ms, -1_500);
+    }
+}

@@ -1,0 +1,37 @@
+//! # oda-storage — tiered data services (LAKE / OCEAN / GLACIER)
+//!
+//! From-scratch implementations of the storage roles in the paper's
+//! Fig. 5 architecture:
+//!
+//! * [`compress`] — an LZ-family block codec (the compression layer that
+//!   Parquet gets from Snappy/Zstd in the paper's stack).
+//! * [`encoding`] — columnar encodings: plain, run-length, delta-varint,
+//!   and dictionary.
+//! * [`colfile`] — a column-oriented table file format with row groups,
+//!   per-chunk min/max statistics for predicate pushdown, and a footer —
+//!   the Parquet analogue that gives "significant data compression and
+//!   minimal I/O footprint" (§V-B).
+//! * [`ocean`] — an object store with appendable datasets (the
+//!   MinIO + ever-appended-Parquet OCEAN service).
+//! * [`lake`] — a time-partitioned online segment store for real-time
+//!   queries (the Druid/Elastic LAKE service).
+//! * [`glacier`] — sealed compressed archives with modeled recall
+//!   latency (the tape GLACIER service).
+//! * [`tiering`] — the lifecycle manager applying class-specific
+//!   retention across the tiers.
+
+pub mod colfile;
+pub mod compress;
+pub mod encoding;
+pub mod error;
+pub mod glacier;
+pub mod lake;
+pub mod ocean;
+pub mod tiering;
+
+pub use colfile::{ColumnData, ColumnType, TableFile, TableSchema};
+pub use error::StorageError;
+pub use glacier::Glacier;
+pub use lake::Lake;
+pub use ocean::Ocean;
+pub use tiering::{DataClass, TierManager};

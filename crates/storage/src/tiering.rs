@@ -1,0 +1,289 @@
+//! Tiered lifecycle management (Fig. 5).
+//!
+//! Each tier focuses on a class of data artifacts with a class-specific
+//! retention time: STREAM holds in-flight data for days, LAKE holds
+//! online data for weeks, OCEAN holds refined datasets for years, and
+//! GLACIER keeps archives indefinitely. The [`TierManager`] tracks
+//! registered artifacts and applies transitions as simulated time
+//! advances — the accounting behind the tier-retention experiment.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Medallion refinement class of an artifact (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataClass {
+    /// Raw long-format observations.
+    Bronze,
+    /// Aggregated, pivoted, contextualized.
+    Silver,
+    /// Analysis-ready artifacts (reports, features, dashboards).
+    Gold,
+}
+
+impl DataClass {
+    /// All classes.
+    pub const ALL: [DataClass; 3] = [DataClass::Bronze, DataClass::Silver, DataClass::Gold];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataClass::Bronze => "bronze",
+            DataClass::Silver => "silver",
+            DataClass::Gold => "gold",
+        }
+    }
+}
+
+/// Storage tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Streaming broker (days).
+    Stream,
+    /// Online database (weeks).
+    Lake,
+    /// Object store (years).
+    Ocean,
+    /// Tape archive (indefinite).
+    Glacier,
+}
+
+impl Tier {
+    /// All tiers in hot-to-cold order.
+    pub const ALL: [Tier; 4] = [Tier::Stream, Tier::Lake, Tier::Ocean, Tier::Glacier];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Stream => "STREAM",
+            Tier::Lake => "LAKE",
+            Tier::Ocean => "OCEAN",
+            Tier::Glacier => "GLACIER",
+        }
+    }
+}
+
+/// What happened to an artifact during [`TierManager::advance`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifecycleAction {
+    /// Dropped entirely (hot tiers expire; the durable copy lives
+    /// elsewhere).
+    Expired {
+        /// Artifact name.
+        name: String,
+        /// Tier it expired from.
+        tier: Tier,
+        /// Bytes released.
+        bytes: u64,
+    },
+    /// Moved from OCEAN to GLACIER (frozen).
+    Archived {
+        /// Artifact name.
+        name: String,
+        /// Bytes moved (after archive compression).
+        bytes: u64,
+    },
+}
+
+/// Retention window per (tier, class), in milliseconds.
+///
+/// Mirrors Fig. 5: hotter tiers hold less, refined classes live longer
+/// in hot tiers; Bronze barely lives anywhere hot (the paper keeps raw
+/// data frozen until upstream pipelines exist).
+pub fn retention_ms(tier: Tier, class: DataClass) -> Option<i64> {
+    const DAY: i64 = 86_400_000;
+    match (tier, class) {
+        (Tier::Stream, DataClass::Bronze) => Some(2 * DAY),
+        (Tier::Stream, DataClass::Silver) => Some(7 * DAY),
+        (Tier::Stream, DataClass::Gold) => Some(7 * DAY),
+        (Tier::Lake, DataClass::Bronze) => Some(3 * DAY),
+        (Tier::Lake, DataClass::Silver) => Some(30 * DAY),
+        (Tier::Lake, DataClass::Gold) => Some(90 * DAY),
+        (Tier::Ocean, DataClass::Bronze) => Some(30 * DAY), // then frozen
+        (Tier::Ocean, DataClass::Silver) => Some(2 * 365 * DAY),
+        (Tier::Ocean, DataClass::Gold) => Some(5 * 365 * DAY),
+        (Tier::Glacier, _) => None, // indefinite
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArtifactRecord {
+    class: DataClass,
+    tier: Tier,
+    bytes: u64,
+    created_ms: i64,
+}
+
+/// Registry of artifacts and their lifecycle state.
+#[derive(Debug, Default)]
+pub struct TierManager {
+    artifacts: BTreeMap<String, ArtifactRecord>,
+    /// Compression factor applied when OCEAN artifacts freeze into
+    /// GLACIER (tape-side compression).
+    archive_ratio: f64,
+}
+
+impl TierManager {
+    /// Create an empty manager.
+    pub fn new() -> TierManager {
+        TierManager {
+            artifacts: BTreeMap::new(),
+            archive_ratio: 0.5,
+        }
+    }
+
+    /// Register an artifact.
+    pub fn register(&mut self, name: &str, class: DataClass, tier: Tier, bytes: u64, now_ms: i64) {
+        self.artifacts.insert(
+            name.to_string(),
+            ArtifactRecord {
+                class,
+                tier,
+                bytes,
+                created_ms: now_ms,
+            },
+        );
+    }
+
+    /// Number of live artifacts.
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    /// True when no artifacts are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+
+    /// Apply lifecycle transitions as of `now_ms`.
+    pub fn advance(&mut self, now_ms: i64) -> Vec<LifecycleAction> {
+        let mut actions = Vec::new();
+        let names: Vec<String> = self.artifacts.keys().cloned().collect();
+        for name in names {
+            let rec = self.artifacts.get(&name).expect("exists").clone();
+            let Some(window) = retention_ms(rec.tier, rec.class) else {
+                continue; // GLACIER: indefinite
+            };
+            if now_ms - rec.created_ms <= window {
+                continue;
+            }
+            match rec.tier {
+                Tier::Stream | Tier::Lake => {
+                    self.artifacts.remove(&name);
+                    actions.push(LifecycleAction::Expired {
+                        name,
+                        tier: rec.tier,
+                        bytes: rec.bytes,
+                    });
+                }
+                Tier::Ocean => {
+                    let frozen = (rec.bytes as f64 * self.archive_ratio) as u64;
+                    let entry = self.artifacts.get_mut(&name).expect("exists");
+                    entry.tier = Tier::Glacier;
+                    entry.bytes = frozen;
+                    entry.created_ms = now_ms;
+                    actions.push(LifecycleAction::Archived {
+                        name,
+                        bytes: frozen,
+                    });
+                }
+                Tier::Glacier => unreachable!("glacier retention is None"),
+            }
+        }
+        actions
+    }
+
+    /// Bytes held per tier.
+    pub fn bytes_by_tier(&self) -> BTreeMap<Tier, u64> {
+        let mut out: BTreeMap<Tier, u64> = Tier::ALL.iter().map(|&t| (t, 0)).collect();
+        for rec in self.artifacts.values() {
+            *out.get_mut(&rec.tier).expect("all tiers present") += rec.bytes;
+        }
+        out
+    }
+
+    /// Bytes held per (tier, class).
+    pub fn bytes_by_tier_class(&self) -> BTreeMap<(Tier, DataClass), u64> {
+        let mut out = BTreeMap::new();
+        for rec in self.artifacts.values() {
+            *out.entry((rec.tier, rec.class)).or_insert(0) += rec.bytes;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: i64 = 86_400_000;
+
+    #[test]
+    fn retention_is_hot_to_cold_monotonic() {
+        for class in DataClass::ALL {
+            let stream = retention_ms(Tier::Stream, class).unwrap();
+            let ocean = retention_ms(Tier::Ocean, class).unwrap();
+            assert!(stream < ocean, "{class:?}");
+            assert!(retention_ms(Tier::Glacier, class).is_none());
+        }
+    }
+
+    #[test]
+    fn stream_bronze_expires_fast() {
+        let mut m = TierManager::new();
+        m.register("raw-day0", DataClass::Bronze, Tier::Stream, 1_000_000, 0);
+        assert!(m.advance(DAY).is_empty());
+        let actions = m.advance(3 * DAY);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            LifecycleAction::Expired {
+                tier: Tier::Stream,
+                ..
+            }
+        ));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn ocean_bronze_freezes_into_glacier() {
+        let mut m = TierManager::new();
+        m.register("raw-day0", DataClass::Bronze, Tier::Ocean, 1_000_000, 0);
+        let actions = m.advance(31 * DAY);
+        assert!(matches!(
+            &actions[0],
+            LifecycleAction::Archived { bytes: 500_000, .. }
+        ));
+        let by_tier = m.bytes_by_tier();
+        assert_eq!(by_tier[&Tier::Glacier], 500_000);
+        assert_eq!(by_tier[&Tier::Ocean], 0);
+        // Glacier never expires.
+        assert!(m.advance(100 * 365 * DAY).is_empty());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn refined_classes_outlive_bronze_in_hot_tiers() {
+        let mut m = TierManager::new();
+        m.register("bronze", DataClass::Bronze, Tier::Lake, 100, 0);
+        m.register("silver", DataClass::Silver, Tier::Lake, 100, 0);
+        let actions = m.advance(5 * DAY);
+        assert_eq!(actions.len(), 1, "only bronze should expire at day 5");
+        assert!(m
+            .bytes_by_tier_class()
+            .contains_key(&(Tier::Lake, DataClass::Silver)));
+    }
+
+    #[test]
+    fn accounting_sums_match() {
+        let mut m = TierManager::new();
+        m.register("a", DataClass::Silver, Tier::Ocean, 10, 0);
+        m.register("b", DataClass::Gold, Tier::Ocean, 20, 0);
+        m.register("c", DataClass::Silver, Tier::Lake, 5, 0);
+        let by_tier = m.bytes_by_tier();
+        assert_eq!(by_tier[&Tier::Ocean], 30);
+        assert_eq!(by_tier[&Tier::Lake], 5);
+        let total: u64 = m.bytes_by_tier_class().values().sum();
+        assert_eq!(total, 35);
+    }
+}

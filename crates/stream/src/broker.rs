@@ -1,0 +1,221 @@
+//! The broker: topic registry plus consumer-group offset store.
+
+use crate::error::StreamError;
+use crate::record::Record;
+use crate::retention::RetentionPolicy;
+use crate::topic::Topic;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Committed offset key: (group, topic, partition).
+type GroupKey = (String, String, u32);
+
+/// In-process message broker (the STREAM service of Fig. 5).
+#[derive(Default)]
+pub struct Broker {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    offsets: RwLock<HashMap<GroupKey, u64>>,
+}
+
+impl Broker {
+    /// Create an empty broker.
+    pub fn new() -> Arc<Broker> {
+        Arc::new(Broker::default())
+    }
+
+    /// Create a topic. Errors if it already exists.
+    pub fn create_topic(
+        &self,
+        name: &str,
+        partitions: u32,
+        policy: RetentionPolicy,
+    ) -> Result<(), StreamError> {
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(StreamError::TopicExists(name.to_string()));
+        }
+        topics.insert(
+            name.to_string(),
+            Arc::new(Topic::new(name, partitions, policy)),
+        );
+        Ok(())
+    }
+
+    /// Look up a topic.
+    pub fn topic(&self, name: &str) -> Result<Arc<Topic>, StreamError> {
+        self.topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StreamError::UnknownTopic(name.to_string()))
+    }
+
+    /// Names of all topics.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Produce one record.
+    pub fn produce(
+        &self,
+        topic: &str,
+        ts_ms: i64,
+        key: Option<Bytes>,
+        value: Bytes,
+    ) -> Result<(u32, u64), StreamError> {
+        Ok(self.topic(topic)?.produce(ts_ms, key, value))
+    }
+
+    /// Fetch records from an explicit (topic, partition, offset).
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        from: u64,
+        max: usize,
+    ) -> Result<Vec<Record>, StreamError> {
+        self.topic(topic)?.fetch(partition, from, max)
+    }
+
+    /// Committed offset for a group (records below it are consumed).
+    pub fn committed(&self, group: &str, topic: &str, partition: u32) -> u64 {
+        *self
+            .offsets
+            .read()
+            .get(&(group.to_string(), topic.to_string(), partition))
+            .unwrap_or(&0)
+    }
+
+    /// Commit a group's offset (the next offset to read).
+    pub fn commit(&self, group: &str, topic: &str, partition: u32, offset: u64) {
+        self.offsets
+            .write()
+            .insert((group.to_string(), topic.to_string(), partition), offset);
+    }
+
+    /// Enforce retention across all topics; returns records dropped.
+    pub fn enforce_retention(&self, now_ms: i64) -> u64 {
+        let topics: Vec<Arc<Topic>> = self.topics.read().values().cloned().collect();
+        topics.iter().map(|t| t.enforce_retention(now_ms)).sum()
+    }
+
+    /// Total retained bytes across all topics.
+    pub fn bytes(&self) -> usize {
+        let topics: Vec<Arc<Topic>> = self.topics.read().values().cloned().collect();
+        topics.iter().map(|t| t.bytes()).sum()
+    }
+}
+
+/// Producer handle bound to one topic.
+pub struct Producer {
+    broker: Arc<Broker>,
+    topic: String,
+}
+
+impl Producer {
+    /// Create a producer for `topic` (which must exist).
+    pub fn new(broker: Arc<Broker>, topic: &str) -> Result<Producer, StreamError> {
+        broker.topic(topic)?;
+        Ok(Producer {
+            broker,
+            topic: topic.to_string(),
+        })
+    }
+
+    /// Send one record.
+    pub fn send(
+        &self,
+        ts_ms: i64,
+        key: Option<Bytes>,
+        value: Bytes,
+    ) -> Result<(u32, u64), StreamError> {
+        self.broker.produce(&self.topic, ts_ms, key, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn create_and_duplicate_topic() {
+        let b = Broker::new();
+        b.create_topic("a", 2, RetentionPolicy::unbounded())
+            .unwrap();
+        assert!(matches!(
+            b.create_topic("a", 2, RetentionPolicy::unbounded()),
+            Err(StreamError::TopicExists(_))
+        ));
+        assert!(matches!(
+            b.topic("missing"),
+            Err(StreamError::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn commit_and_read_back_offsets() {
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        assert_eq!(b.committed("g1", "t", 0), 0);
+        b.commit("g1", "t", 0, 42);
+        assert_eq!(b.committed("g1", "t", 0), 42);
+        // Groups are independent.
+        assert_eq!(b.committed("g2", "t", 0), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let b = Broker::new();
+        b.create_topic("t", 4, RetentionPolicy::unbounded())
+            .unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|tid| {
+                let b = b.clone();
+                thread::spawn(move || {
+                    let p = Producer::new(b, "t").unwrap();
+                    for i in 0..1_000 {
+                        p.send(
+                            i,
+                            Some(Bytes::from(format!("k{tid}-{i}"))),
+                            Bytes::from_static(b"v"),
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let topic = b.topic("t").unwrap();
+        assert_eq!(topic.len(), 8_000);
+    }
+
+    #[test]
+    fn retention_applies_across_topics() {
+        let b = Broker::new();
+        b.create_topic("t1", 1, RetentionPolicy::max_age_ms(1_000))
+            .unwrap();
+        b.create_topic("t2", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        for i in 0..100 {
+            b.produce("t1", i * 100, None, Bytes::from(vec![0u8; 200_000]))
+                .unwrap();
+            b.produce("t2", i * 100, None, Bytes::from(vec![0u8; 1_000]))
+                .unwrap();
+        }
+        let dropped = b.enforce_retention(1_000_000);
+        assert!(dropped > 0);
+        assert_eq!(
+            b.topic("t2").unwrap().len(),
+            100,
+            "unbounded topic untouched"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for broker operations.
+
+use std::fmt;
+
+/// Errors returned by broker, producer, and consumer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The named topic does not exist.
+    UnknownTopic(String),
+    /// The partition index is out of range for the topic.
+    UnknownPartition {
+        /// Topic name.
+        topic: String,
+        /// Requested partition index.
+        partition: u32,
+    },
+    /// A fetch offset fell below the retention horizon or beyond the log
+    /// end in strict mode.
+    OffsetOutOfRange {
+        /// Requested offset.
+        requested: u64,
+        /// Earliest offset still retained.
+        earliest: u64,
+        /// One past the last appended offset.
+        latest: u64,
+    },
+    /// A topic with this name already exists with a different layout.
+    TopicExists(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnknownTopic(t) => write!(f, "unknown topic {t:?}"),
+            StreamError::UnknownPartition { topic, partition } => {
+                write!(f, "topic {topic:?} has no partition {partition}")
+            }
+            StreamError::OffsetOutOfRange {
+                requested,
+                earliest,
+                latest,
+            } => write!(
+                f,
+                "offset {requested} out of range (retained: {earliest}..{latest})"
+            ),
+            StreamError::TopicExists(t) => write!(f, "topic {t:?} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StreamError::OffsetOutOfRange {
+            requested: 5,
+            earliest: 10,
+            latest: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains("10..20"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # oda-stream — the STREAM tier: a partitioned log broker
+//!
+//! A from-scratch analogue of the role Apache Kafka plays in the paper's
+//! architecture (§V-B): *"FIFO buffers for in-flight data in distributed
+//! multi-project pipelines"*. It provides:
+//!
+//! * **Topics** split into **partitions**, each an append-only log of
+//!   [`record::Record`]s organized into size-bounded [`segment`]s.
+//! * **Producers** appending with optional keys (key-hash partitioning
+//!   keeps per-component sensor streams ordered).
+//! * **Consumer groups** with committed offsets, so independent projects
+//!   replay the same stream at their own pace — the property the
+//!   medallion pipelines rely on for recovery.
+//! * **Retention** by age and size (the STREAM tier of Fig. 5 holds
+//!   days, not years).
+//!
+//! The broker is thread-safe (`parking_lot` locks, one per partition) and
+//! deterministic: offsets are dense and assignment is stable.
+
+pub mod broker;
+pub mod consumer;
+pub mod error;
+pub mod partition;
+pub mod record;
+pub mod retention;
+pub mod segment;
+pub mod topic;
+
+pub use broker::{Broker, Producer};
+pub use consumer::Consumer;
+pub use error::StreamError;
+pub use record::Record;
+pub use retention::RetentionPolicy;

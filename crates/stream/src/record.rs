@@ -1,0 +1,41 @@
+//! Records as stored in and fetched from the log.
+
+use bytes::Bytes;
+
+/// One record in a partition log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Dense per-partition offset assigned at append.
+    pub offset: u64,
+    /// Producer-supplied event timestamp (ms).
+    pub ts_ms: i64,
+    /// Optional partitioning/compaction key.
+    pub key: Option<Bytes>,
+    /// Payload.
+    pub value: Bytes,
+}
+
+impl Record {
+    /// Approximate in-memory footprint, used for size-based retention.
+    pub fn byte_size(&self) -> usize {
+        8 + 8 + self.key.as_ref().map_or(0, |k| k.len()) + self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_counts_key_and_value() {
+        let r = Record {
+            offset: 0,
+            ts_ms: 0,
+            key: Some(Bytes::from_static(b"abc")),
+            value: Bytes::from_static(b"0123456789"),
+        };
+        assert_eq!(r.byte_size(), 16 + 3 + 10);
+        let r2 = Record { key: None, ..r };
+        assert_eq!(r2.byte_size(), 16 + 10);
+    }
+}

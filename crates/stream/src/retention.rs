@@ -1,0 +1,71 @@
+//! Retention policies for the STREAM tier.
+//!
+//! Fig. 5 of the paper gives each tier a class-specific retention time;
+//! the STREAM tier keeps in-flight data for days. Policies bound a
+//! partition by age and/or bytes; enforcement drops whole sealed
+//! segments from the front of the log.
+
+use serde::{Deserialize, Serialize};
+
+/// Age/size bounds on one partition's log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionPolicy {
+    /// Maximum record age in milliseconds (`None` = unbounded).
+    pub max_age_ms: Option<i64>,
+    /// Maximum retained bytes per partition (`None` = unbounded).
+    pub max_bytes: Option<usize>,
+}
+
+impl RetentionPolicy {
+    /// Keep everything forever (useful in tests and for audit topics).
+    pub fn unbounded() -> Self {
+        RetentionPolicy {
+            max_age_ms: None,
+            max_bytes: None,
+        }
+    }
+
+    /// The paper's STREAM-tier default: 7 days, 1 GiB per partition.
+    pub fn stream_default() -> Self {
+        RetentionPolicy {
+            max_age_ms: Some(7 * 86_400_000),
+            max_bytes: Some(1024 * 1024 * 1024),
+        }
+    }
+
+    /// Age-only policy.
+    pub fn max_age_ms(ms: i64) -> Self {
+        RetentionPolicy {
+            max_age_ms: Some(ms),
+            max_bytes: None,
+        }
+    }
+
+    /// Size-only policy.
+    pub fn max_bytes(bytes: usize) -> Self {
+        RetentionPolicy {
+            max_age_ms: None,
+            max_bytes: Some(bytes),
+        }
+    }
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy::stream_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(RetentionPolicy::unbounded().max_age_ms, None);
+        assert_eq!(RetentionPolicy::max_age_ms(10).max_age_ms, Some(10));
+        assert_eq!(RetentionPolicy::max_bytes(10).max_bytes, Some(10));
+        let d = RetentionPolicy::default();
+        assert_eq!(d.max_age_ms, Some(7 * 86_400_000));
+    }
+}

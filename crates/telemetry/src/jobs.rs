@@ -1,0 +1,659 @@
+//! Batch scheduler and application archetypes.
+//!
+//! Jobs arrive as a Poisson process, request log-normal node counts and
+//! durations, and run one of six application archetypes. Each archetype
+//! has a distinct utilization *shape* over time — these shapes are what
+//! the paper's Fig. 10 classifier clusters, and what drives the power
+//! model of each node.
+
+use crate::system::SystemModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Allocation programs jobs are charged to (RATS-report dimension).
+pub const PROGRAMS: [&str; 8] = ["INCITE", "ALCC", "DD", "ECP", "CSC", "BIO", "FUS", "MAT"];
+
+/// Application archetype: determines the job's utilization shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ApplicationArchetype {
+    /// Dense linear algebra burn-in: ramp, long sustained near-peak, taper.
+    Hpl,
+    /// Climate simulation: alternating compute / I-O phases (square wave).
+    ClimateSim,
+    /// Molecular dynamics: steady medium load with small oscillation.
+    MolecularDynamics,
+    /// Deep-learning training: sawtooth (checkpoint dips) at high load.
+    DlTraining,
+    /// Data analytics: low base with irregular bursts.
+    DataAnalytics,
+    /// Debug / interactive: short, light.
+    Debug,
+}
+
+impl ApplicationArchetype {
+    /// All archetypes (class order used by the classifier).
+    pub const ALL: [ApplicationArchetype; 6] = [
+        ApplicationArchetype::Hpl,
+        ApplicationArchetype::ClimateSim,
+        ApplicationArchetype::MolecularDynamics,
+        ApplicationArchetype::DlTraining,
+        ApplicationArchetype::DataAnalytics,
+        ApplicationArchetype::Debug,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ApplicationArchetype::Hpl => "hpl",
+            ApplicationArchetype::ClimateSim => "climate",
+            ApplicationArchetype::MolecularDynamics => "md",
+            ApplicationArchetype::DlTraining => "dl-train",
+            ApplicationArchetype::DataAnalytics => "analytics",
+            ApplicationArchetype::Debug => "debug",
+        }
+    }
+
+    /// GPU utilization in [0, 1] at `t` seconds into the job.
+    ///
+    /// `phase` decorrelates jobs (and nodes within a job) so profiles of
+    /// the same archetype are similar but not identical; `duration` lets
+    /// shapes include start-up ramps and end-of-job tapers.
+    pub fn gpu_util(self, t: f64, duration: f64, phase: f64) -> f64 {
+        let x = match self {
+            ApplicationArchetype::Hpl => {
+                let ramp = (t / 120.0).min(1.0);
+                let taper = ((duration - t) / 60.0).clamp(0.0, 1.0);
+                0.95 * ramp * taper + 0.02 * (0.13 * t + phase).sin()
+            }
+            ApplicationArchetype::ClimateSim => {
+                // ~10-minute compute phases separated by ~2-minute I/O.
+                let period = 720.0;
+                let pos = (t + phase * period).rem_euclid(period);
+                if pos < 600.0 {
+                    0.78 + 0.04 * (0.05 * t + phase).sin()
+                } else {
+                    0.18 + 0.05 * (0.21 * t + phase).cos()
+                }
+            }
+            ApplicationArchetype::MolecularDynamics => {
+                0.62 + 0.06 * (0.02 * t + phase).sin() + 0.02 * (0.17 * t + 2.0 * phase).cos()
+            }
+            ApplicationArchetype::DlTraining => {
+                // 2-minute step sawtooth: climbs through the step, dips at
+                // checkpoint boundaries.
+                let period = 120.0;
+                let pos = (t + phase * period).rem_euclid(period) / period;
+                if pos < 0.9 {
+                    0.6 + 0.3 * (pos / 0.9)
+                } else {
+                    0.25
+                }
+            }
+            ApplicationArchetype::DataAnalytics => {
+                // Irregular bursts from summed incommensurate sinusoids.
+                let burst = (0.011 * t + phase).sin() * (0.007 * t + 2.3 * phase).sin();
+                if burst > 0.55 {
+                    0.65
+                } else {
+                    0.12 + 0.04 * (0.05 * t + phase).sin()
+                }
+            }
+            ApplicationArchetype::Debug => 0.08 + 0.05 * (0.5 * t + phase).sin().abs(),
+        };
+        x.clamp(0.0, 1.0)
+    }
+
+    /// CPU utilization in [0, 1] at `t` seconds into the job.
+    pub fn cpu_util(self, t: f64, duration: f64, phase: f64) -> f64 {
+        let gpu = self.gpu_util(t, duration, phase);
+        let x = match self {
+            // GPU-resident codes keep host CPUs lightly loaded.
+            ApplicationArchetype::Hpl => 0.25 + 0.1 * gpu,
+            ApplicationArchetype::ClimateSim => 0.35 + 0.3 * gpu,
+            ApplicationArchetype::MolecularDynamics => 0.3 + 0.2 * gpu,
+            ApplicationArchetype::DlTraining => 0.45 + 0.15 * gpu,
+            // Analytics is CPU-heavy relative to its GPU use.
+            ApplicationArchetype::DataAnalytics => 0.55 + 0.2 * (0.03 * t + phase).sin(),
+            ApplicationArchetype::Debug => 0.1,
+        };
+        let _ = duration;
+        x.clamp(0.0, 1.0)
+    }
+
+    /// Mean requested node count (log-normal median) for this archetype.
+    fn size_median(self, system_nodes: u32) -> f64 {
+        let n = f64::from(system_nodes);
+        match self {
+            ApplicationArchetype::Hpl => n * 0.5,
+            ApplicationArchetype::ClimateSim => n * 0.05,
+            ApplicationArchetype::MolecularDynamics => n * 0.02,
+            ApplicationArchetype::DlTraining => n * 0.04,
+            ApplicationArchetype::DataAnalytics => n * 0.01,
+            ApplicationArchetype::Debug => 2.0,
+        }
+    }
+
+    /// Median wall time in seconds.
+    fn duration_median(self) -> f64 {
+        match self {
+            ApplicationArchetype::Hpl => 3.0 * 3_600.0,
+            ApplicationArchetype::ClimateSim => 6.0 * 3_600.0,
+            ApplicationArchetype::MolecularDynamics => 8.0 * 3_600.0,
+            ApplicationArchetype::DlTraining => 4.0 * 3_600.0,
+            ApplicationArchetype::DataAnalytics => 1.5 * 3_600.0,
+            ApplicationArchetype::Debug => 0.25 * 3_600.0,
+        }
+    }
+
+    /// Relative arrival weight in the workload mix.
+    fn mix_weight(self) -> f64 {
+        match self {
+            ApplicationArchetype::Hpl => 0.02,
+            ApplicationArchetype::ClimateSim => 0.18,
+            ApplicationArchetype::MolecularDynamics => 0.25,
+            ApplicationArchetype::DlTraining => 0.15,
+            ApplicationArchetype::DataAnalytics => 0.15,
+            ApplicationArchetype::Debug => 0.25,
+        }
+    }
+}
+
+/// A scheduled job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Facility-unique job id.
+    pub id: u64,
+    /// Anonymous user index.
+    pub user: u32,
+    /// Project code ("PRJ042").
+    pub project: String,
+    /// Allocation program index into [`PROGRAMS`].
+    pub program: u8,
+    /// Application archetype (ground truth for the Fig. 10 classifier).
+    pub archetype: ApplicationArchetype,
+    /// Global node indices allocated to the job.
+    pub nodes: Vec<u32>,
+    /// Submission time (ms).
+    pub submit_ms: i64,
+    /// Start time (ms).
+    pub start_ms: i64,
+    /// Planned end time (ms); actual end may be earlier on node failure.
+    pub end_ms: i64,
+    /// Per-job phase in [0, 1) decorrelating profile shapes.
+    pub phase: f64,
+}
+
+impl Job {
+    /// Wall time in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_ms - self.start_ms) as f64 / 1_000.0
+    }
+
+    /// Node-hours consumed (nodes x wall hours).
+    pub fn node_hours(&self) -> f64 {
+        self.nodes.len() as f64 * self.duration_s() / 3_600.0
+    }
+}
+
+/// Scheduler lifecycle events, emitted as the resource-manager stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEvent {
+    /// A job began execution.
+    Start(Job),
+    /// A job finished.
+    End {
+        /// Id of the finished job.
+        job_id: u64,
+        /// Completion time (ms).
+        end_ms: i64,
+    },
+}
+
+/// Workload-generation knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Mean seconds between job arrivals.
+    pub mean_interarrival_s: f64,
+    /// Number of distinct users submitting work.
+    pub users: u32,
+    /// Number of distinct projects.
+    pub projects: u32,
+    /// Log-normal sigma for node-count draws.
+    pub size_sigma: f64,
+    /// Log-normal sigma for duration draws.
+    pub duration_sigma: f64,
+    /// Multiplier on archetype median durations (small systems use
+    /// <1.0 for realistic job turnover at laptop scale).
+    pub duration_scale: f64,
+    /// EASY backfill: let later queued jobs start on free nodes as long
+    /// as they cannot delay the blocked head job's reservation. Off by
+    /// default (conservative FIFO).
+    pub backfill: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mean_interarrival_s: 180.0,
+            users: 400,
+            projects: 60,
+            size_sigma: 1.1,
+            duration_sigma: 0.8,
+            duration_scale: 1.0,
+            backfill: false,
+        }
+    }
+}
+
+/// First-fit batch scheduler over a [`SystemModel`].
+#[derive(Debug)]
+pub struct Scheduler {
+    system: SystemModel,
+    config: WorkloadConfig,
+    rng: StdRng,
+    next_arrival_ms: i64,
+    next_job_id: u64,
+    /// Free node indices (kept sorted for determinism).
+    free_nodes: Vec<u32>,
+    /// Running jobs by id.
+    running: BTreeMap<u64, Job>,
+    /// node -> running job id.
+    node_owner: Vec<Option<u64>>,
+    /// Jobs waiting for nodes, FIFO, with their requested node counts.
+    queue: Vec<(usize, Job)>,
+    completed: Vec<Job>,
+}
+
+impl Scheduler {
+    /// Create a scheduler for `system` with the default workload mix.
+    pub fn new(system: SystemModel, seed: u64) -> Self {
+        Self::with_config(system, seed, WorkloadConfig::default())
+    }
+
+    /// Create a scheduler with explicit workload knobs.
+    pub fn with_config(system: SystemModel, seed: u64, config: WorkloadConfig) -> Self {
+        let n = system.node_count();
+        Scheduler {
+            free_nodes: (0..n).rev().collect(),
+            node_owner: vec![None; n as usize],
+            system,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_arrival_ms: 0,
+            next_job_id: 1,
+            running: BTreeMap::new(),
+            queue: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    fn draw_archetype(&mut self) -> ApplicationArchetype {
+        let total: f64 = ApplicationArchetype::ALL
+            .iter()
+            .map(|a| a.mix_weight())
+            .sum();
+        let mut x: f64 = self.rng.random::<f64>() * total;
+        for a in ApplicationArchetype::ALL {
+            x -= a.mix_weight();
+            if x <= 0.0 {
+                return a;
+            }
+        }
+        ApplicationArchetype::Debug
+    }
+
+    fn draw_job(&mut self, now_ms: i64) -> (usize, Job) {
+        let archetype = self.draw_archetype();
+        let size_median = archetype.size_median(self.system.node_count()).max(1.0);
+        let size_dist =
+            LogNormal::new(size_median.ln(), self.config.size_sigma).expect("valid lognormal");
+        let nodes_req = size_dist
+            .sample(&mut self.rng)
+            .round()
+            .clamp(1.0, f64::from(self.system.node_count())) as usize;
+        let median = archetype.duration_median() * self.config.duration_scale.max(1e-3);
+        let dur_dist =
+            LogNormal::new(median.ln(), self.config.duration_sigma).expect("valid lognormal");
+        let duration_s = dur_dist.sample(&mut self.rng).clamp(60.0, 48.0 * 3_600.0);
+        let user = self.rng.random_range(0..self.config.users);
+        // Users map onto projects many-to-one, deterministically.
+        let project_idx = user % self.config.projects;
+        let program = (project_idx % PROGRAMS.len() as u32) as u8;
+        let job = Job {
+            id: 0, // assigned at start
+            user,
+            project: format!("PRJ{project_idx:03}"),
+            program,
+            archetype,
+            nodes: Vec::new(),
+            submit_ms: now_ms,
+            start_ms: 0,
+            end_ms: duration_s as i64 * 1_000,
+            phase: self.rng.random::<f64>(),
+        };
+        (nodes_req, job)
+    }
+
+    /// Advance simulated time to `now_ms`, returning lifecycle events in
+    /// chronological order (ends before starts at equal times, so freed
+    /// nodes are reusable immediately).
+    pub fn advance(&mut self, now_ms: i64) -> Vec<JobEvent> {
+        let mut events = Vec::new();
+        // Complete finished jobs.
+        let finished: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, j)| j.end_ms <= now_ms)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in finished {
+            let job = self.running.remove(&id).expect("running job");
+            for &n in &job.nodes {
+                self.node_owner[n as usize] = None;
+                self.free_nodes.push(n);
+            }
+            events.push(JobEvent::End {
+                job_id: id,
+                end_ms: job.end_ms,
+            });
+            self.completed.push(job);
+        }
+        if !events.is_empty() {
+            // Keep free list sorted so allocation order is deterministic.
+            self.free_nodes.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        // Admit new arrivals into the queue.
+        let exp = Exp::new(1.0 / self.config.mean_interarrival_s).expect("valid exp");
+        while self.next_arrival_ms <= now_ms {
+            let arrive_at = self.next_arrival_ms;
+            let sized_job = self.draw_job(arrive_at);
+            self.queue.push(sized_job);
+            let gap_s: f64 = exp.sample(&mut self.rng);
+            self.next_arrival_ms += (gap_s * 1_000.0).max(1.0) as i64;
+        }
+        // Start queued jobs FIFO while nodes are available; the head of
+        // queue blocks (conservative) unless EASY backfill is enabled.
+        let mut started = Vec::new();
+        while let Some(&(want, _)) = self.queue.first() {
+            if want <= self.free_nodes.len() {
+                let (want, job) = self.queue.remove(0);
+                started.push(self.launch(want, job, now_ms));
+            } else {
+                break;
+            }
+        }
+        if self.config.backfill {
+            if let Some(&(head_want, _)) = self.queue.first() {
+                // Shadow time: the earliest moment the head job could
+                // start if nothing new were admitted — running jobs
+                // sorted by end time release nodes until it fits.
+                let mut ends: Vec<(i64, usize)> = self
+                    .running
+                    .values()
+                    .map(|j| (j.end_ms, j.nodes.len()))
+                    .collect();
+                ends.sort_unstable();
+                let mut available = self.free_nodes.len();
+                let mut shadow_ms = i64::MAX;
+                for (end, n) in ends {
+                    if available >= head_want {
+                        break;
+                    }
+                    available += n;
+                    shadow_ms = end;
+                }
+                // Backfill pass: a later job may start now if it fits in
+                // the free nodes AND finishes before the shadow time, so
+                // the head's reservation is never delayed.
+                let mut i = 1;
+                while i < self.queue.len() {
+                    let (want, ref job) = self.queue[i];
+                    let duration = job.end_ms; // holds duration until start
+                    if want <= self.free_nodes.len() && now_ms + duration <= shadow_ms {
+                        let (want, job) = self.queue.remove(i);
+                        started.push(self.launch(want, job, now_ms));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        events.extend(started);
+        events
+    }
+
+    /// Allocate nodes and start a job (caller verified availability).
+    fn launch(&mut self, want: usize, mut job: Job, now_ms: i64) -> JobEvent {
+        for _ in 0..want {
+            let n = self.free_nodes.pop().expect("checked free count");
+            job.nodes.push(n);
+        }
+        job.id = self.next_job_id;
+        self.next_job_id += 1;
+        job.start_ms = now_ms;
+        job.end_ms += now_ms; // end_ms held the duration until start
+        for &n in &job.nodes {
+            self.node_owner[n as usize] = Some(job.id);
+        }
+        let event = JobEvent::Start(job.clone());
+        self.running.insert(job.id, job);
+        event
+    }
+
+    /// The job currently running on `node`, if any.
+    pub fn job_on(&self, node: u32) -> Option<&Job> {
+        self.node_owner
+            .get(node as usize)
+            .copied()
+            .flatten()
+            .and_then(|id| self.running.get(&id))
+    }
+
+    /// Currently running jobs.
+    pub fn running(&self) -> impl Iterator<Item = &Job> {
+        self.running.values()
+    }
+
+    /// Jobs that have completed so far.
+    pub fn completed(&self) -> &[Job] {
+        &self.completed
+    }
+
+    /// Fraction of nodes currently allocated.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free_nodes.len() as f64 / f64::from(self.system.node_count())
+    }
+
+    /// Number of queued (waiting) jobs.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_for(sys: SystemModel, seed: u64, hours: i64) -> Scheduler {
+        let mut s = Scheduler::new(sys, seed);
+        for t in 0..(hours * 60) {
+            s.advance(t * 60_000);
+        }
+        s
+    }
+
+    #[test]
+    fn jobs_start_and_complete() {
+        let s = run_for(SystemModel::tiny(), 7, 24);
+        assert!(!s.completed().is_empty(), "no jobs completed in 24h");
+        for j in s.completed() {
+            assert!(j.end_ms > j.start_ms);
+            assert!(!j.nodes.is_empty());
+        }
+    }
+
+    #[test]
+    fn node_exclusivity() {
+        let mut s = Scheduler::new(SystemModel::tiny(), 3);
+        for t in 0..500 {
+            s.advance(t * 30_000);
+            let mut seen = std::collections::HashSet::new();
+            for j in s.running() {
+                for &n in &j.nodes {
+                    assert!(seen.insert(n), "node {n} double-allocated at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_for(SystemModel::tiny(), 11, 12);
+        let b = run_for(SystemModel::tiny(), 11, 12);
+        assert_eq!(a.completed(), b.completed());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_for(SystemModel::tiny(), 1, 12);
+        let b = run_for(SystemModel::tiny(), 2, 12);
+        assert_ne!(a.completed(), b.completed());
+    }
+
+    #[test]
+    fn job_on_matches_running_set() {
+        let mut s = Scheduler::new(SystemModel::tiny(), 5);
+        s.advance(3_600_000);
+        for j in s.running() {
+            for &n in &j.nodes {
+                assert_eq!(s.job_on(n).map(|x| x.id), Some(j.id));
+            }
+        }
+    }
+
+    #[test]
+    fn archetype_shapes_bounded_and_distinct() {
+        for a in ApplicationArchetype::ALL {
+            let mut sum = 0.0;
+            for i in 0..1_000 {
+                let t = i as f64 * 10.0;
+                let u = a.gpu_util(t, 10_000.0, 0.3);
+                assert!((0.0..=1.0).contains(&u), "{a:?} out of range: {u}");
+                sum += u;
+            }
+            let mean = sum / 1_000.0;
+            match a {
+                ApplicationArchetype::Hpl => assert!(mean > 0.8, "hpl mean {mean}"),
+                ApplicationArchetype::Debug => assert!(mean < 0.2, "debug mean {mean}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn backfill_uses_idle_nodes_without_delaying_head() {
+        // Hand-built scenario: 8 nodes; a running job holds 6 until
+        // t=100s; head wants 8 (blocked); a short 2-node job can
+        // backfill iff it ends before the shadow time (100s).
+        let build = |backfill: bool| {
+            let mut s = Scheduler::with_config(
+                SystemModel::tiny(),
+                0,
+                WorkloadConfig {
+                    backfill,
+                    ..WorkloadConfig::default()
+                },
+            );
+            // No random arrivals: this test drives the queue by hand.
+            s.next_arrival_ms = i64::MAX;
+            // Inject jobs directly into the queue (deterministic).
+            let mk = |dur_ms: i64| Job {
+                id: 0,
+                user: 0,
+                project: "PRJ000".into(),
+                program: 0,
+                archetype: ApplicationArchetype::Debug,
+                nodes: Vec::new(),
+                submit_ms: 0,
+                start_ms: 0,
+                end_ms: dur_ms,
+                phase: 0.0,
+            };
+            s.queue.push((6, mk(100_000))); // long runner
+            s.advance(0);
+            s.queue.push((8, mk(50_000))); // blocked head
+            s.queue.push((2, mk(30_000))); // short, fits, ends before 100s
+            s.queue.push((2, mk(500_000))); // fits but would outlive shadow
+            s.advance(1_000);
+            s
+        };
+        let fifo = build(false);
+        assert_eq!(
+            fifo.running().count(),
+            1,
+            "conservative FIFO blocks everything"
+        );
+        let easy = build(true);
+        let running: Vec<usize> = easy.running().map(|j| j.nodes.len()).collect();
+        assert_eq!(running.len(), 2, "short job backfills: {running:?}");
+        assert!(running.contains(&2));
+        // The long backfill candidate (500s > shadow 100s) must NOT start.
+        assert_eq!(easy.queued(), 2, "head + too-long candidate remain queued");
+    }
+
+    #[test]
+    fn backfill_improves_utilization_under_load() {
+        let run = |backfill: bool| {
+            let cfg = WorkloadConfig {
+                mean_interarrival_s: 60.0,
+                duration_scale: 0.02,
+                backfill,
+                ..WorkloadConfig::default()
+            };
+            let mut s = Scheduler::with_config(SystemModel::tiny(), 17, cfg);
+            let mut util_sum = 0.0;
+            for t in 1..=720 {
+                s.advance(t * 60_000);
+                util_sum += s.utilization();
+            }
+            (util_sum / 720.0, s.completed().len())
+        };
+        let (u_fifo, done_fifo) = run(false);
+        let (u_easy, done_easy) = run(true);
+        assert!(
+            u_easy >= u_fifo,
+            "EASY utilization {u_easy:.3} < FIFO {u_fifo:.3}"
+        );
+        assert!(
+            done_easy >= done_fifo,
+            "EASY completed {done_easy} < FIFO {done_fifo}"
+        );
+    }
+
+    #[test]
+    fn node_hours_accounting() {
+        let j = Job {
+            id: 1,
+            user: 0,
+            project: "PRJ000".into(),
+            program: 0,
+            archetype: ApplicationArchetype::Debug,
+            nodes: vec![0, 1, 2, 3],
+            submit_ms: 0,
+            start_ms: 0,
+            end_ms: 7_200_000,
+            phase: 0.0,
+        };
+        assert!((j.node_hours() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_between_zero_and_one() {
+        let s = run_for(SystemModel::tiny(), 9, 6);
+        let u = s.utilization();
+        assert!((0.0..=1.0).contains(&u));
+    }
+}

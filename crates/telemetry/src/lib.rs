@@ -1,0 +1,43 @@
+//! # oda-telemetry — synthetic instrumented HPC facility
+//!
+//! This crate is the substrate that substitutes for the proprietary
+//! Summit/Frontier telemetry of the paper. It models:
+//!
+//! * **Topology** ([`system`]): two reference system models, *Mountain*
+//!   (Summit-like) and *Compass* (Frontier-like), matching the paper's
+//!   anonymized generation names in Fig. 3.
+//! * **Sensors** ([`sensors`]): a per-system sensor catalog with sample
+//!   rates, units, noise, and dropout — operational data is "streamed,
+//!   skewed, and lossy" (§VIII-A of the paper) and the generator
+//!   reproduces that.
+//! * **Power & thermal** ([`power`], [`thermal`]): utilization-driven
+//!   component power and first-order thermal response.
+//! * **Jobs** ([`jobs`]): a batch scheduler with Poisson arrivals,
+//!   log-normal sizes/durations, and six application archetypes with
+//!   distinct power-profile shapes (the raw material of the paper's
+//!   Fig. 10 classifier).
+//! * **Events** ([`events`]): syslog-style event streams (node failures,
+//!   GPU errors, filesystem timeouts, auth activity) for the
+//!   user-assistance and Copacetic applications.
+//! * **Streams** ([`generator`]): deterministic, seeded assembly of all
+//!   of the above into long-format [`record::Observation`] batches.
+//! * **Volume accounting** ([`rates`]): analytic bytes/day per data
+//!   source, the basis of the Fig. 4-a ingest-rate experiment.
+//!
+//! Everything is deterministic under an explicit seed.
+
+pub mod events;
+pub mod generator;
+pub mod jobs;
+pub mod power;
+pub mod rates;
+pub mod record;
+pub mod sensors;
+pub mod system;
+pub mod thermal;
+
+pub use generator::{TelemetryBatch, TelemetryGenerator};
+pub use jobs::{ApplicationArchetype, Job, JobEvent, Scheduler};
+pub use record::{Component, Device, Observation, Quality};
+pub use sensors::{SensorCatalog, SensorKind, SensorSpec};
+pub use system::SystemModel;

@@ -1,0 +1,159 @@
+//! Utilization-driven component power model.
+//!
+//! Node power decomposes into an idle floor plus dynamic power split
+//! between GPUs and CPUs according to the system model's
+//! `gpu_dynamic_share`. The same model is reused white-box by the
+//! digital twin (`oda-twin`), which is what makes Fig. 11's replay
+//! validation meaningful: the twin predicts from job utilization, the
+//! telemetry reports the "measured" value with sensor noise on top.
+
+use crate::jobs::Job;
+use crate::system::SystemModel;
+
+/// Deterministic (noise-free) power model of one system.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    system: SystemModel,
+}
+
+impl PowerModel {
+    /// Build the power model for `system`.
+    pub fn new(system: SystemModel) -> Self {
+        PowerModel { system }
+    }
+
+    /// The modeled system.
+    pub fn system(&self) -> &SystemModel {
+        &self.system
+    }
+
+    /// Per-node phase shift so nodes of one job are decorrelated.
+    pub fn node_phase(job: &Job, node: u32) -> f64 {
+        job.phase + f64::from(node % 97) * 0.013
+    }
+
+    /// GPU utilization of `node` at absolute time `ts_ms`, given the job
+    /// running there (0 when idle).
+    pub fn gpu_util(&self, job: Option<&Job>, node: u32, ts_ms: i64) -> f64 {
+        match job {
+            Some(j) => {
+                let t = (ts_ms - j.start_ms) as f64 / 1_000.0;
+                j.archetype
+                    .gpu_util(t, j.duration_s(), Self::node_phase(j, node))
+            }
+            None => 0.0,
+        }
+    }
+
+    /// CPU utilization of `node` at `ts_ms` (a small housekeeping floor
+    /// exists even on idle nodes).
+    pub fn cpu_util(&self, job: Option<&Job>, node: u32, ts_ms: i64) -> f64 {
+        match job {
+            Some(j) => {
+                let t = (ts_ms - j.start_ms) as f64 / 1_000.0;
+                j.archetype
+                    .cpu_util(t, j.duration_s(), Self::node_phase(j, node))
+            }
+            None => 0.03,
+        }
+    }
+
+    /// Total node power in watts given component utilizations.
+    pub fn node_power(&self, cpu_util: f64, gpu_util: f64) -> f64 {
+        let dynamic = self.system.node_dynamic_watts();
+        let gpu_part = dynamic * self.system.gpu_dynamic_share * gpu_util;
+        let cpu_part = dynamic * (1.0 - self.system.gpu_dynamic_share) * cpu_util;
+        self.system.node_idle_watts + gpu_part + cpu_part
+    }
+
+    /// Power of a single GPU device in watts.
+    pub fn gpu_power(&self, gpu_util: f64) -> f64 {
+        let per_gpu_dynamic = self.system.node_dynamic_watts() * self.system.gpu_dynamic_share
+            / f64::from(self.system.gpus_per_node);
+        let per_gpu_idle = self.system.node_idle_watts * 0.3 / f64::from(self.system.gpus_per_node);
+        per_gpu_idle + per_gpu_dynamic * gpu_util
+    }
+
+    /// Power of a single CPU socket in watts.
+    pub fn cpu_power(&self, cpu_util: f64) -> f64 {
+        let per_cpu_dynamic = self.system.node_dynamic_watts()
+            * (1.0 - self.system.gpu_dynamic_share)
+            / f64::from(self.system.cpus_per_node);
+        let per_cpu_idle = self.system.node_idle_watts * 0.2 / f64::from(self.system.cpus_per_node);
+        per_cpu_idle + per_cpu_dynamic * cpu_util
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::ApplicationArchetype;
+
+    fn model() -> PowerModel {
+        PowerModel::new(SystemModel::compass())
+    }
+
+    #[test]
+    fn idle_node_draws_idle_power() {
+        let m = model();
+        let p = m.node_power(0.0, 0.0);
+        assert!((p - m.system().node_idle_watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_load_hits_peak() {
+        let m = model();
+        let p = m.node_power(1.0, 1.0);
+        assert!((p - m.system().node_peak_watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_monotonic_in_util() {
+        let m = model();
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let u = f64::from(i) / 10.0;
+            let p = m.node_power(u, u);
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn gpu_dominates_dynamic_power() {
+        let m = model();
+        let gpu_only = m.node_power(0.0, 1.0) - m.node_power(0.0, 0.0);
+        let cpu_only = m.node_power(1.0, 0.0) - m.node_power(0.0, 0.0);
+        assert!(
+            gpu_only > 3.0 * cpu_only,
+            "gpu {gpu_only} vs cpu {cpu_only}"
+        );
+    }
+
+    #[test]
+    fn util_of_idle_node_is_floor() {
+        let m = model();
+        assert_eq!(m.gpu_util(None, 0, 0), 0.0);
+        assert!(m.cpu_util(None, 0, 0) < 0.1);
+    }
+
+    #[test]
+    fn util_follows_job_archetype() {
+        let m = model();
+        let job = Job {
+            id: 1,
+            user: 0,
+            project: "PRJ000".into(),
+            program: 0,
+            archetype: ApplicationArchetype::Hpl,
+            nodes: vec![0],
+            submit_ms: 0,
+            start_ms: 0,
+            end_ms: 3_600_000,
+            phase: 0.5,
+        };
+        // Mid-job HPL should be near peak utilization.
+        let u = m.gpu_util(Some(&job), 0, 1_800_000);
+        assert!(u > 0.85, "mid-run HPL gpu util {u}");
+    }
+}

@@ -1,0 +1,130 @@
+//! First-order thermal response of nodes and cooling loops.
+//!
+//! A node's outlet coolant temperature follows its power with a
+//! first-order lag; GPU junction temperatures ride on top of the loop
+//! supply temperature. This is intentionally the *same physics family*
+//! (lumped capacitance) as the digital twin's plant model, at node
+//! granularity.
+
+/// Node-level thermal state with first-order lag.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeThermal {
+    /// Current outlet temperature in Celsius.
+    outlet_c: f64,
+}
+
+/// Thermal constants shared by all nodes of a system.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalModel {
+    /// Coolant supply (inlet) temperature in Celsius.
+    pub supply_c: f64,
+    /// Outlet temperature rise per kilowatt of node power.
+    pub rise_c_per_kw: f64,
+    /// Lag time constant in seconds.
+    pub tau_s: f64,
+    /// GPU junction temperature rise above outlet per unit utilization.
+    pub gpu_rise_c: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        // Warm-water cooling: 21 C supply, ~8 C rise per kW through a
+        // cold plate, ~90 s node thermal time constant.
+        ThermalModel {
+            supply_c: 21.0,
+            rise_c_per_kw: 8.0,
+            tau_s: 90.0,
+            gpu_rise_c: 35.0,
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Steady-state outlet temperature for a node drawing `watts`.
+    pub fn steady_outlet_c(&self, watts: f64) -> f64 {
+        self.supply_c + self.rise_c_per_kw * watts / 1_000.0
+    }
+
+    /// GPU junction temperature given loop outlet temp and utilization.
+    pub fn gpu_temp_c(&self, outlet_c: f64, gpu_util: f64) -> f64 {
+        outlet_c + self.gpu_rise_c * gpu_util
+    }
+}
+
+impl NodeThermal {
+    /// Start at thermal equilibrium with an idle node.
+    pub fn new(model: &ThermalModel, idle_watts: f64) -> Self {
+        NodeThermal {
+            outlet_c: model.steady_outlet_c(idle_watts),
+        }
+    }
+
+    /// Advance the lag by `dt_s` seconds toward the steady state implied
+    /// by `watts`, returning the new outlet temperature.
+    pub fn step(&mut self, model: &ThermalModel, watts: f64, dt_s: f64) -> f64 {
+        let target = model.steady_outlet_c(watts);
+        // Exact discretization of d(T)/dt = (target - T)/tau.
+        let alpha = 1.0 - (-dt_s / model.tau_s).exp();
+        self.outlet_c += alpha * (target - self.outlet_c);
+        self.outlet_c
+    }
+
+    /// Current outlet temperature.
+    pub fn outlet_c(&self) -> f64 {
+        self.outlet_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equilibrium_holds() {
+        let m = ThermalModel::default();
+        let mut t = NodeThermal::new(&m, 1_000.0);
+        let before = t.outlet_c();
+        for _ in 0..100 {
+            t.step(&m, 1_000.0, 1.0);
+        }
+        assert!((t.outlet_c() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_approaches_steady_state() {
+        let m = ThermalModel::default();
+        let mut t = NodeThermal::new(&m, 500.0);
+        let target = m.steady_outlet_c(3_000.0);
+        for _ in 0..(10 * m.tau_s as usize) {
+            t.step(&m, 3_000.0, 1.0);
+        }
+        assert!(
+            (t.outlet_c() - target).abs() < 0.05,
+            "{} vs {target}",
+            t.outlet_c()
+        );
+    }
+
+    #[test]
+    fn lag_means_transient_undershoot() {
+        let m = ThermalModel::default();
+        let mut t = NodeThermal::new(&m, 500.0);
+        let target = m.steady_outlet_c(3_000.0);
+        t.step(&m, 3_000.0, 10.0);
+        // After one-ninth of a time constant we must still be well below
+        // the steady state.
+        assert!(t.outlet_c() < target - 5.0);
+    }
+
+    #[test]
+    fn gpu_temp_rises_with_util() {
+        let m = ThermalModel::default();
+        assert!(m.gpu_temp_c(30.0, 1.0) > m.gpu_temp_c(30.0, 0.0) + 30.0);
+    }
+
+    #[test]
+    fn hotter_node_hotter_outlet() {
+        let m = ThermalModel::default();
+        assert!(m.steady_outlet_c(3_000.0) > m.steady_outlet_c(500.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! # oda-twin — a digital twin of a liquid-cooled supercomputer
+//!
+//! The ExaDigiT analogue (§VIII-C, Fig. 11): white-box models that
+//! "overcome the limitations of black-box data-driven machine learning
+//! models that do not extrapolate to unknown states". Three modules
+//! mirror the paper's decomposition:
+//!
+//! 1. [`power`] — a resource-allocator-driven power simulator,
+//!    including rectification and voltage-conversion losses.
+//! 2. [`cooling`] — a transient thermo-fluidic model of the cooling
+//!    chain (cold plates → CDU heat exchanger → primary loop → cooling
+//!    tower), integrated explicitly with a stability-bounded step.
+//! 3. [`mod@replay`] — telemetry replay for verification & validation:
+//!    drive the twin with a recorded job schedule and compare predicted
+//!    against measured facility power and loop temperatures.
+//!
+//! [`scenario`] adds what-if studies (the HPL run of Fig. 11, coolant
+//! set-point changes, load scaling); [`validate`] holds the error
+//! metrics.
+
+pub mod cooling;
+pub mod power;
+pub mod replay;
+pub mod scenario;
+pub mod validate;
+
+pub use cooling::{CoolingPlant, CoolingState};
+pub use power::{PowerSample, PowerSim};
+pub use replay::{replay, ReplayReport};
+pub use scenario::{hpl_run, Scenario};

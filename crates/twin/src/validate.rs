@@ -1,0 +1,103 @@
+//! Error metrics for verification & validation.
+
+/// Mean absolute percentage error (skips pairs with |actual| < eps).
+pub fn mape(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, a) in predicted.iter().zip(actual) {
+        if a.abs() < 1e-9 || !p.is_finite() || !a.is_finite() {
+            continue;
+        }
+        sum += ((p - a) / a).abs();
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Root mean squared error.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, a) in predicted.iter().zip(actual) {
+        if !p.is_finite() || !a.is_finite() {
+            continue;
+        }
+        sum += (p - a) * (p - a);
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (sum / n as f64).sqrt()
+    }
+}
+
+/// Pearson correlation coefficient.
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    let n = pairs.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in pairs {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_of_exact_match_is_zero() {
+        assert_eq!(mape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mape_ten_percent() {
+        let m = mape(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((m - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let e = rmse(&[1.0, 2.0], &[4.0, 6.0]);
+        assert!((e - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &up) - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_pairs_skipped() {
+        let m = mape(&[110.0, f64::NAN], &[100.0, 100.0]);
+        assert!((m - 0.1).abs() < 1e-12);
+        assert!(mape(&[f64::NAN], &[1.0]).is_nan());
+    }
+}

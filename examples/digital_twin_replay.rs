@@ -1,0 +1,94 @@
+//! Fig. 11: ExaDigiT-style telemetry replay and what-if scenarios.
+//!
+//! Replays an HPL run's job schedule through the twin's white-box power
+//! and cooling models, validates against the "measured" facility power
+//! telemetry, and then runs extrapolation scenarios telemetry never saw
+//! (warm-water set point, heat wave).
+//!
+//! Run with: `cargo run --release --example digital_twin_replay`
+
+use oda::analytics::sparkline::sparkline_fit;
+use oda::telemetry::SystemModel;
+use oda::twin::power::PowerSim;
+use oda::twin::replay::replay;
+use oda::twin::scenario::{hpl_run, run_scenario, Scenario};
+
+fn main() {
+    let system = SystemModel::tiny();
+    // The HPL run of the paper's validation: full machine, 2 hours.
+    let job = hpl_run(&system, 1.0, 2.0);
+    let jobs = vec![job];
+
+    // "Measured" telemetry: the facility power a real substation meter
+    // would report — same physics, sensor noise on top.
+    let sim = PowerSim::new(system.clone(), jobs.clone());
+    let measured: Vec<(i64, f64)> = (0..240)
+        .map(|i| {
+            let ts = i * 30_000;
+            let truth = sim.sample(ts).facility_w;
+            let noise = 1.0 + 0.015 * ((i as f64) * 0.9).sin() + 0.01 * ((i as f64) * 0.13).cos();
+            (ts, truth * noise)
+        })
+        .collect();
+
+    let report = replay(&system, &jobs, &measured);
+    println!(
+        "=== telemetry replay validation (HPL run, {} samples) ===",
+        report.samples
+    );
+    println!("  measured  mean {:>10.1} W", report.mean_measured_w);
+    println!("  predicted mean {:>10.1} W", report.mean_predicted_w);
+    println!("  MAPE          {:>10.2} %", report.power_mape * 100.0);
+    println!("  RMSE          {:>10.1} W", report.power_rmse_w);
+    println!("  correlation   {:>10.3}", report.power_correlation);
+    println!("  mean rect+conv losses {:>8.1} W", report.mean_losses_w);
+    println!();
+    let measured_series: Vec<f64> = measured.iter().map(|m| m.1).collect();
+    println!("  measured power  {}", sparkline_fit(&measured_series, 60));
+    println!(
+        "  predicted power {}",
+        sparkline_fit(&report.predicted_w, 60)
+    );
+    println!(
+        "  loop return C   {}",
+        sparkline_fit(&report.cooling_return_c, 60)
+    );
+    println!();
+
+    println!("=== what-if scenarios (extrapolation beyond observed states) ===");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>6}",
+        "scenario", "load", "mean kW", "energy kWh", "losses kW", "peak ret C", "PUE"
+    );
+    let scenarios = [
+        Scenario::baseline(),
+        Scenario {
+            name: "half-load".into(),
+            load_fraction: 0.5,
+            ..Scenario::baseline()
+        },
+        Scenario {
+            name: "warm-water".into(),
+            supply_setpoint_c: 30.0,
+            ..Scenario::baseline()
+        },
+        Scenario {
+            name: "heat-wave".into(),
+            wet_bulb_c: 30.0,
+            ..Scenario::baseline()
+        },
+    ];
+    for sc in scenarios {
+        let o = run_scenario(&system, &sc);
+        println!(
+            "{:<14} {:>9.0}% {:>12.2} {:>12.2} {:>12.3} {:>12.2} {:>6.3}",
+            o.scenario.name,
+            o.scenario.load_fraction * 100.0,
+            o.mean_facility_w / 1_000.0,
+            o.energy_kwh,
+            o.mean_losses_w / 1_000.0,
+            o.peak_return_c,
+            o.pue
+        );
+    }
+}

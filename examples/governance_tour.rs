@@ -1,0 +1,112 @@
+//! Governance tour: Table I, Table II, Fig. 2, Fig. 3, and Fig. 12.
+//!
+//! Prints the Table I usage catalog, renders the Fig. 3 maturity matrix
+//! seeded from the paper, walks a stream through the L0-L5 lifecycle
+//! (Fig. 2), and drives internal + external release requests through
+//! the Table II advisory chain, including the Fig. 12 sanitization path.
+//!
+//! Run with: `cargo run --release --example governance_tour`
+
+use oda::govern::access::{AccessControl, Channel};
+use oda::govern::advisory::{DataRuc, ReleaseRequest, RequestState};
+use oda::govern::catalog::render_catalog;
+use oda::govern::dictionary::DataDictionary;
+use oda::govern::maturity::{Area, Generation, MaturityMatrix, StreamRow};
+use oda::govern::Sanitizer;
+
+fn main() {
+    println!("=== Table I: areas of operational data usage ===");
+    println!("{}", render_catalog());
+
+    println!("=== Fig. 3: maturity matrix (Mountain/Compass), paper seed ===");
+    let mut matrix = MaturityMatrix::paper_seed();
+    println!("{}", matrix.render());
+    let (m, c) = matrix.mean_levels();
+    println!("mean maturity: mountain {m:.2}, compass {c:.2} (newer system lags)\n");
+
+    println!("=== Fig. 2: maturing one stream (perf counters for R&D) ===");
+    let mut dict = DataDictionary::new();
+    for step in 1..=5 {
+        match matrix.promote(
+            StreamRow::PerfCounters,
+            Area::RnD,
+            Generation::Compass,
+            &dict,
+        ) {
+            Ok(level) => println!("  step {step}: promoted to {}", level.label()),
+            Err(e) => {
+                println!("  step {step}: blocked — {e}");
+                println!("  ...running an exploration campaign to build the dictionary...");
+                dict.complete_stream(StreamRow::PerfCounters);
+            }
+        }
+    }
+    let cell = matrix.get(StreamRow::PerfCounters, Area::RnD).unwrap();
+    println!("  final: compass {}\n", cell.compass.label());
+
+    println!("=== Table II / Fig. 12: the advisory chain ===");
+    let mut ruc = DataRuc::new();
+    let mut access = AccessControl::new();
+
+    // Internal request: straight through.
+    let internal = ruc.submit(ReleaseRequest::internal(
+        "staff-a",
+        "compass-power-2026",
+        "LVA dashboards",
+    ));
+    let state = ruc.review_to_completion(internal).unwrap();
+    println!("internal request -> {state:?}");
+    if state == RequestState::Approved {
+        access.grant("PRJ001", Channel::Lake, "compass-power-2026");
+        access.grant("PRJ001", Channel::Stream, "compass-power-2026");
+        println!("  grants: {:?}", access.grants_of("PRJ001"));
+    }
+
+    // External release with PII: parks at cyber security.
+    let mut req = ReleaseRequest::external("staff-b", "job-logs-2026", "university collaboration");
+    req.contains_pii = true;
+    let external = ruc.submit(req);
+    let state = ruc.review_to_completion(external).unwrap();
+    println!("external request -> {state:?}");
+
+    // Sanitize (Fig. 12's curation step), then resume.
+    let sanitizer = Sanitizer::new(0xc0ffee);
+    let sample_log = "login by user42 (carol@univ.edu) project PRJ007";
+    println!("  raw log line:       {sample_log}");
+    println!("  sanitized log line: {}", sanitizer.scrub_text(sample_log));
+    ruc.mark_sanitized(external);
+    let state = ruc.review_to_completion(external).unwrap();
+    println!("after sanitization -> {state:?}");
+    if state == RequestState::Approved {
+        access.grant("UNIV-COLLAB", Channel::Export, "job-logs-2026");
+        assert!(access.access("UNIV-COLLAB", Channel::Export, "job-logs-2026"));
+        // Fine-grained: the collaborator gets files, not live streams.
+        assert!(!access.access("UNIV-COLLAB", Channel::Stream, "job-logs-2026"));
+    }
+
+    // Rejections terminate the chain early.
+    let mut bad = ReleaseRequest::external("staff-c", "fabric-traces", "benchmarking");
+    bad.export_controlled = true;
+    let rejected = ruc.submit(bad);
+    println!(
+        "export-controlled request -> {:?}",
+        ruc.review_to_completion(rejected).unwrap()
+    );
+
+    println!("\naudit log ({} records):", ruc.audit_log().len());
+    for r in ruc.audit_log() {
+        println!(
+            "  request {} @ {:<14} {:?}",
+            r.request,
+            r.stage.label(),
+            r.decision
+        );
+    }
+    println!("\naccess log ({} records):", access.log().len());
+    for r in access.log() {
+        println!(
+            "  {:?} {} {} -> {}",
+            r.channel, r.project, r.dataset, r.allowed
+        );
+    }
+}

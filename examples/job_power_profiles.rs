@@ -1,0 +1,115 @@
+//! Fig. 10: job power-profile classification and the SOM population grid.
+//!
+//! Generates a day of jobs on the tiny system, extracts contextualized
+//! power profiles through the streaming Silver pipeline, trains the
+//! neural classifier on archetype labels, and renders the
+//! self-organizing-map population grid ("cells are profile shapes and
+//! the color is the observed population").
+//!
+//! Run with: `cargo run --release --example job_power_profiles`
+
+use oda::analytics::profiles::extract_profiles;
+use oda::analytics::sparkline::sparkline_fit;
+use oda::core::config::FacilityConfig;
+use oda::core::facility::Facility;
+use oda::core::ingest::topics;
+use oda::ml::classifier::{ProfileClassifier, TrainConfig};
+use oda::ml::features::featurize;
+use oda::ml::som::SelfOrganizingMap;
+use oda::pipeline::checkpoint::CheckpointStore;
+use oda::pipeline::medallion::{observation_decoder, streaming_silver_transform};
+use oda::pipeline::streaming::{MemorySink, StreamingQuery};
+use oda::stream::Consumer;
+use oda::telemetry::SensorCatalog;
+
+fn main() {
+    // Two simulated days at 15 s ticks; jobs long enough (x0.25 of the
+    // production medians) that each archetype's periodic structure is
+    // visible at the 15 s Silver window.
+    let mut config = FacilityConfig::tiny(2_024);
+    config.tick_ms = 15_000;
+    config.workload.mean_interarrival_s = 300.0;
+    config.workload.duration_scale = 0.25;
+    let mut facility = Facility::build(config);
+    println!("collecting telemetry (2 simulated days)...");
+    facility.run(11_520);
+
+    // Engineer: streaming Bronze -> Silver.
+    let system = facility.systems()[0].clone();
+    let (bronze, _, _) = topics(&system.name);
+    let consumer = Consumer::subscribe(facility.broker(), "profiles", &bronze).expect("subscribe");
+    let mut query = StreamingQuery::new(
+        consumer,
+        observation_decoder(SensorCatalog::for_system(&system)),
+        streaming_silver_transform(15_000, 0),
+        CheckpointStore::new(),
+    )
+    .expect("query");
+    let mut sink = MemorySink::new();
+    query.run_to_completion(&mut sink).expect("stream");
+    let silver = sink.concat().expect("silver");
+    println!("silver rows: {}", silver.rows());
+
+    // Contextualize: per-job power profiles.
+    let jobs = facility.jobs(0).to_vec();
+    let profiles = extract_profiles(&silver, &jobs, 15_000).expect("profiles");
+    println!(
+        "profiles extracted: {} (from {} jobs)\n",
+        profiles.len(),
+        jobs.len()
+    );
+
+    println!("sample profiles (left: archetype, right: shape):");
+    let mut shown = std::collections::HashSet::new();
+    for p in &profiles {
+        if p.samples.len() >= 8 && shown.insert(p.archetype.clone()) {
+            println!("  {:<10} {}", p.archetype, sparkline_fit(&p.samples, 48));
+        }
+    }
+    println!();
+
+    // Train the classifier on the labeled profiles.
+    let data: Vec<(Vec<f64>, String)> = profiles
+        .iter()
+        .filter(|p| p.samples.len() >= 16)
+        .map(|p| (p.samples.clone(), p.archetype.clone()))
+        .collect();
+    if data.len() < 30 {
+        println!(
+            "not enough profiles for training ({}), run longer",
+            data.len()
+        );
+        return;
+    }
+    let (clf, eval) = ProfileClassifier::train(&data, &TrainConfig::default());
+    println!(
+        "classifier: {} profiles, {} classes, held-out accuracy {:.1}% (chance {:.1}%)",
+        data.len(),
+        clf.classes.len(),
+        eval.test_accuracy * 100.0,
+        100.0 / clf.classes.len() as f64
+    );
+    println!("confusion matrix [true x pred] ({:?}):", clf.classes);
+    for row in &eval.confusion {
+        println!("  {row:?}");
+    }
+    println!();
+
+    // The Fig. 10 right panel: SOM population grid.
+    let features: Vec<Vec<f64>> = data.iter().map(|(s, _)| featurize(s)).collect();
+    let labels: Vec<String> = data.iter().map(|(_, l)| l.clone()).collect();
+    let mut som = SelfOrganizingMap::new(6, 6, features[0].len(), 7);
+    som.train(&features, 8);
+    let pop = som.population(&features);
+    let dom = som.dominant_labels(&features, &labels);
+    println!("SOM population grid (6x6; count + dominant archetype initial):");
+    for y in 0..6 {
+        let mut line = String::from("  ");
+        for x in 0..6 {
+            let i = y * 6 + x;
+            let initial = dom[i].as_deref().map(|s| &s[..1]).unwrap_or(".");
+            line.push_str(&format!("{:>4}{initial} ", pop[i]));
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a facility, close the operational feedback loop.
+//!
+//! One simulated operational shift on a laptop-scale system: telemetry
+//! streams into the broker, a streaming pipeline refines Bronze to
+//! Silver, the loop analyzes the Silver indicators, decides, and turns
+//! a real actuator (the coolant supply set point) — Fig. 1 of the
+//! paper, end to end.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use oda::core::config::FacilityConfig;
+use oda::core::facility::Facility;
+use oda::core::lifecycle::{Adjustment, OperationalLoop};
+
+fn main() {
+    let mut facility = Facility::build(FacilityConfig::tiny(42));
+    println!("facility: {} system(s)", facility.systems().len());
+    for s in facility.systems() {
+        println!(
+            "  {}: {} nodes, {} GPUs, {:.1} MW peak",
+            s.name,
+            s.node_count(),
+            s.gpu_count(),
+            s.peak_mw
+        );
+    }
+    println!("topics: {:?}", facility.broker().topic_names());
+    println!();
+
+    let mut ops = OperationalLoop::attach(&facility, 0, 15_000).expect("attach loop");
+    println!(
+        "operational feedback loop (target outlet {:.0} C):",
+        ops.target_outlet_c
+    );
+    println!(
+        "{:>4} {:>12} {:>14} {:>14} {:>16}  adjustment",
+        "iter", "silver rows", "mean outlet C", "peak outlet C", "mean node W"
+    );
+    for iter in 1..=6 {
+        let report = ops.iterate(&mut facility, 60).expect("loop iteration");
+        let adj = match report.adjustment {
+            Adjustment::RaiseSupply { to_c } => format!("raise supply -> {to_c:.0} C"),
+            Adjustment::LowerSupply { to_c } => format!("lower supply -> {to_c:.0} C"),
+            Adjustment::Hold => "hold".to_string(),
+        };
+        println!(
+            "{iter:>4} {:>12} {:>14.2} {:>14.2} {:>16.1}  {adj}",
+            report.silver_rows,
+            report.mean_outlet_c,
+            report.peak_outlet_c,
+            report.mean_node_power_w
+        );
+    }
+    println!();
+    println!(
+        "after {} simulated seconds: broker holds {:.2} MiB across {} topics",
+        facility.now_ms() / 1_000,
+        facility.broker().bytes() as f64 / (1024.0 * 1024.0),
+        facility.broker().topic_names().len()
+    );
+    println!(
+        "LAKE holds {} hot series / {} points",
+        facility.lake().series_with_prefix("", 0, i64::MAX).len(),
+        facility.lake().len()
+    );
+}

@@ -1,0 +1,95 @@
+//! Fig. 6 + Fig. 7: the User Assistance dashboard and the RATS report.
+//!
+//! Simulates an operational day, injects diagnosable incidents, then
+//! answers user tickets both ways: through the compiled dashboard (one
+//! call) and through the old per-source manual scans — same answers,
+//! very different work. Finishes with the RATS per-program usage table.
+//!
+//! Run with: `cargo run --release --example user_assistance`
+
+use oda::analytics::dashboard::{diagnose_manually, UaDashboard};
+use oda::analytics::rats::RatsReport;
+use oda::core::config::FacilityConfig;
+use oda::core::facility::Facility;
+use std::time::Instant;
+
+fn main() {
+    let mut config = FacilityConfig::tiny(77);
+    config.tick_ms = 30_000; // half-minute ticks: a long day, fast
+    let mut facility = Facility::build(config);
+    println!("simulating an operational day...");
+    facility.run(2_880);
+
+    let jobs = facility.jobs(0).to_vec();
+    let events = facility.events(0).to_vec();
+    let lake = facility.lake();
+    println!(
+        "day summary: {} jobs, {} events, {} LAKE points\n",
+        jobs.len(),
+        events.len(),
+        lake.len()
+    );
+
+    let dashboard = UaDashboard::compile_with_prefix(&jobs, &events, lake.clone(), "tiny/");
+
+    // Tickets: the three most active users of the day.
+    let mut per_user: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for j in &jobs {
+        *per_user.entry(j.user).or_insert(0) += 1;
+    }
+    let mut users: Vec<(u32, usize)> = per_user.into_iter().collect();
+    users.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let window = (0, facility.now_ms());
+
+    println!("=== ticket diagnosis: dashboard vs manual scans ===");
+    for &(user, n_jobs) in users.iter().take(3) {
+        let t = Instant::now();
+        let ctx = dashboard.diagnose(user, window.0, window.1);
+        let fast = t.elapsed();
+        let t = Instant::now();
+        let manual = diagnose_manually(&jobs, &events, &lake, "tiny/", user, window.0, window.1);
+        let slow = t.elapsed();
+        println!(
+            "ticket from user {user} ({n_jobs} jobs): {} jobs in window, {} node events",
+            ctx.jobs.len(),
+            ctx.node_events.len()
+        );
+        for e in ctx.node_events.iter().take(3) {
+            println!("    {e}");
+        }
+        for job in ctx.jobs.iter().take(2) {
+            let power = ctx
+                .mean_power_w
+                .get(&job.job_id)
+                .copied()
+                .unwrap_or(f64::NAN);
+            println!(
+                "    job {} [{}] on {} nodes, mean node power {power:.0} W",
+                job.job_id, job.archetype, job.nodes
+            );
+        }
+        assert_eq!(ctx.jobs.len(), manual.jobs.len(), "both paths must agree");
+        println!(
+            "    dashboard {:>9.1?} vs manual scans {:>9.1?}  ({:.0}x)",
+            fast,
+            slow,
+            slow.as_secs_f64() / fast.as_secs_f64().max(1e-9)
+        );
+    }
+
+    println!("\n=== RATS report: per-program usage (Fig. 7) ===");
+    let completed: Vec<_> = jobs
+        .iter()
+        .filter(|j| j.end_ms <= facility.now_ms())
+        .cloned()
+        .collect();
+    let report = RatsReport::compile(&completed, facility.systems()[0], &[]);
+    print!("{}", report.to_table());
+    println!(
+        "\nGPU-hours dominate CPU-hours on a GPU-dense machine — the Fig. 7 shape: {}",
+        report
+            .rows
+            .iter()
+            .all(|r| r.jobs == 0 || r.gpu_hours >= r.cpu_hours)
+    );
+}

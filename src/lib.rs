@@ -1,0 +1,29 @@
+//! # oda — End-to-end Operational Data Analytics for HPC facilities
+//!
+//! `oda` is a from-scratch Rust implementation of the operational data
+//! analytics (ODA) stack described in *"Navigating Exascale Operational
+//! Data Analytics: From Inundation to Insight"* (SC 2024): a synthetic
+//! instrumented HPC facility, a partitioned streaming broker, a medallion
+//! (Bronze → Silver → Gold) structured-streaming pipeline engine, tiered
+//! data services (STREAM / LAKE / OCEAN / GLACIER), packaged analytics
+//! applications, an ML engineering layer, a digital twin, and a data
+//! governance workflow.
+//!
+//! This facade crate re-exports every subsystem. Start with
+//! [`core::facility::Facility`] or the `quickstart` example.
+
+pub use oda_analytics as analytics;
+pub use oda_core as core;
+pub use oda_govern as govern;
+pub use oda_ml as ml;
+pub use oda_pipeline as pipeline;
+pub use oda_storage as storage;
+pub use oda_stream as stream;
+pub use oda_telemetry as telemetry;
+pub use oda_twin as twin;
+
+/// Convenience prelude pulling in the most commonly used types from every
+/// subsystem.
+pub mod prelude {
+    pub use oda_core::prelude::*;
+}

@@ -1,0 +1,173 @@
+//! Fig. 9: repeatable, reproducible ML pipelines.
+//!
+//! The paper's ML engineering loop: Silver batches → versioned feature
+//! store (DVC role) → training → experiment tracking + model registry
+//! (MLflow role). The assertable property: pinning the same feature
+//! store version and seed reproduces the model **bit for bit**, while
+//! changing either produces a different artifact.
+
+use oda::ml::classifier::{ProfileClassifier, TrainConfig};
+use oda::ml::features::featurize;
+use oda::ml::store::{FeatureSet, FeatureStore};
+use oda::ml::tracking::ExperimentTracker;
+use std::collections::BTreeMap;
+
+/// Synthetic archetype profiles standing in for a Silver batch import.
+fn profile_batch(per_class: usize, seed: u64) -> Vec<(Vec<f64>, String)> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..per_class {
+        let phase: f64 = rng.random::<f64>() * std::f64::consts::TAU;
+        let n = 150;
+        let mk = |f: &dyn Fn(f64) -> f64| -> Vec<f64> { (0..n).map(|i| f(i as f64)).collect() };
+        out.push((mk(&|t| (t / 10.0).min(1.0) * 0.9), "hpl".into()));
+        out.push((
+            mk(&|t| {
+                if ((t + phase * 10.0) % 40.0) < 30.0 {
+                    0.8
+                } else {
+                    0.2
+                }
+            }),
+            "climate".into(),
+        ));
+        out.push((mk(&|t| 0.6 + 0.05 * (t * 0.1 + phase).sin()), "md".into()));
+        out.push((
+            mk(&|t| 0.1 + 0.04 * (t * 0.5 + phase).sin().abs()),
+            "debug".into(),
+        ));
+    }
+    out
+}
+
+fn train_run(
+    store: &FeatureStore,
+    tracker: &ExperimentTracker,
+    dataset_version: &str,
+    seed: u64,
+) -> (String, f64) {
+    let set = store
+        .get("profiles", dataset_version)
+        .expect("pinned version exists");
+    // Reconstitute the (samples, label) pairs the classifier trains on.
+    // The feature store holds raw profile samples here so the whole
+    // featurize+train path is replayed from the pin.
+    let data: Vec<(Vec<f64>, String)> = set
+        .features
+        .iter()
+        .cloned()
+        .zip(set.labels.iter().cloned())
+        .collect();
+    let config = TrainConfig {
+        seed,
+        epochs: 40,
+        ..TrainConfig::default()
+    };
+    let (clf, eval) = ProfileClassifier::train(&data, &config);
+    let bytes = clf.to_bytes();
+    let params: BTreeMap<String, String> = [
+        ("dataset_version".to_string(), dataset_version.to_string()),
+        ("seed".to_string(), seed.to_string()),
+    ]
+    .into_iter()
+    .collect();
+    let metrics: BTreeMap<String, f64> = [("test_accuracy".to_string(), eval.test_accuracy)]
+        .into_iter()
+        .collect();
+    let run_id = tracker.log_run("profile-clf", params, metrics, Some(&bytes));
+    let run = &tracker.runs("profile-clf")[run_id as usize];
+    (
+        run.model_hash.clone().expect("model registered"),
+        eval.test_accuracy,
+    )
+}
+
+#[test]
+fn same_version_same_seed_is_bit_reproducible() {
+    let store = FeatureStore::new();
+    let tracker = ExperimentTracker::new();
+    let batch = profile_batch(25, 7);
+    let version = store.put(
+        "profiles",
+        FeatureSet {
+            features: batch.iter().map(|(s, _)| s.clone()).collect(),
+            labels: batch.iter().map(|(_, l)| l.clone()).collect(),
+        },
+    );
+    let (hash_a, acc_a) = train_run(&store, &tracker, &version, 42);
+    let (hash_b, acc_b) = train_run(&store, &tracker, &version, 42);
+    assert_eq!(
+        hash_a, hash_b,
+        "same pin + seed must reproduce the model bit-for-bit"
+    );
+    assert_eq!(acc_a, acc_b);
+    // The registry holds exactly one artifact for the shared hash.
+    assert!(tracker.model("profile-clf", &hash_a).is_some());
+}
+
+#[test]
+fn different_seed_or_data_changes_the_artifact() {
+    let store = FeatureStore::new();
+    let tracker = ExperimentTracker::new();
+    let batch_v1 = profile_batch(25, 7);
+    let v1 = store.put(
+        "profiles",
+        FeatureSet {
+            features: batch_v1.iter().map(|(s, _)| s.clone()).collect(),
+            labels: batch_v1.iter().map(|(_, l)| l.clone()).collect(),
+        },
+    );
+    let batch_v2 = profile_batch(25, 8);
+    let v2 = store.put(
+        "profiles",
+        FeatureSet {
+            features: batch_v2.iter().map(|(s, _)| s.clone()).collect(),
+            labels: batch_v2.iter().map(|(_, l)| l.clone()).collect(),
+        },
+    );
+    assert_ne!(v1, v2, "different data content must version differently");
+    let (h_seed1, _) = train_run(&store, &tracker, &v1, 1);
+    let (h_seed2, _) = train_run(&store, &tracker, &v1, 2);
+    let (h_data2, _) = train_run(&store, &tracker, &v2, 1);
+    assert_ne!(h_seed1, h_seed2, "seed is part of the lineage");
+    assert_ne!(h_seed1, h_data2, "data version is part of the lineage");
+    // Old pins remain trainable after new versions land (v1 retrieved
+    // above even though v2 is latest).
+    assert_eq!(store.latest_version("profiles"), Some(v2));
+}
+
+#[test]
+fn best_run_selection_feeds_inference() {
+    let store = FeatureStore::new();
+    let tracker = ExperimentTracker::new();
+    let batch = profile_batch(25, 3);
+    let version = store.put(
+        "profiles",
+        FeatureSet {
+            features: batch.iter().map(|(s, _)| s.clone()).collect(),
+            labels: batch.iter().map(|(_, l)| l.clone()).collect(),
+        },
+    );
+    for seed in [1, 2, 3] {
+        train_run(&store, &tracker, &version, seed);
+    }
+    let best = tracker
+        .best_run("profile-clf", "test_accuracy")
+        .expect("runs exist");
+    let bytes = tracker
+        .model(
+            "profile-clf",
+            best.model_hash.as_deref().expect("registered"),
+        )
+        .expect("artifact fetchable");
+    let clf = ProfileClassifier::from_bytes(&bytes).expect("model parses");
+    // Downstream inference: classify a fresh steady profile.
+    let steady: Vec<f64> = (0..150)
+        .map(|i| 0.6 + 0.05 * (i as f64 * 0.1).sin())
+        .collect();
+    assert_eq!(clf.classify(&steady), "md");
+    // Featurization is part of the deployed path.
+    assert_eq!(featurize(&steady).len(), oda::ml::features::FEATURE_DIM);
+}

@@ -1,0 +1,159 @@
+//! The paper's qualitative claims as assertions.
+//!
+//! Each test pins one "expected shape" from DESIGN.md's experiment
+//! index using countable work proxies (bytes, rows, row groups) rather
+//! than wall time, so CI enforces the shapes deterministically.
+
+use oda::storage::colfile::{ColumnData, ColumnType, TableFile, TableSchema};
+use oda::telemetry::rates::{
+    collection_overhead, facility_tb_per_day, total_tb_per_day, volume_by_source,
+};
+use oda::telemetry::sensors::DataSource;
+use oda::telemetry::SystemModel;
+
+#[test]
+fn f4a_volume_bands_hold() {
+    // Facility-wide: the paper's 4.2-4.5 TB/day.
+    let total = facility_tb_per_day();
+    assert!((4.0..=4.7).contains(&total), "facility {total:.2} TB/day");
+    // Frontier-class power/thermal ~0.5 TB/day.
+    let pt = volume_by_source(&SystemModel::compass())
+        .into_iter()
+        .find(|v| v.source == DataSource::PowerTemp)
+        .unwrap()
+        .tb_per_day();
+    assert!((0.3..=0.7).contains(&pt), "compass power/thermal {pt:.2}");
+    // The newer system out-ingests the older.
+    assert!(total_tb_per_day(&SystemModel::compass()) > total_tb_per_day(&SystemModel::mountain()));
+}
+
+#[test]
+fn s4b_out_of_band_collection_is_cheap() {
+    for system in [SystemModel::mountain(), SystemModel::compass()] {
+        let r = collection_overhead(&system, 20.0);
+        assert!(
+            r.cpu_overhead_frac < 1e-3,
+            "{}: {:.6}",
+            system.name,
+            r.cpu_overhead_frac
+        );
+    }
+}
+
+#[test]
+fn f3_newer_generation_lags_in_maturity() {
+    let (mountain, compass) = oda::govern::MaturityMatrix::paper_seed().mean_levels();
+    assert!(mountain > compass, "{mountain:.2} vs {compass:.2}");
+}
+
+#[test]
+fn f5_columnar_compression_factor() {
+    // Realistic telemetry columns must compress >=5x against row JSON.
+    let rows = 20_000usize;
+    let schema = TableSchema::new(&[
+        ("ts_ms", ColumnType::I64),
+        ("sensor", ColumnType::Str),
+        ("value", ColumnType::F64),
+    ]);
+    let mut w = TableFile::writer(schema);
+    w.write_row_group(&[
+        ColumnData::I64(
+            (0..rows as i64)
+                .map(|i| 1_700_000_000_000 + i * 1_000)
+                .collect(),
+        ),
+        ColumnData::Str(
+            (0..rows)
+                .map(|i| format!("node_power_w_{}", i % 12))
+                .collect(),
+        ),
+        ColumnData::F64((0..rows).map(|i| 550.0 + (i % 11) as f64).collect()),
+    ])
+    .unwrap();
+    let colfile = w.finish().len();
+    let json: usize = (0..rows)
+        .map(|i| {
+            format!(
+                "{{\"ts\":{},\"sensor\":\"node_power_w_{}\",\"value\":{}}}",
+                1_700_000_000_000i64 + i as i64 * 1_000,
+                i % 12,
+                550.0 + (i % 11) as f64
+            )
+            .len()
+        })
+        .sum();
+    assert!(colfile * 5 < json, "colfile {colfile} vs json {json}");
+}
+
+#[test]
+fn f8_pushdown_reads_fraction_of_row_groups() {
+    // The LVA-style narrow query touches O(slice) row groups, not O(file).
+    let schema = TableSchema::new(&[("ts_ms", ColumnType::I64)]);
+    let mut w = TableFile::writer(schema);
+    let groups = 128usize;
+    for g in 0..groups {
+        let base = (g * 1_000) as i64;
+        w.write_row_group(&[ColumnData::I64((0..1_000).map(|i| base + i).collect())])
+            .unwrap();
+    }
+    let file = TableFile::open(w.finish()).unwrap();
+    let hit = file.row_groups_in_range("ts_ms", 50_000.0, 52_500.0);
+    assert!(
+        hit.len() <= 4,
+        "narrow slice touched {} of {groups} groups",
+        hit.len()
+    );
+}
+
+#[test]
+fn s5_shared_refinement_eliminates_redundant_work() {
+    // Work proxy: rows aggregated. Shared topology aggregates once;
+    // duplicated topology aggregates once per project.
+    use oda::pipeline::ops::{group_by, Agg, AggSpec};
+    use oda::pipeline::window::assign_window;
+    use oda::storage::colfile::ColumnData as CD;
+    let rows = 50_000usize;
+    let bronze = oda::pipeline::Frame::new(vec![
+        ("ts_ms".into(), CD::I64((0..rows as i64).collect())),
+        (
+            "node".into(),
+            CD::I64((0..rows as i64).map(|i| i % 8).collect()),
+        ),
+        ("sensor".into(), CD::Str(vec!["p".into(); rows])),
+        ("value".into(), CD::F64(vec![1.0; rows])),
+    ])
+    .unwrap();
+    let projects = 16usize;
+    let refine_rows = |f: &oda::pipeline::Frame| -> usize {
+        let w = assign_window(f, "ts_ms", 15_000).unwrap();
+        group_by(
+            &w,
+            &["window", "node"],
+            &[AggSpec::new("value", Agg::Mean, "m")],
+        )
+        .unwrap();
+        f.rows()
+    };
+    let shared_work = refine_rows(&bronze); // once
+    let duplicated_work: usize = (0..projects).map(|_| refine_rows(&bronze)).sum();
+    assert_eq!(duplicated_work, projects * shared_work);
+}
+
+#[test]
+fn f11_twin_validation_can_fail() {
+    // Shape: validation is discriminative — right schedule passes, wrong
+    // schedule fails, on the same measured series.
+    use oda::twin::replay::replay;
+    use oda::twin::scenario::hpl_run;
+    use oda::twin::PowerSim;
+    let system = SystemModel::tiny();
+    let jobs = vec![hpl_run(&system, 1.0, 1.0)];
+    let sim = PowerSim::new(system.clone(), jobs.clone());
+    let measured: Vec<(i64, f64)> = (0..60)
+        .map(|i| (i * 60_000, sim.sample(i * 60_000).facility_w))
+        .collect();
+    let good = replay(&system, &jobs, &measured);
+    let bad = replay(&system, &[], &measured);
+    assert!(good.power_mape < 0.01, "exact replay {}", good.power_mape);
+    assert!(bad.power_mape > 10.0 * good.power_mape.max(1e-6));
+}

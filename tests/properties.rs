@@ -1,0 +1,174 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! input, spanning the pipeline, storage, and telemetry substrates.
+
+use oda::pipeline::frame_io::{colfile_to_frame, frame_to_colfile};
+use oda::pipeline::ops::{group_by, melt, pivot, sort_by_i64, Agg, AggSpec};
+use oda::pipeline::window::{assign_window, window_start};
+use oda::pipeline::Frame;
+use oda::storage::colfile::ColumnData;
+use proptest::prelude::*;
+
+/// Arbitrary small long-format frame: (key, tag, value) rows.
+fn long_frame_strategy() -> impl Strategy<Value = Frame> {
+    (1usize..200).prop_flat_map(|rows| {
+        (
+            proptest::collection::vec(0i64..10, rows),
+            proptest::collection::vec(0u8..4, rows),
+            proptest::collection::vec(-1_000.0f64..1_000.0, rows),
+        )
+            .prop_map(|(keys, tags, values)| {
+                Frame::new(vec![
+                    ("k".into(), ColumnData::I64(keys)),
+                    (
+                        "tag".into(),
+                        ColumnData::Str(tags.into_iter().map(|t| format!("t{t}")).collect()),
+                    ),
+                    ("v".into(), ColumnData::F64(values)),
+                ])
+                .expect("aligned columns")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sum of per-group sums equals the global sum (no rows lost or
+    /// double-counted by the hash grouping).
+    #[test]
+    fn group_by_partitions_mass(frame in long_frame_strategy()) {
+        let grouped = group_by(
+            &frame,
+            &["k"],
+            &[AggSpec::new("v", Agg::Sum, "s"), AggSpec::new("v", Agg::Count, "n")],
+        ).unwrap();
+        let group_total: f64 = grouped.f64s("s").unwrap().iter().sum();
+        let global: f64 = frame.f64s("v").unwrap().iter().sum();
+        prop_assert!((group_total - global).abs() < 1e-6 * global.abs().max(1.0));
+        let n_total: i64 = grouped.i64s("n").unwrap().iter().sum();
+        prop_assert_eq!(n_total as usize, frame.rows());
+    }
+
+    /// pivot -> melt -> pivot is a fixed point.
+    #[test]
+    fn pivot_melt_fixed_point(frame in long_frame_strategy()) {
+        let wide = pivot(&frame, &["k"], "tag", "v", Agg::Mean).unwrap();
+        let long = melt(&wide, &["k"], "tag", "v").unwrap();
+        let wide2 = pivot(&long, &["k"], "tag", "v", Agg::Mean).unwrap();
+        // Compare cell-by-cell with NaN-tolerant equality.
+        prop_assert_eq!(wide.rows(), wide2.rows());
+        prop_assert_eq!(wide.names(), wide2.names());
+        for name in wide.names() {
+            match (wide.column(name).unwrap(), wide2.column(name).unwrap()) {
+                (ColumnData::F64(a), ColumnData::F64(b)) => {
+                    for (x, y) in a.iter().zip(b) {
+                        prop_assert!(
+                            (x.is_nan() && y.is_nan()) || (x - y).abs() < 1e-9,
+                            "{} vs {}", x, y
+                        );
+                    }
+                }
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+
+    /// Frames survive the colfile round trip bit-for-bit.
+    #[test]
+    fn colfile_roundtrip(frame in long_frame_strategy()) {
+        let bytes = frame_to_colfile(&frame).unwrap();
+        let back = colfile_to_frame(bytes).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Sorting preserves multiset of rows and orders the key column.
+    #[test]
+    fn sort_preserves_rows(frame in long_frame_strategy()) {
+        let sorted = sort_by_i64(&frame, "k").unwrap();
+        prop_assert_eq!(sorted.rows(), frame.rows());
+        let keys = sorted.i64s("k").unwrap();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut a: Vec<i64> = frame.i64s("k").unwrap().to_vec();
+        let mut b: Vec<i64> = keys.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Window assignment: every timestamp lands in the window that
+    /// contains it, for any positive width.
+    #[test]
+    fn windows_contain_their_timestamps(
+        ts in proptest::collection::vec(-1_000_000i64..1_000_000, 1..100),
+        width in 1i64..100_000,
+    ) {
+        let frame = Frame::new(vec![("ts".into(), ColumnData::I64(ts.clone()))]).unwrap();
+        let w = assign_window(&frame, "ts", width).unwrap();
+        let windows = w.i64s("window").unwrap();
+        for (t, &win) in ts.iter().zip(windows) {
+            prop_assert!(win <= *t && *t < win + width, "ts {} window {} width {}", t, win, width);
+            prop_assert_eq!(win, window_start(*t, width));
+            prop_assert_eq!(win.rem_euclid(width), 0);
+        }
+    }
+
+    /// Broker FIFO: any interleaving of keyed produces preserves
+    /// per-key order on consumption.
+    #[test]
+    fn broker_preserves_per_key_order(
+        messages in proptest::collection::vec((0u8..4, 0u32..1000), 1..200),
+        partitions in 1u32..6,
+    ) {
+        use bytes::Bytes;
+        use oda::stream::{Broker, Consumer, RetentionPolicy};
+        let broker = Broker::new();
+        broker.create_topic("t", partitions, RetentionPolicy::unbounded()).unwrap();
+        for (i, (key, val)) in messages.iter().enumerate() {
+            broker.produce(
+                "t",
+                i as i64,
+                Some(Bytes::from(format!("k{key}"))),
+                Bytes::from(format!("{key}:{val}:{i}")),
+            ).unwrap();
+        }
+        let mut consumer = Consumer::subscribe(broker, "g", "t").unwrap();
+        let mut per_key_last: std::collections::HashMap<String, usize> = Default::default();
+        loop {
+            let recs = consumer.poll(64).unwrap();
+            if recs.is_empty() { break; }
+            for r in recs {
+                let text = String::from_utf8(r.value.to_vec()).unwrap();
+                let mut parts = text.split(':');
+                let key = parts.next().unwrap().to_string();
+                let _val = parts.next().unwrap();
+                let seq: usize = parts.next().unwrap().parse().unwrap();
+                if let Some(&last) = per_key_last.get(&key) {
+                    prop_assert!(seq > last, "key {} order violated: {} after {}", key, seq, last);
+                }
+                per_key_last.insert(key, seq);
+            }
+        }
+    }
+
+    /// Compression round-trips arbitrary observation batches and the
+    /// wire codec is total on its own output.
+    #[test]
+    fn observation_wire_roundtrip(
+        n in 0usize..300,
+        seed in 0u64..1000,
+    ) {
+        use oda::telemetry::{SystemModel, TelemetryGenerator};
+        use oda::telemetry::record::Observation;
+        let mut generator = TelemetryGenerator::new(SystemModel::tiny(), seed);
+        let mut obs = Vec::new();
+        while obs.len() < n {
+            obs.extend(generator.next_batch().observations);
+        }
+        obs.truncate(n);
+        let wire = Observation::encode_batch(&obs);
+        let back = Observation::decode_batch(&wire).unwrap();
+        prop_assert_eq!(back, obs);
+        let compressed = oda::storage::compress::compress(&wire);
+        prop_assert_eq!(oda::storage::compress::decompress(&compressed).unwrap(), wire);
+    }
+}
