@@ -1,0 +1,215 @@
+//! Shared retry policy: bounded attempts, deterministic jittered
+//! backoff, fault-class-aware classification.
+
+use crate::{splitmix64, FaultClass};
+
+/// Lets the retry policy decide whether an error is transient. Error
+/// types in each crate implement this for their injected-fault variants.
+pub trait Retryable {
+    /// Classification of this error for retry purposes.
+    fn fault_class(&self) -> FaultClass;
+
+    /// Convenience: is this error worth another attempt?
+    fn is_retryable(&self) -> bool {
+        self.fault_class() == FaultClass::Retryable
+    }
+}
+
+/// What a retried operation went through.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RetryOutcome {
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total simulated backoff the schedule imposed, in ms. Simulation
+    /// time never sleeps; callers fold this into their clocks if they
+    /// model latency.
+    pub backoff_ms: u64,
+}
+
+/// Bounded-retry policy with deterministic jittered exponential backoff.
+///
+/// The jitter for attempt `k` is a pure function of `(seed, k)` — two
+/// runs of the same workload see identical backoff schedules, keeping
+/// chaos replays reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retry {
+    /// Maximum attempts, including the first (`>= 1`).
+    pub max_attempts: u32,
+    /// Base backoff before jitter, doubled each retry.
+    pub base_backoff_ms: u64,
+    /// Cap on a single backoff step.
+    pub max_backoff_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for Retry {
+    /// 5 attempts, 10 ms base, 1 s cap.
+    fn default() -> Retry {
+        Retry {
+            max_attempts: 5,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            seed: 0,
+        }
+    }
+}
+
+impl Retry {
+    /// Policy with `max_attempts`, keeping the default backoff shape.
+    pub fn with_attempts(max_attempts: u32) -> Retry {
+        assert!(max_attempts >= 1, "at least one attempt required");
+        Retry {
+            max_attempts,
+            ..Retry::default()
+        }
+    }
+
+    /// Derive the same policy with a different jitter seed.
+    pub fn seeded(self, seed: u64) -> Retry {
+        Retry { seed, ..self }
+    }
+
+    /// Backoff before retry attempt `attempt` (attempt 0 is the first
+    /// try and has no backoff). Exponential with ±50% deterministic
+    /// jitter, capped.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << (attempt - 1).min(20));
+        let capped = exp.min(self.max_backoff_ms);
+        // Jitter in [0.5, 1.5): full jitter spreads thundering herds
+        // while staying a pure function of (seed, attempt).
+        let jitter = 0.5
+            + crate::unit_f64(splitmix64(
+                self.seed ^ u64::from(attempt).wrapping_mul(0x9e37),
+            ));
+        ((capped as f64 * jitter) as u64).min(self.max_backoff_ms)
+    }
+
+    /// Run `op` under this policy. `op` receives the 0-based attempt
+    /// index. Retries only while the error reports
+    /// [`FaultClass::Retryable`]; fatal and degraded errors surface
+    /// immediately.
+    pub fn run<T, E: Retryable>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> (Result<T, E>, RetryOutcome) {
+        assert!(self.max_attempts >= 1, "at least one attempt required");
+        let mut outcome = RetryOutcome::default();
+        let mut attempt = 0;
+        loop {
+            outcome.attempts = attempt + 1;
+            match op(attempt) {
+                Ok(v) => return (Ok(v), outcome),
+                Err(e) => {
+                    if !e.is_retryable() || attempt + 1 >= self.max_attempts {
+                        return (Err(e), outcome);
+                    }
+                    attempt += 1;
+                    outcome.backoff_ms += self.backoff_ms(attempt);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct TestErr(FaultClass);
+
+    impl Retryable for TestErr {
+        fn fault_class(&self) -> FaultClass {
+            self.0
+        }
+    }
+
+    #[test]
+    fn first_success_is_one_attempt_no_backoff() {
+        let (res, outcome) = Retry::default().run(|_| Ok::<_, TestErr>(42));
+        assert_eq!(res.unwrap(), 42);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.backoff_ms, 0);
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let (res, outcome) = Retry::with_attempts(5).run(|attempt| {
+            if attempt < 3 {
+                Err(TestErr(FaultClass::Retryable))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(res.unwrap(), 3);
+        assert_eq!(outcome.attempts, 4);
+        assert!(outcome.backoff_ms > 0);
+    }
+
+    #[test]
+    fn fatal_errors_surface_immediately() {
+        let mut calls = 0;
+        let (res, outcome) = Retry::with_attempts(5).run(|_| {
+            calls += 1;
+            Err::<(), _>(TestErr(FaultClass::Fatal))
+        });
+        assert!(res.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(outcome.attempts, 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut calls = 0;
+        let (res, outcome) = Retry::with_attempts(3).run(|_| {
+            calls += 1;
+            Err::<(), _>(TestErr(FaultClass::Retryable))
+        });
+        assert!(res.is_err());
+        assert_eq!(calls, 3);
+        assert_eq!(outcome.attempts, 3);
+    }
+
+    #[test]
+    fn backoff_grows_is_jittered_and_deterministic() {
+        let r = Retry::default().seeded(99);
+        assert_eq!(r.backoff_ms(0), 0);
+        let b1 = r.backoff_ms(1);
+        let b4 = r.backoff_ms(4);
+        assert!(b1 >= 5, "±50% of 10 ms base: {b1}");
+        assert!(b4 > b1, "exponential growth: {b1} -> {b4}");
+        assert!(b4 <= r.max_backoff_ms);
+        // Deterministic per (seed, attempt); different seeds differ.
+        assert_eq!(b1, Retry::default().seeded(99).backoff_ms(1));
+        let spread: Vec<u64> = (0..50)
+            .map(|s| Retry::default().seeded(s).backoff_ms(3))
+            .collect();
+        assert!(
+            spread
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 10,
+            "jitter should spread across seeds"
+        );
+    }
+
+    #[test]
+    fn backoff_respects_cap_at_high_attempts() {
+        let r = Retry {
+            max_attempts: 64,
+            base_backoff_ms: 100,
+            max_backoff_ms: 500,
+            seed: 1,
+        };
+        for attempt in 1..64 {
+            assert!(r.backoff_ms(attempt) <= 500);
+        }
+    }
+}

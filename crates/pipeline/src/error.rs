@@ -1,5 +1,6 @@
 //! Error type for pipeline operations.
 
+use oda_faults::{FaultClass, FaultKind, Retryable};
 use oda_storage::StorageError;
 use oda_stream::StreamError;
 use std::fmt;
@@ -24,6 +25,15 @@ pub enum PipelineError {
     Storage(StorageError),
     /// Malformed payload on the stream.
     Decode(String),
+    /// An armed fault plan fired (crash after sink, lost checkpoint, ...).
+    Injected(FaultKind),
+    /// A checkpoint commit would break epoch density.
+    CheckpointGap {
+        /// The epoch the store expected next.
+        expected: u64,
+        /// The epoch that was offered.
+        got: u64,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -37,11 +47,32 @@ impl fmt::Display for PipelineError {
             PipelineError::Stream(e) => write!(f, "stream: {e}"),
             PipelineError::Storage(e) => write!(f, "storage: {e}"),
             PipelineError::Decode(m) => write!(f, "decode: {m}"),
+            PipelineError::Injected(k) => write!(f, "injected fault: {k}"),
+            PipelineError::CheckpointGap { expected, got } => write!(
+                f,
+                "checkpoint epochs must be dense: expected {expected}, got {got}"
+            ),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+impl Retryable for PipelineError {
+    fn fault_class(&self) -> FaultClass {
+        match self {
+            PipelineError::Stream(e) => e.fault_class(),
+            PipelineError::Injected(k) => k.class(),
+            // Structural errors: a retry re-runs the same failing logic.
+            PipelineError::ColumnNotFound(_)
+            | PipelineError::TypeMismatch { .. }
+            | PipelineError::RaggedColumns
+            | PipelineError::Storage(_)
+            | PipelineError::Decode(_)
+            | PipelineError::CheckpointGap { .. } => FaultClass::Fatal,
+        }
+    }
+}
 
 impl From<StreamError> for PipelineError {
     fn from(e: StreamError) -> Self {

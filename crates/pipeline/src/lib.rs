@@ -24,6 +24,7 @@ pub mod state;
 pub mod streaming;
 pub mod window;
 
+pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use error::PipelineError;
 pub use expr::Expr;
 pub use frame::Frame;

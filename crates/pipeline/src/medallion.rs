@@ -16,12 +16,15 @@ use crate::expr::Expr;
 use crate::frame::Frame;
 use crate::ops::{Agg, AggSpec};
 use crate::plan::{PipelinePlan, Stage};
-use crate::state::StateStore;
+use crate::state::{CellState, StateStore};
 use crate::streaming::{Decoder, Transform};
+use oda_faults::{FaultPoint, FaultSite};
 use oda_storage::colfile::ColumnData;
 use oda_telemetry::jobs::Job;
 use oda_telemetry::record::{Device, Observation, Quality};
 use oda_telemetry::sensors::SensorCatalog;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Default Silver aggregation window (the paper's "e.g., every 15
 /// seconds").
@@ -87,6 +90,32 @@ pub fn observation_decoder(catalog: SensorCatalog) -> Decoder {
             let batch = Observation::decode_batch(&r.value)
                 .ok_or_else(|| PipelineError::Decode("bad observation batch".into()))?;
             all.extend(batch);
+        }
+        Ok(bronze_frame(&all, &catalog))
+    })
+}
+
+/// [`observation_decoder`] with sensor-dropout injection: each decoded
+/// observation consults `faults` at the [`FaultSite::SensorRead`] site
+/// (ctx = index within its batch) and is silently dropped when a
+/// [`oda_faults::FaultKind::SensorDropout`] fires — modeling telemetry
+/// that never arrived. Pair with
+/// [`streaming_silver_transform_gap_marked`] so downstream consumers
+/// see explicit gap rows instead of silently-thinner aggregates.
+pub fn observation_decoder_with_faults(
+    catalog: SensorCatalog,
+    faults: Arc<dyn FaultPoint>,
+) -> Decoder {
+    Box::new(move |records| {
+        let mut all = Vec::new();
+        for r in records {
+            let batch = Observation::decode_batch(&r.value)
+                .ok_or_else(|| PipelineError::Decode("bad observation batch".into()))?;
+            for (i, o) in batch.into_iter().enumerate() {
+                if faults.check(FaultSite::SensorRead, i as u64).is_none() {
+                    all.push(o);
+                }
+            }
         }
         Ok(bronze_frame(&all, &catalog))
     })
@@ -234,6 +263,133 @@ pub fn streaming_silver_transform(window_ms: i64, lateness_ms: i64) -> Transform
             ("min".into(), ColumnData::F64(min_col)),
             ("max".into(), ColumnData::F64(max_col)),
             ("count".into(), ColumnData::I64(c_col)),
+        ])
+    })
+}
+
+/// Gap-aware variant of [`streaming_silver_transform`]: degrades
+/// gracefully under sensor dropout instead of silently thinning output.
+///
+/// Keeps a roster of every (node, sensor) key ever observed (in the
+/// checkpointed state, so it survives recovery). When a window closes,
+/// every rostered key gets exactly one row: a normal aggregate row
+/// (`gap` = 0) if samples arrived, or a *gap marker* row (`gap` = 1,
+/// `count` = 0, NaN statistics) if the key went dark — downstream Gold
+/// jobs can then distinguish "sensor read zero" from "sensor unheard".
+/// Output columns: those of [`streaming_silver_transform`] plus `gap`
+/// (I64).
+pub fn streaming_silver_transform_gap_marked(window_ms: i64, lateness_ms: i64) -> Transform {
+    const ROSTER_PREFIX: &str = "seen\u{1f}";
+    Box::new(move |frame: Frame, state: &mut StateStore| {
+        let ts = frame.i64s("ts_ms")?;
+        let node = frame.i64s("node")?;
+        let sensor = frame.strs("sensor")?;
+        let value = frame.f64s("value")?;
+        let quality = frame.i64s("quality")?;
+        let mut max_ts = state.counter("wm_ms") as i64;
+        let mut first_window = i64::MAX;
+        for i in 0..frame.rows() {
+            max_ts = max_ts.max(ts[i]);
+            if quality[i] != 0 || value[i].is_nan() {
+                continue;
+            }
+            let window = ts[i].div_euclid(window_ms) * window_ms;
+            first_window = first_window.min(window);
+            let key = format!("{}\u{1f}{}", node[i], sensor[i]);
+            let roster_key = format!("{ROSTER_PREFIX}{key}");
+            if state.counter(&roster_key) == 0 {
+                state.bump(&roster_key, 1);
+            }
+            state.cell(window, &key).push(value[i]);
+        }
+        if max_ts > 0 {
+            state.bump(
+                "wm_ms",
+                (max_ts as u64).saturating_sub(state.counter("wm_ms")),
+            );
+        }
+        // Gap cursor: next window start owed a full roster sweep, stored
+        // +1 so 0 can mean "unset" (sim time is non-negative).
+        if state.counter("gap_next") == 0 && (0..i64::MAX).contains(&first_window) {
+            state.bump("gap_next", first_window as u64 + 1);
+        }
+        let watermark = max_ts - lateness_ms;
+        let horizon = watermark - window_ms + 1;
+        let mut cells: BTreeMap<(i64, String), CellState> =
+            state.drain_closed(horizon).into_iter().collect();
+        let last_closed = if horizon > 0 {
+            (horizon - 1).div_euclid(window_ms) * window_ms
+        } else {
+            i64::MIN
+        };
+        // One row per (closed window, rostered key): real or gap marker.
+        let mut rows: Vec<(i64, String, CellState, i64)> = Vec::new();
+        if state.counter("gap_next") > 0 && last_closed >= 0 {
+            let roster: Vec<String> = state
+                .counters_with_prefix(ROSTER_PREFIX)
+                .into_iter()
+                .map(|(k, _)| k[ROSTER_PREFIX.len()..].to_string())
+                .collect();
+            let mut w = (state.counter("gap_next") - 1) as i64;
+            while w <= last_closed {
+                for key in &roster {
+                    match cells.remove(&(w, key.clone())) {
+                        Some(cell) => rows.push((w, key.clone(), cell, 0)),
+                        None => rows.push((w, key.clone(), CellState::new(), 1)),
+                    }
+                }
+                w += window_ms;
+            }
+            let next = (last_closed + window_ms) as u64 + 1;
+            let bump = next.saturating_sub(state.counter("gap_next"));
+            state.bump("gap_next", bump);
+        }
+        // Cells drained outside the sweep (windows before the cursor)
+        // still emit normally.
+        for ((w, key), cell) in cells {
+            rows.push((w, key, cell, 0));
+        }
+        rows.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut w_col = Vec::with_capacity(rows.len());
+        let mut n_col = Vec::with_capacity(rows.len());
+        let mut s_col = Vec::with_capacity(rows.len());
+        let mut mean_col = Vec::with_capacity(rows.len());
+        let mut min_col = Vec::with_capacity(rows.len());
+        let mut max_col = Vec::with_capacity(rows.len());
+        let mut c_col = Vec::with_capacity(rows.len());
+        let mut g_col = Vec::with_capacity(rows.len());
+        for (window, key, cell, gap) in rows {
+            let (node_s, sensor_s) = key
+                .split_once('\u{1f}')
+                .ok_or_else(|| PipelineError::Decode("bad state key".into()))?;
+            w_col.push(window);
+            n_col.push(
+                node_s
+                    .parse::<i64>()
+                    .map_err(|_| PipelineError::Decode("bad node".into()))?,
+            );
+            s_col.push(sensor_s.to_string());
+            if gap == 1 {
+                mean_col.push(f64::NAN);
+                min_col.push(f64::NAN);
+                max_col.push(f64::NAN);
+            } else {
+                mean_col.push(cell.mean());
+                min_col.push(cell.min);
+                max_col.push(cell.max);
+            }
+            c_col.push(cell.count as i64);
+            g_col.push(gap);
+        }
+        Frame::new(vec![
+            ("window".into(), ColumnData::I64(w_col)),
+            ("node".into(), ColumnData::I64(n_col)),
+            ("sensor".into(), ColumnData::Str(s_col)),
+            ("mean".into(), ColumnData::F64(mean_col)),
+            ("min".into(), ColumnData::F64(min_col)),
+            ("max".into(), ColumnData::F64(max_col)),
+            ("count".into(), ColumnData::I64(c_col)),
+            ("gap".into(), ColumnData::I64(g_col)),
         ])
     })
 }
@@ -408,6 +564,89 @@ mod tests {
         let out2 = transform(bronze_frame(&batch2, &cat), &mut state).unwrap();
         assert_eq!(out2.i64s("window").unwrap(), &[0]);
         assert_eq!(out2.i64s("count").unwrap(), &[15]);
+    }
+
+    #[test]
+    fn gap_marked_silver_emits_markers_for_silent_sensors() {
+        let mut transform = streaming_silver_transform_gap_marked(15_000, 0);
+        let cat = tiny_catalog();
+        let mut state = StateStore::new();
+        // Window 0: both sensors report. Sensor 1 then goes dark.
+        let mut batch1: Vec<Observation> = (0..20).map(|t| obs(t * 1_000, 0, 0, 100.0)).collect();
+        batch1.extend((0..15).map(|t| obs(t * 1_000, 0, 1, 20.0)));
+        let out1 = transform(bronze_frame(&batch1, &cat), &mut state).unwrap();
+        assert_eq!(out1.rows(), 2, "window 0, both sensors, no gaps");
+        assert!(out1.i64s("gap").unwrap().iter().all(|&g| g == 0));
+        // Window [15s, 30s) closes with only sensor 0 reporting.
+        let batch2: Vec<Observation> = (20..35).map(|t| obs(t * 1_000, 0, 0, 100.0)).collect();
+        let out2 = transform(bronze_frame(&batch2, &cat), &mut state).unwrap();
+        assert_eq!(out2.rows(), 2, "one real row + one gap marker");
+        let sensors = out2.strs("sensor").unwrap();
+        let gaps = out2.i64s("gap").unwrap();
+        let counts = out2.i64s("count").unwrap();
+        let means = out2.f64s("mean").unwrap();
+        for i in 0..2 {
+            if sensors[i] == "node_inlet_temp_c" {
+                assert_eq!(gaps[i], 1, "dark sensor must be gap-marked");
+                assert_eq!(counts[i], 0);
+                assert!(means[i].is_nan());
+            } else {
+                assert_eq!(gaps[i], 0);
+                assert_eq!(counts[i], 15);
+                assert_eq!(means[i], 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gap_roster_survives_checkpoint_roundtrip() {
+        let mut transform = streaming_silver_transform_gap_marked(15_000, 0);
+        let cat = tiny_catalog();
+        let mut state = StateStore::new();
+        let mut batch1: Vec<Observation> = (0..20).map(|t| obs(t * 1_000, 0, 0, 1.0)).collect();
+        batch1.extend((0..15).map(|t| obs(t * 1_000, 0, 1, 2.0)));
+        transform(bronze_frame(&batch1, &cat), &mut state).unwrap();
+        // Crash: restore state from its snapshot, keep going.
+        let mut restored = StateStore::restore(&state.snapshot()).unwrap();
+        let batch2: Vec<Observation> = (20..35).map(|t| obs(t * 1_000, 0, 0, 1.0)).collect();
+        let out = transform(bronze_frame(&batch2, &cat), &mut restored).unwrap();
+        let gaps = out.i64s("gap").unwrap();
+        assert_eq!(
+            gaps.iter().filter(|&&g| g == 1).count(),
+            1,
+            "roster (and thus gap detection) must survive recovery"
+        );
+    }
+
+    #[test]
+    fn dropout_decoder_degrades_instead_of_erroring() {
+        use oda_faults::{FaultPlan, FaultSpec};
+        let cat = tiny_catalog();
+        let obs_batch: Vec<Observation> = (0..200).map(|t| obs(t * 1_000, 0, 0, 1.0)).collect();
+        let payload = Observation::encode_batch(&obs_batch);
+        let record = oda_stream::Record {
+            offset: 0,
+            ts_ms: 0,
+            key: None,
+            value: Bytes::from(payload),
+        };
+        let plan = Arc::new(FaultPlan::new(
+            5,
+            FaultSpec {
+                sensor_dropout: 0.3,
+                ..FaultSpec::default()
+            },
+        ));
+        let decode = observation_decoder_with_faults(cat.clone(), plan.clone());
+        let frame = decode(std::slice::from_ref(&record)).unwrap();
+        assert!(frame.rows() < 200, "some observations must drop");
+        assert!(frame.rows() > 100, "most observations must survive");
+        let dropped = plan.injected().len();
+        assert_eq!(200 - frame.rows(), dropped);
+        // Zero-rate plan drops nothing.
+        let silent = Arc::new(FaultPlan::new(5, FaultSpec::default()));
+        let decode2 = observation_decoder_with_faults(cat, silent);
+        assert_eq!(decode2(&[record]).unwrap().rows(), 200);
     }
 
     #[test]

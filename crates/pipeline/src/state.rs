@@ -119,6 +119,16 @@ impl StateStore {
         *self.counters.get(name).unwrap_or(&0)
     }
 
+    /// Counters whose name starts with `prefix`, in name order (used by
+    /// gap-aware Silver to keep a roster of seen sensor keys).
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
     /// Number of live cells.
     pub fn len(&self) -> usize {
         self.cells.len()

@@ -12,8 +12,10 @@ use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::error::PipelineError;
 use crate::frame::Frame;
 use crate::state::StateStore;
+use oda_faults::{FaultKind, FaultPlan, FaultPoint, FaultSite};
 use oda_stream::{Consumer, Record};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Batch output target with idempotent epoch semantics.
 pub trait Sink {
@@ -80,9 +82,10 @@ pub struct StreamingQuery {
     checkpoints: CheckpointStore,
     epoch: u64,
     max_records: usize,
-    /// Test hook: fail after the sink write of this epoch, before its
-    /// checkpoint commits (simulates a crash in the vulnerable window).
-    crash_after_sink_at: Option<u64>,
+    /// Armed fault plans, each consulted at the sink-write site. Crashes
+    /// in the sink→checkpoint window come from here (simulating the
+    /// exactly-once vulnerable window).
+    faults: Vec<Arc<dyn FaultPoint>>,
 }
 
 impl StreamingQuery {
@@ -113,7 +116,7 @@ impl StreamingQuery {
             checkpoints,
             epoch,
             max_records: 10_000,
-            crash_after_sink_at: None,
+            faults: Vec::new(),
         })
     }
 
@@ -123,9 +126,25 @@ impl StreamingQuery {
         self
     }
 
+    /// Arm a fault plan at this query's sink-write site. Multiple plans
+    /// stack; the first that fires wins.
+    pub fn with_faults(mut self, faults: Arc<dyn FaultPoint>) -> StreamingQuery {
+        self.faults.push(faults);
+        self
+    }
+
     /// Arrange a simulated crash after the sink write of `epoch`.
+    ///
+    /// Convenience wrapper over [`FaultPlan::crash_after_sink`]; the
+    /// underlying plan is one-shot, so the replay of `epoch` after
+    /// recovery proceeds normally.
     pub fn inject_crash_after_sink(&mut self, epoch: u64) {
-        self.crash_after_sink_at = Some(epoch);
+        self.faults
+            .push(Arc::new(FaultPlan::crash_after_sink([epoch])));
+    }
+
+    fn fault(&self, site: FaultSite, ctx: u64) -> Option<FaultKind> {
+        self.faults.iter().find_map(|f| f.check(site, ctx))
     }
 
     /// Current epoch (next batch number).
@@ -147,15 +166,14 @@ impl StreamingQuery {
         let input = (self.decode)(&records)?;
         let output = (self.transform)(input, &mut self.state)?;
         sink.write(self.epoch, &output)?;
-        if self.crash_after_sink_at == Some(self.epoch) {
-            self.crash_after_sink_at = None;
-            return Err(PipelineError::Decode("injected crash after sink".into()));
+        if let Some(kind) = self.fault(FaultSite::SinkWrite, self.epoch) {
+            return Err(PipelineError::Injected(kind));
         }
-        self.checkpoints.commit(Checkpoint {
+        self.checkpoints.try_commit(Checkpoint {
             epoch: self.epoch,
             offsets: self.consumer.positions(),
             state: self.state.snapshot(),
-        });
+        })?;
         self.consumer.commit();
         self.epoch += 1;
         Ok(records.len())

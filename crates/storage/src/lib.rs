@@ -34,4 +34,4 @@ pub use error::StorageError;
 pub use glacier::Glacier;
 pub use lake::Lake;
 pub use ocean::Ocean;
-pub use tiering::{DataClass, TierManager};
+pub use tiering::{DataClass, LifecycleAction, Tier, TierManager};

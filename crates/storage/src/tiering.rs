@@ -7,8 +7,10 @@
 //! registered artifacts and applies transitions as simulated time
 //! advances — the accounting behind the tier-retention experiment.
 
+use oda_faults::{FaultPoint, FaultSite};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Medallion refinement class of an artifact (§V-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -83,6 +85,14 @@ pub enum LifecycleAction {
         /// Bytes moved (after archive compression).
         bytes: u64,
     },
+    /// An OCEAN→GLACIER migration failed (injected fault). The artifact
+    /// stays in OCEAN untouched and is retried on the next `advance`.
+    MigrateFailed {
+        /// Artifact name.
+        name: String,
+        /// Bytes that stayed put.
+        bytes: u64,
+    },
 }
 
 /// Retention window per (tier, class), in milliseconds.
@@ -121,6 +131,8 @@ pub struct TierManager {
     /// Compression factor applied when OCEAN artifacts freeze into
     /// GLACIER (tape-side compression).
     archive_ratio: f64,
+    /// Armed fault plan, consulted on each OCEAN→GLACIER migration.
+    faults: Option<Arc<dyn FaultPoint>>,
 }
 
 impl TierManager {
@@ -129,7 +141,15 @@ impl TierManager {
         TierManager {
             artifacts: BTreeMap::new(),
             archive_ratio: 0.5,
+            faults: None,
         }
+    }
+
+    /// Arm a fault plan: migrations in `advance` consult it. A failed
+    /// migration leaves the artifact in place (retryable: the next
+    /// lifecycle pass picks it up again).
+    pub fn arm_faults(&mut self, faults: Arc<dyn FaultPoint>) {
+        self.faults = Some(faults);
     }
 
     /// Register an artifact.
@@ -177,6 +197,17 @@ impl TierManager {
                     });
                 }
                 Tier::Ocean => {
+                    let injected = self
+                        .faults
+                        .as_ref()
+                        .and_then(|f| f.check(FaultSite::TierMigrate, 0));
+                    if injected.is_some() {
+                        actions.push(LifecycleAction::MigrateFailed {
+                            name,
+                            bytes: rec.bytes,
+                        });
+                        continue;
+                    }
                     let frozen = (rec.bytes as f64 * self.archive_ratio) as u64;
                     let entry = self.artifacts.get_mut(&name).expect("exists");
                     entry.tier = Tier::Glacier;
@@ -272,6 +303,68 @@ mod tests {
         assert!(m
             .bytes_by_tier_class()
             .contains_key(&(Tier::Lake, DataClass::Silver)));
+    }
+
+    #[test]
+    fn exactly_at_retention_deadline_is_retained() {
+        // The boundary is strict: an artifact exactly `window` old stays;
+        // one millisecond older goes.
+        let mut m = TierManager::new();
+        m.register("edge", DataClass::Bronze, Tier::Stream, 100, 0);
+        let window = retention_ms(Tier::Stream, DataClass::Bronze).unwrap();
+        assert!(m.advance(window).is_empty(), "age == window must stay");
+        assert_eq!(m.advance(window + 1).len(), 1, "age == window + 1 goes");
+    }
+
+    #[test]
+    fn zero_byte_artifacts_cycle_through_lifecycle() {
+        let mut m = TierManager::new();
+        m.register("empty-hot", DataClass::Bronze, Tier::Stream, 0, 0);
+        m.register("empty-cold", DataClass::Bronze, Tier::Ocean, 0, 0);
+        let actions = m.advance(40 * DAY);
+        assert_eq!(actions.len(), 2);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, LifecycleAction::Expired { bytes: 0, .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, LifecycleAction::Archived { bytes: 0, .. })));
+        assert_eq!(m.len(), 1, "zero-byte archive still tracked in GLACIER");
+        assert_eq!(m.bytes_by_tier()[&Tier::Glacier], 0);
+    }
+
+    #[test]
+    fn failed_migration_leaves_artifact_and_retries_next_pass() {
+        use oda_faults::{FaultPlan, FaultSpec};
+        let mut m = TierManager::new();
+        m.register("frozen-1", DataClass::Bronze, Tier::Ocean, 1_000, 0);
+        // Always-failing plan: artifact must stay in OCEAN, untouched.
+        m.arm_faults(Arc::new(FaultPlan::new(
+            3,
+            FaultSpec {
+                tier_migrate_fail: 1.0,
+                ..FaultSpec::default()
+            },
+        )));
+        let actions = m.advance(31 * DAY);
+        assert_eq!(
+            actions,
+            vec![LifecycleAction::MigrateFailed {
+                name: "frozen-1".into(),
+                bytes: 1_000,
+            }]
+        );
+        assert_eq!(m.bytes_by_tier()[&Tier::Ocean], 1_000);
+        assert_eq!(m.bytes_by_tier()[&Tier::Glacier], 0);
+        // Heal the fault: the next lifecycle pass completes the move
+        // with the same byte accounting as an undisturbed migration.
+        m.arm_faults(Arc::new(FaultPlan::new(3, FaultSpec::default())));
+        let actions = m.advance(32 * DAY);
+        assert!(matches!(
+            &actions[0],
+            LifecycleAction::Archived { bytes: 500, .. }
+        ));
+        assert_eq!(m.bytes_by_tier()[&Tier::Glacier], 500);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::record::Record;
 use crate::retention::RetentionPolicy;
 use crate::topic::Topic;
 use bytes::Bytes;
+use oda_faults::{FaultKind, FaultPoint, FaultSite, Retry};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -17,12 +18,27 @@ type GroupKey = (String, String, u32);
 pub struct Broker {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
     offsets: RwLock<HashMap<GroupKey, u64>>,
+    faults: RwLock<Option<Arc<dyn FaultPoint>>>,
 }
 
 impl Broker {
     /// Create an empty broker.
     pub fn new() -> Arc<Broker> {
         Arc::new(Broker::default())
+    }
+
+    /// Arm a fault plan: subsequent `produce`/`fetch` calls consult it.
+    pub fn arm_faults(&self, faults: Arc<dyn FaultPoint>) {
+        *self.faults.write() = Some(faults);
+    }
+
+    /// Remove any armed fault plan.
+    pub fn disarm_faults(&self) {
+        *self.faults.write() = None;
+    }
+
+    fn fault(&self, site: FaultSite, ctx: u64) -> Option<FaultKind> {
+        self.faults.read().as_ref().and_then(|f| f.check(site, ctx))
     }
 
     /// Create a topic. Errors if it already exists.
@@ -67,7 +83,13 @@ impl Broker {
         key: Option<Bytes>,
         value: Bytes,
     ) -> Result<(u32, u64), StreamError> {
-        Ok(self.topic(topic)?.produce(ts_ms, key, value))
+        let t = self.topic(topic)?;
+        if let Some(FaultKind::ProduceTimeout) = self.fault(FaultSite::Produce, 0) {
+            return Err(StreamError::ProduceTimeout {
+                topic: topic.to_string(),
+            });
+        }
+        Ok(t.produce(ts_ms, key, value))
     }
 
     /// Fetch records from an explicit (topic, partition, offset).
@@ -78,7 +100,14 @@ impl Broker {
         from: u64,
         max: usize,
     ) -> Result<Vec<Record>, StreamError> {
-        self.topic(topic)?.fetch(partition, from, max)
+        let t = self.topic(topic)?;
+        if let Some(FaultKind::FetchError) = self.fault(FaultSite::Fetch, u64::from(partition)) {
+            return Err(StreamError::FetchFailed {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        t.fetch(partition, from, max)
     }
 
     /// Committed offset for a group (records below it are consumed).
@@ -134,6 +163,25 @@ impl Producer {
         value: Bytes,
     ) -> Result<(u32, u64), StreamError> {
         self.broker.produce(&self.topic, ts_ms, key, value)
+    }
+
+    /// Send one record, retrying transient faults under `policy`.
+    ///
+    /// Non-retryable errors (unknown topic, etc.) surface immediately;
+    /// `ProduceTimeout` is retried up to the policy's attempt budget.
+    pub fn send_retrying(
+        &self,
+        policy: &Retry,
+        ts_ms: i64,
+        key: Option<Bytes>,
+        value: Bytes,
+    ) -> Result<(u32, u64), StreamError> {
+        policy
+            .run(|_| {
+                self.broker
+                    .produce(&self.topic, ts_ms, key.clone(), value.clone())
+            })
+            .0
     }
 }
 
@@ -195,6 +243,69 @@ mod tests {
         }
         let topic = b.topic("t").unwrap();
         assert_eq!(topic.len(), 8_000);
+    }
+
+    #[test]
+    fn armed_produce_faults_fire_and_disarm_restores() {
+        use oda_faults::{FaultPlan, FaultSpec};
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        b.arm_faults(Arc::new(FaultPlan::new(
+            0,
+            FaultSpec {
+                produce_timeout: 1.0,
+                ..FaultSpec::default()
+            },
+        )));
+        let err = b
+            .produce("t", 0, None, Bytes::from_static(b"v"))
+            .unwrap_err();
+        assert!(matches!(err, StreamError::ProduceTimeout { .. }));
+        assert_eq!(b.topic("t").unwrap().len(), 0, "timed-out record not kept");
+        b.disarm_faults();
+        b.produce("t", 0, None, Bytes::from_static(b"v")).unwrap();
+        assert_eq!(b.topic("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn send_retrying_rides_through_transient_timeouts() {
+        use oda_faults::{FaultPlan, FaultSpec, Retry};
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        // Half the produce calls time out; a bounded retry budget still
+        // lands every record exactly once.
+        b.arm_faults(Arc::new(FaultPlan::new(
+            21,
+            FaultSpec {
+                produce_timeout: 0.5,
+                ..FaultSpec::default()
+            },
+        )));
+        let p = Producer::new(b.clone(), "t").unwrap();
+        let policy = Retry::with_attempts(12);
+        for i in 0..100 {
+            p.send_retrying(&policy, i, None, Bytes::from(format!("v{i}")))
+                .unwrap();
+        }
+        assert_eq!(b.topic("t").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        use oda_faults::Retry;
+        let b = Broker::new();
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        // Point the producer at a topic that disappears conceptually:
+        // build it against "t", then aim the send at a missing topic via
+        // a raw broker call wrapped in the same policy the producer uses.
+        let policy = Retry::default();
+        let (res, outcome) =
+            policy.run(|_| b.produce("missing", 0, None, Bytes::from_static(b"v")));
+        assert!(matches!(res, Err(StreamError::UnknownTopic(_))));
+        assert_eq!(outcome.attempts, 1, "fatal error must short-circuit");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::broker::Broker;
 use crate::error::StreamError;
 use crate::record::Record;
+use oda_faults::Retry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -21,6 +22,8 @@ pub struct Consumer {
     assignment: Vec<u32>,
     /// Next offset to read per partition (position, not yet committed).
     position: HashMap<u32, u64>,
+    /// Retry policy for transient fetch failures (None: fail fast).
+    retry: Option<Retry>,
 }
 
 impl Consumer {
@@ -61,12 +64,30 @@ impl Consumer {
             topic: topic.to_string(),
             assignment,
             position,
+            retry: None,
         })
+    }
+
+    /// Absorb transient fetch failures inside `poll` under `policy`.
+    pub fn with_retry(mut self, policy: Retry) -> Consumer {
+        self.retry = Some(policy);
+        self
     }
 
     /// The partitions this member owns.
     pub fn assignment(&self) -> &[u32] {
         &self.assignment
+    }
+
+    fn fetch(&self, partition: u32, from: u64, max: usize) -> Result<Vec<Record>, StreamError> {
+        match &self.retry {
+            Some(policy) => {
+                policy
+                    .run(|_| self.broker.fetch(&self.topic, partition, from, max))
+                    .0
+            }
+            None => self.broker.fetch(&self.topic, partition, from, max),
+        }
     }
 
     /// Fetch up to `max` records across owned partitions, advancing the
@@ -75,21 +96,22 @@ impl Consumer {
         let mut out = Vec::new();
         let per_part = max.div_ceil(self.assignment.len().max(1));
         for &p in &self.assignment {
-            let pos = self.position.get_mut(&p).expect("assigned partition");
-            let recs = match self.broker.fetch(&self.topic, p, *pos, per_part) {
+            let mut pos = *self.position.get(&p).expect("assigned partition");
+            let recs = match self.fetch(p, pos, per_part) {
                 Ok(r) => r,
                 Err(StreamError::OffsetOutOfRange { earliest, .. }) => {
                     // Data below our position was expired by retention;
                     // skip forward (the consumer lost records, which the
                     // caller can detect via `lag` jumps).
-                    *pos = earliest;
-                    self.broker.fetch(&self.topic, p, *pos, per_part)?
+                    pos = earliest;
+                    self.fetch(p, pos, per_part)?
                 }
                 Err(e) => return Err(e),
             };
             if let Some(last) = recs.last() {
-                *pos = last.offset + 1;
+                pos = last.offset + 1;
             }
+            self.position.insert(p, pos);
             out.extend(recs);
         }
         Ok(out)
@@ -247,6 +269,45 @@ mod tests {
         c.seek_to_committed();
         let r = c.poll(4).unwrap();
         assert_eq!(r.first().unwrap().offset, 4);
+    }
+
+    #[test]
+    fn poll_with_retry_absorbs_transient_fetch_faults() {
+        use oda_faults::{FaultPlan, FaultSpec, Retry};
+        let b = setup(2, 500);
+        b.arm_faults(Arc::new(FaultPlan::new(
+            13,
+            FaultSpec {
+                fetch_error: 0.4,
+                ..FaultSpec::default()
+            },
+        )));
+        // Without a retry policy, some poll eventually surfaces the fault.
+        let mut bare = Consumer::subscribe(b.clone(), "g-bare", "t").unwrap();
+        let mut saw_error = false;
+        for _ in 0..50 {
+            if bare.poll(16).is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error, "40% fetch faults must surface without retry");
+        // With retries, the same fault schedule is ridden through and
+        // every record still arrives exactly once.
+        let mut c = Consumer::subscribe(b, "g", "t")
+            .unwrap()
+            .with_retry(Retry::with_attempts(20));
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            let recs = c.poll(64).unwrap();
+            if recs.is_empty() {
+                break;
+            }
+            for r in recs {
+                assert!(seen.insert((r.offset, r.value.clone())));
+            }
+        }
+        assert_eq!(seen.len(), 500);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error type for broker operations.
 
+use oda_faults::{FaultClass, Retryable};
 use std::fmt;
 
 /// Errors returned by broker, producer, and consumer operations.
@@ -26,6 +27,20 @@ pub enum StreamError {
     },
     /// A topic with this name already exists with a different layout.
     TopicExists(String),
+    /// A produce call timed out before the record was appended
+    /// (transient; injected via an armed fault plan).
+    ProduceTimeout {
+        /// Topic the produce was aimed at.
+        topic: String,
+    },
+    /// A fetch failed transiently before any records were returned
+    /// (injected via an armed fault plan).
+    FetchFailed {
+        /// Topic the fetch was aimed at.
+        topic: String,
+        /// Partition the fetch was aimed at.
+        partition: u32,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -44,11 +59,33 @@ impl fmt::Display for StreamError {
                 "offset {requested} out of range (retained: {earliest}..{latest})"
             ),
             StreamError::TopicExists(t) => write!(f, "topic {t:?} already exists"),
+            StreamError::ProduceTimeout { topic } => {
+                write!(f, "produce to topic {topic:?} timed out")
+            }
+            StreamError::FetchFailed { topic, partition } => {
+                write!(f, "fetch from {topic:?}/{partition} failed transiently")
+            }
         }
     }
 }
 
 impl std::error::Error for StreamError {}
+
+impl Retryable for StreamError {
+    fn fault_class(&self) -> FaultClass {
+        match self {
+            // Transient broker hiccups: retry with backoff.
+            StreamError::ProduceTimeout { .. } | StreamError::FetchFailed { .. } => {
+                FaultClass::Retryable
+            }
+            // Config / protocol errors: retrying the same call cannot help.
+            StreamError::UnknownTopic(_)
+            | StreamError::UnknownPartition { .. }
+            | StreamError::OffsetOutOfRange { .. }
+            | StreamError::TopicExists(_) => FaultClass::Fatal,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

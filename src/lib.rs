@@ -14,6 +14,7 @@
 
 pub use oda_analytics as analytics;
 pub use oda_core as core;
+pub use oda_faults as faults;
 pub use oda_govern as govern;
 pub use oda_ml as ml;
 pub use oda_pipeline as pipeline;

@@ -1,0 +1,268 @@
+//! Chaos suite: exactly-once semantics under seeded fault plans.
+//!
+//! Replays the same synthetic telemetry stream through the
+//! STREAM → medallion pipeline under several deterministic
+//! [`FaultPlan::chaos`] schedules (transient produce/fetch faults,
+//! crashes in the sink→checkpoint window, lost checkpoint commits) and
+//! asserts that the recovered output is *byte-identical* to a
+//! fault-free run: no duplicated epoch, no lost epoch, identical row
+//! counts, identical Gold reduction, monotone checkpoint recovery.
+
+use bytes::Bytes;
+use oda::faults::{FaultClass, FaultPlan, FaultPoint, FaultSite, Retry, Retryable};
+use oda::pipeline::checkpoint::CheckpointStore;
+use oda::pipeline::frame_io::frame_to_colfile;
+use oda::pipeline::medallion::{observation_decoder, streaming_silver_transform};
+use oda::pipeline::ops::{group_by, Agg, AggSpec};
+use oda::pipeline::streaming::MemorySink;
+use oda::pipeline::{Frame, StreamingQuery};
+use oda::storage::tiering::{DataClass, LifecycleAction, Tier, TierManager};
+use oda::stream::{Broker, Consumer, RetentionPolicy};
+use oda::telemetry::record::Observation;
+use oda::telemetry::system::SystemModel;
+use oda::telemetry::{SensorCatalog, TelemetryGenerator};
+use std::sync::Arc;
+
+const TOPIC: &str = "bronze";
+const BATCHES: usize = 80;
+const MAX_RECORDS: usize = 5;
+const MAX_RESTARTS: usize = 60;
+
+/// Produce the same synthetic telemetry stream (fault-free: data
+/// creation must be identical across runs) into a fresh broker.
+fn seeded_broker() -> (Arc<Broker>, SensorCatalog) {
+    let mut generator = TelemetryGenerator::new(SystemModel::tiny(), 7);
+    let broker = Broker::new();
+    broker
+        .create_topic(TOPIC, 2, RetentionPolicy::unbounded())
+        .unwrap();
+    for _ in 0..BATCHES {
+        let batch = generator.next_batch();
+        let payload = Observation::encode_batch(&batch.observations);
+        broker
+            .produce(
+                TOPIC,
+                batch.ts_ms,
+                Some(Bytes::from("all")),
+                Bytes::from(payload),
+            )
+            .unwrap();
+    }
+    (broker, generator.catalog().clone())
+}
+
+struct RunReport {
+    sink: MemorySink,
+    checkpoints: CheckpointStore,
+    restarts: usize,
+}
+
+/// Drive the query to completion under an optional fault plan,
+/// rebuilding it from the checkpoint store after every fatal fault —
+/// the crash/recovery loop a supervisor would run.
+fn run_pipeline(plan: Option<Arc<FaultPlan>>) -> RunReport {
+    let (broker, catalog) = seeded_broker();
+    let checkpoints = CheckpointStore::new();
+    if let Some(p) = &plan {
+        broker.arm_faults(p.clone() as Arc<dyn FaultPoint>);
+        checkpoints.arm_faults(p.clone() as Arc<dyn FaultPoint>);
+    }
+    let mut sink = MemorySink::new();
+    let mut restarts = 0;
+    let mut last_recovered_epoch = 0u64;
+    loop {
+        let consumer = Consumer::subscribe(broker.clone(), "chaos", TOPIC)
+            .unwrap()
+            .with_retry(Retry::with_attempts(25));
+        let mut query = StreamingQuery::new(
+            consumer,
+            observation_decoder(catalog.clone()),
+            streaming_silver_transform(15_000, 0),
+            checkpoints.clone(),
+        )
+        .unwrap()
+        .with_max_records(MAX_RECORDS);
+        assert!(
+            query.epoch() >= last_recovered_epoch,
+            "recovery must never move the epoch backwards: {} < {}",
+            query.epoch(),
+            last_recovered_epoch
+        );
+        last_recovered_epoch = query.epoch();
+        if let Some(p) = &plan {
+            query = query.with_faults(p.clone() as Arc<dyn FaultPoint>);
+        }
+        let outcome = loop {
+            match query.run_once(&mut sink) {
+                Ok(0) => break Ok(()),
+                Ok(_) => {}
+                Err(e) => break Err(e),
+            }
+        };
+        match outcome {
+            Ok(()) => break,
+            Err(e) => {
+                assert_eq!(
+                    e.fault_class(),
+                    FaultClass::Fatal,
+                    "only fatal faults may escape the retry envelope: {e}"
+                );
+                restarts += 1;
+                assert!(
+                    restarts <= MAX_RESTARTS,
+                    "crash/recovery loop failed to converge"
+                );
+            }
+        }
+    }
+    RunReport {
+        sink,
+        checkpoints,
+        restarts,
+    }
+}
+
+/// Deterministic Gold reduction over the Silver stream: per-(node,
+/// sensor) day aggregate.
+fn gold_reduction(sink: &MemorySink) -> Frame {
+    let silver = sink.concat().unwrap();
+    group_by(
+        &silver,
+        &["node", "sensor"],
+        &[
+            AggSpec::new("mean", Agg::Mean, "day_mean"),
+            AggSpec::new("count", Agg::Sum, "samples"),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn chaos_runs_are_byte_identical_to_fault_free_run() {
+    let baseline = run_pipeline(None);
+    assert_eq!(baseline.restarts, 0);
+    let baseline_epochs = baseline.sink.epochs();
+    assert!(
+        baseline_epochs >= 13,
+        "need enough epochs to hit both crash points"
+    );
+    let baseline_gold = gold_reduction(&baseline.sink);
+
+    // CI runs a fixed-seed matrix by exporting CHAOS_SEED; locally the
+    // default trio runs in one pass.
+    let seeds: Vec<u64> = match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => vec![11, 29, 4242],
+    };
+    let single_seed = seeds.len() == 1;
+    let mut crashes_seen = 0;
+    for seed in seeds {
+        let plan = Arc::new(FaultPlan::chaos(seed));
+        let report = run_pipeline(Some(plan.clone()));
+        crashes_seen += report.restarts;
+
+        // Exactly-once: same epochs, same rows, no duplicate or hole.
+        assert_eq!(report.sink.epochs(), baseline_epochs, "seed {seed}");
+        assert_eq!(
+            report.sink.total_rows(),
+            baseline.sink.total_rows(),
+            "seed {seed}"
+        );
+        // Byte-identical per-epoch frames.
+        for (ours, theirs) in report.sink.frames().iter().zip(baseline.sink.frames()) {
+            assert_eq!(
+                frame_to_colfile(ours).unwrap(),
+                frame_to_colfile(theirs).unwrap(),
+                "seed {seed}: epoch frame diverged"
+            );
+        }
+        // Identical Gold reduction.
+        assert_eq!(
+            frame_to_colfile(&gold_reduction(&report.sink)).unwrap(),
+            frame_to_colfile(&baseline_gold).unwrap(),
+            "seed {seed}: gold diverged"
+        );
+        // Checkpoint log is dense and its head matches the sink.
+        assert_eq!(report.checkpoints.len(), baseline_epochs);
+        assert_eq!(
+            report.checkpoints.latest().unwrap().epoch as usize,
+            baseline_epochs - 1
+        );
+        // The schedule really fired: both derived crash epochs are within
+        // the run, so at least two sink-site faults must appear in the log.
+        let by_site = plan.injected_by_site();
+        assert_eq!(
+            by_site.get(&FaultSite::SinkWrite).copied().unwrap_or(0),
+            2,
+            "seed {seed}: both crash epochs must fire exactly once"
+        );
+    }
+    let expected_crashes = if single_seed { 2 } else { 6 };
+    assert!(
+        crashes_seen >= expected_crashes,
+        "chaos seeds must force at least their scheduled crashes ({crashes_seen} < {expected_crashes})"
+    );
+}
+
+#[test]
+fn chaos_schedule_is_reproducible_across_runs() {
+    // The same seed must produce the same fault log, fault for fault.
+    let logs: Vec<_> = (0..2)
+        .map(|_| {
+            let plan = Arc::new(FaultPlan::chaos(99));
+            run_pipeline(Some(plan.clone()));
+            plan.injected()
+        })
+        .collect();
+    assert_eq!(
+        logs[0], logs[1],
+        "fault schedule must be seed-deterministic"
+    );
+    assert!(!logs[0].is_empty());
+}
+
+#[test]
+fn tier_migrations_retry_until_clean_under_chaos() {
+    // TierManager under the chaos plan: failed OCEAN→GLACIER migrations
+    // leave artifacts in place and eventually all freeze, with byte
+    // accounting identical to a fault-free pass.
+    const DAY: i64 = 86_400_000;
+    let build = |faults: Option<Arc<FaultPlan>>| {
+        let mut m = TierManager::new();
+        for i in 0..10 {
+            m.register(
+                &format!("ds-{i}"),
+                DataClass::Bronze,
+                Tier::Ocean,
+                1_000 + i,
+                0,
+            );
+        }
+        if let Some(f) = faults {
+            m.arm_faults(f as Arc<dyn FaultPoint>);
+        }
+        m
+    };
+    let mut clean = build(None);
+    clean.advance(31 * DAY);
+    let clean_bytes = clean.bytes_by_tier()[&Tier::Glacier];
+
+    let mut chaotic = build(Some(Arc::new(FaultPlan::chaos(17))));
+    let mut passes = 0;
+    loop {
+        let actions = chaotic.advance(31 * DAY + passes);
+        passes += 1;
+        assert!(passes < 100, "migrations failed to converge");
+        let failed = actions
+            .iter()
+            .any(|a| matches!(a, LifecycleAction::MigrateFailed { .. }));
+        if !failed && chaotic.bytes_by_tier()[&Tier::Ocean] == 0 {
+            break;
+        }
+    }
+    assert_eq!(chaotic.bytes_by_tier()[&Tier::Glacier], clean_bytes);
+    assert!(
+        passes > 1,
+        "chaos plan (25% fail rate) should force retries"
+    );
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched` /
+//! `iter_batched_ref`, throughput annotation — with a lightweight
+//! wall-clock runner: a warm-up pass, then a handful of timed samples,
+//! reporting the fastest (least-noisy) one. No statistics, plots, or
+//! baselines; good enough to smoke the benches and print rough numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many timed samples the runner takes per benchmark.
+const SAMPLES: u32 = 5;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration input regeneration size hint; ignored by the runner.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Work-per-iteration annotation, echoed as a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Allows `bench_function("name", ..)` and `bench_function(id, ..)`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl<S: AsRef<str>> IntoBenchmarkId for S {
+    fn into_benchmark_id(self) -> String {
+        self.as_ref().to_string()
+    }
+}
+
+/// Timing harness handed to the bench closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn run(mut routine: impl FnMut(&mut Bencher)) -> Bencher {
+        // Warm-up pass, then keep the fastest of a few samples.
+        let mut best: Option<Bencher> = None;
+        for _ in 0..=SAMPLES {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            routine(&mut b);
+            let replace = match &best {
+                Some(prev) => b.per_iter() < prev.per_iter(),
+                None => true,
+            };
+            if replace {
+                best = Some(b);
+            }
+        }
+        best.expect("at least one sample")
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters as u32
+        }
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut input = setup();
+        let start = Instant::now();
+        black_box(routine(&mut input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per = b.per_iter();
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut line = format!("{name:<60} {:>12.3?}/iter", per);
+    if let Some(tp) = throughput {
+        let secs = per.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>12.0} elem/s", n as f64 / secs));
+            }
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                line.push_str(&format!(
+                    "  {:>12.1} MiB/s",
+                    n as f64 / secs / (1 << 20) as f64
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let b = Bencher::run(routine);
+        report(&self.name, &id.into_benchmark_id(), &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let b = Bencher::run(|b| routine(b, input));
+        report(&self.name, &id.into_benchmark_id(), &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let b = Bencher::run(routine);
+        report("", &id.into_benchmark_id(), &b, None);
+        self
+    }
+}
+
+/// Collects bench functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        // Warm-up + SAMPLES timed passes.
+        assert_eq!(calls, SAMPLES + 1);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(100));
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter_batched(|| vec![x; 4], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.bench_with_input(BenchmarkId::new("batched_ref", 1), &1u8, |b, _| {
+            b.iter_batched_ref(|| vec![0u8; 8], |v| v.push(1), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

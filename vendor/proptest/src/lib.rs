@@ -1,0 +1,384 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `Strategy` (ranges, tuples, `any`, `collection::vec`, simple string
+//! patterns, `prop_map` / `prop_flat_map`), the `proptest!` macro, and
+//! the `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test seed (FNV of the test name), so failures reproduce exactly
+//! across runs. There is no shrinking: a failing case reports the
+//! panicking assertion directly.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod prelude;
+
+// ---- runner -------------------------------------------------------------
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: `cases` deterministic RNG streams derived from
+/// the test name. Called by the `proptest!` macro expansion.
+pub fn run_proptest(config: ProptestConfig, name: &str, mut body: impl FnMut(&mut StdRng)) {
+    let base = fnv1a(name.as_bytes());
+    for case in 0..config.cases as u64 {
+        let mut rng = StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        body(&mut rng);
+    }
+}
+
+// ---- strategies ---------------------------------------------------------
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f64, f32);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// String pattern strategy. Supports the subset of regex this
+/// workspace uses: `.{m,n}` (n arbitrary chars); any other pattern
+/// falls back to 0..=8 arbitrary chars.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 8));
+        let len = rng.random_range(lo..=hi);
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}
+
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn arbitrary_char(rng: &mut StdRng) -> char {
+    // Mostly printable ASCII, with occasional multi-byte code points to
+    // exercise UTF-8 handling.
+    match rng.random_range(0u8..10) {
+        0 => *['é', 'λ', '☃', '\u{1F600}', '\u{0}', '\n']
+            .choose(rng)
+            .unwrap(),
+        _ => rng.random_range(0x20u32..0x7f).try_into().unwrap(),
+    }
+}
+
+use rand::seq::SliceRandom;
+
+/// `any::<T>()` strategy carrier.
+pub struct Any<T>(PhantomData<T>);
+
+/// Arbitrary value of `T` over its full domain.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                // Bias towards boundary values now and then.
+                match rng.random_range(0u8..16) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0,
+                    _ => rng.random(),
+                }
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        match rng.random_range(0u8..16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            5 => f64::MIN_POSITIVE,
+            6 => f64::EPSILON,
+            // Arbitrary bit patterns: covers subnormals, huge exponents.
+            _ => f64::from_bits(rng.random::<u64>()),
+        }
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        match rng.random_range(0u8..16) {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            2 => f32::NEG_INFINITY,
+            3 => 0.0,
+            _ => f32::from_bits(rng.random::<u32>()),
+        }
+    }
+}
+
+impl Strategy for Any<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut StdRng) -> char {
+        arbitrary_char(rng)
+    }
+}
+
+/// `Just`: always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- macros -------------------------------------------------------------
+
+/// Property-test entry point; mirrors proptest's macro shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest($config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&$strat, __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Assert within a property; failure fails the whole test (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_per_test_name() {
+        let mut first: Vec<u64> = Vec::new();
+        run_proptest(ProptestConfig::with_cases(5), "abc", |rng| {
+            first.push(rng.random());
+        });
+        let mut second: Vec<u64> = Vec::new();
+        run_proptest(ProptestConfig::with_cases(5), "abc", |rng| {
+            second.push(rng.random());
+        });
+        assert_eq!(first, second);
+        let mut other: Vec<u64> = Vec::new();
+        run_proptest(ProptestConfig::with_cases(5), "xyz", |rng| {
+            other.push(rng.random());
+        });
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn range_and_vec_strategies_respect_bounds() {
+        run_proptest(ProptestConfig::with_cases(50), "bounds", |rng| {
+            let n = (1usize..200).sample(rng);
+            assert!((1..200).contains(&n));
+            let v = collection::vec(0i64..10, 3..7).sample(rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+            let s = ".{0,20}".sample(rng);
+            assert!(s.chars().count() <= 20);
+        });
+    }
+
+    #[test]
+    fn composed_strategies_sample() {
+        let strat = (1usize..5)
+            .prop_flat_map(|n| collection::vec(0u8..4, n..n + 1))
+            .prop_map(|v| v.len());
+        run_proptest(ProptestConfig::with_cases(20), "composed", |rng| {
+            let len = strat.sample(rng);
+            assert!((1..5).contains(&len));
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in any::<u8>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b as u32 + a, a + b as u32);
+        }
+    }
+}

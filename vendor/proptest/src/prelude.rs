@@ -1,0 +1,5 @@
+//! Convenience re-exports, mirroring `proptest::prelude`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+};

@@ -1,0 +1,171 @@
+//! Offline stand-in for `rand_distr`.
+//!
+//! Implements the distributions the telemetry simulator draws from:
+//! [`StandardNormal`] (Box–Muller), [`LogNormal`], and [`Exp`]
+//! (inverse-CDF). Constructors validate parameters and return `Result`
+//! like upstream `rand_distr`.
+
+use rand::{RngCore, RngExt};
+use std::fmt;
+
+/// A source of values of type `T` parameterized by a distribution.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Standard normal N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the second variate is discarded so sampling stays
+        // stateless (Distribution takes &self).
+        loop {
+            let u1: f64 = rng.random();
+            let u2: f64 = rng.random();
+            if u1 > f64::MIN_POSITIVE {
+                let r = (-2.0 * u1.ln()).sqrt();
+                return r * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+/// Normal distribution N(mean, std_dev²).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(ParamError("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+/// Log-normal: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Create from the mean and standard deviation of the underlying
+    /// normal (i.e. of `ln(X)`).
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, ParamError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)
+                .map_err(|_| ParamError("LogNormal requires finite mu and sigma >= 0"))?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Create with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Exp, ParamError> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(ParamError("Exp requires lambda > 0"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on 1-u (u in [0,1) keeps the log argument in (0,1]).
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..200_000)
+            .map(|_| StandardNormal.sample(&mut rng))
+            .collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Exp::new(0.25).unwrap();
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = LogNormal::new(100.0f64.ln(), 0.5).unwrap();
+        let mut samples: Vec<f64> = (0..50_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[25_000];
+        assert!((median / 100.0 - 1.0).abs() < 0.05, "median {median}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

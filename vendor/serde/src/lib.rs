@@ -1,0 +1,474 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde streams through a serializer; this stand-in routes
+//! through an owned [`Value`] tree instead — dramatically simpler, and
+//! fully sufficient for the workspace's use (JSON snapshots that are
+//! only ever read back by this same code). The derive macro
+//! (`serde_derive`) generates [`Serialize`]/[`Deserialize`] impls with
+//! the same field/variant layout conventions as serde's JSON encoding:
+//! structs become objects, unit enum variants become strings, and data
+//! variants become single-key objects.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A dynamically typed serialized value (JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key-value pairs in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a key in an object value.
+pub fn obj_get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+/// Split a single-key object into `(tag, inner)` — the layout of an
+/// enum data variant.
+pub fn enum_parts(v: &Value) -> Option<(&str, &Value)> {
+    match v.as_object()? {
+        [(tag, inner)] => Some((tag.as_str(), inner)),
+        _ => None,
+    }
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the serialized value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the value tree; `None` on shape mismatch.
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if let Ok(i) = i64::try_from(v) {
+                    Value::I64(i)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Option<$t> {
+                match v {
+                    Value::I64(i) => <$t>::try_from(*i).ok(),
+                    Value::U64(u) => <$t>::try_from(*u).ok(),
+                    Value::F64(f) if f.fract() == 0.0 && f.is_finite() => {
+                        let i = *f as i128;
+                        if i as f64 == *f { <$t>::try_from(i).ok() } else { None }
+                    }
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Option<bool> {
+        match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = f64::from(*self);
+                if f.is_finite() {
+                    Value::F64(f)
+                } else if f.is_nan() {
+                    Value::Str("NaN".to_string())
+                } else if f > 0.0 {
+                    Value::Str("inf".to_string())
+                } else {
+                    Value::Str("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Option<$t> {
+                match v {
+                    Value::F64(f) => Some(*f as $t),
+                    Value::I64(i) => Some(*i as $t),
+                    Value::U64(u) => Some(*u as $t),
+                    Value::Str(s) => match s.as_str() {
+                        "NaN" => Some(<$t>::NAN),
+                        "inf" => Some(<$t>::INFINITY),
+                        "-inf" => Some(<$t>::NEG_INFINITY),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Option<String> {
+        match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// `&'static str` deserializes by leaking the parsed string. Bounded in
+/// practice: this workspace only round-trips small static catalogs.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Option<&'static str> {
+        match v {
+            Value::Str(s) => Some(Box::leak(s.clone().into_boxed_str())),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Option<char> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => s.chars().next(),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Option<Box<T>> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Option<Option<T>> {
+        match v {
+            Value::Null => Some(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Option<Vec<T>> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Option<[T; N]> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        items.try_into().ok()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Option<($($name,)+)> {
+                let items = v.as_array()?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return None;
+                }
+                Some(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// Maps with string-like keys (strings, integers, unit-enum variants)
+/// become JSON objects; any other key type (tuples, data-carrying
+/// enums, ...) falls back to an array of `[key, value]` pairs, which —
+/// unlike upstream serde_json — round-trips instead of erroring.
+fn map_to_value(entries: Vec<(Value, Value)>) -> Value {
+    let stringish = entries
+        .iter()
+        .all(|(k, _)| matches!(k, Value::Str(_) | Value::I64(_) | Value::U64(_)));
+    if stringish {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = match k {
+                        Value::Str(s) => s,
+                        Value::I64(i) => i.to_string(),
+                        Value::U64(u) => u.to_string(),
+                        _ => unreachable!("checked stringish above"),
+                    };
+                    (key, v)
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+/// Recover a map key from its JSON object-key string: first as a plain
+/// string (covers String and unit-enum keys), then as an integer.
+fn key_from_str<K: Deserialize>(key: &str) -> Option<K> {
+    if let Some(k) = K::from_value(&Value::Str(key.to_string())) {
+        return Some(k);
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Some(k) = K::from_value(&Value::I64(i)) {
+            return Some(k);
+        }
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Some(k) = K::from_value(&Value::U64(u)) {
+            return Some(k);
+        }
+    }
+    None
+}
+
+fn map_entries_from_value<K: Deserialize, V: Deserialize, M>(v: &Value) -> Option<M>
+where
+    M: FromIterator<(K, V)>,
+{
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .map(|(k, val)| Some((key_from_str(k)?, V::from_value(val)?)))
+            .collect(),
+        Value::Array(pairs) => pairs
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                Some((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Option<BTreeMap<K, V>> {
+        map_entries_from_value(v)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort by rendered key so output is deterministic regardless of
+        // hash iteration order.
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        map_to_value(entries)
+    }
+}
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Option<HashMap<K, V>> {
+        map_entries_from_value(v)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Option<Value> {
+        Some(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Some(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Some(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Some(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Some(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Some("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert_eq!(
+            f64::from_value(&f64::INFINITY.to_value()),
+            Some(f64::INFINITY)
+        );
+        assert_eq!(
+            f64::from_value(&f64::NEG_INFINITY.to_value()),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Some(v));
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        assert_eq!(BTreeMap::<u32, String>::from_value(&m.to_value()), Some(m));
+        let t = (1i64, "a".to_string(), 2.5f64);
+        assert_eq!(
+            <(i64, String, f64)>::from_value(&t.to_value()),
+            Some(t.clone())
+        );
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()), Some(None));
+    }
+
+    #[test]
+    fn shape_mismatches_fail_cleanly() {
+        assert_eq!(u8::from_value(&Value::I64(300)), None);
+        assert_eq!(bool::from_value(&Value::I64(1)), None);
+        assert_eq!(Vec::<u8>::from_value(&Value::Str("no".into())), None);
+    }
+}

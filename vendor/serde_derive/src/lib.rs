@@ -1,0 +1,438 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim-serde `Serialize`/`Deserialize` traits (value-tree
+//! based, see the vendored `serde` crate) for non-generic structs and
+//! enums. Implemented directly on `proc_macro::TokenTree` — the build
+//! environment has no `syn`/`quote` — which is sufficient because the
+//! workspace derives only on plain named-field structs and enums with
+//! unit / newtype / tuple / struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of a struct body or an enum variant's payload.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — field count.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed derive target.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attribute groups starting at `*i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 2; // '#' then the bracket group
+    }
+}
+
+/// Skip `pub` / `pub(...)` visibility starting at `*i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if ident_of(&tokens[*i]).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Parse `{ name: Type, ... }` field names, skipping attributes,
+/// visibility, and type tokens (tracking `<`/`>` depth for generics in
+/// field types).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let name = ident_of(&tokens[i]).expect("field name identifier");
+        fields.push(name);
+        i += 1;
+        assert!(is_punct(&tokens[i], ':'), "expected ':' after field name");
+        i += 1;
+        // Consume the type: everything until a comma at angle depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count tuple fields: top-level commas + 1 (0 for an empty group).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for tt in &tokens {
+        saw_trailing_comma = false;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]).expect("variant name identifier");
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1; // the comma (or past the end)
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = ident_of(&tokens[i]).expect("struct/enum keyword");
+    i += 1;
+    let name = ident_of(&tokens[i]).expect("type name");
+    i += 1;
+    if tokens.get(i).is_some_and(|tt| is_punct(tt, '<')) {
+        panic!("shim serde_derive does not support generic types (on `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("malformed enum `{name}`"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(::std::vec![{}])", entries.join(","))
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(f0))])"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))])",
+                                binds.join(","),
+                                vals.join(",")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(",");
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn}{{{binds}}} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))])",
+                                entries.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ \
+                         match self {{ {} }} \
+                     }} \
+                 }}",
+                arms.join(",")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::obj_get(v, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::std::option::Option::Some({name} {{ {} }})",
+                        inits.join(",")
+                    )
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array()?; \
+                         if items.len() != {n} {{ return ::std::option::Option::None; }} \
+                         ::std::option::Option::Some({name}({}))",
+                        inits.join(",")
+                    )
+                }
+                Fields::Unit => format!(
+                    "match v {{ \
+                         ::serde::Value::Null => ::std::option::Option::Some({name}), \
+                         _ => ::std::option::Option::None, \
+                     }}"
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> ::std::option::Option<Self> {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::option::Option::Some({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::option::Option::Some(\
+                             {name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                     let items = inner.as_array()?; \
+                                     if items.len() != {n} {{ return ::std::option::Option::None; }} \
+                                     ::std::option::Option::Some({name}::{vn}({})) \
+                                 }},",
+                                inits.join(",")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::obj_get(inner, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::option::Option::Some(\
+                                 {name}::{vn} {{ {} }}),",
+                                inits.join(",")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let str_block = format!(
+                "if let ::serde::Value::Str(s) = v {{ \
+                     return match s.as_str() {{ {} _ => ::std::option::Option::None, }}; \
+                 }}",
+                unit_arms.join("")
+            );
+            let data_block = if data_arms.is_empty() {
+                "::std::option::Option::None".to_string()
+            } else {
+                format!(
+                    "let (tag, inner) = ::serde::enum_parts(v)?; \
+                     match tag {{ {} _ => ::std::option::Option::None, }}",
+                    data_arms.join("")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> ::std::option::Option<Self> {{ \
+                         {str_block} \
+                         {data_block} \
+                     }} \
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
