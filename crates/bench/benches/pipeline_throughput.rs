@@ -1,0 +1,245 @@
+//! Pipeline throughput across executor worker counts.
+//!
+//! Drives the full streaming Bronze -> Silver query (fetch + decode +
+//! quality filter in the partition-parallel stage, then the ordered
+//! merge and the stateful window transform) over a synthetic telemetry
+//! day and reports records/sec at each requested worker count. Results
+//! land in `BENCH_pipeline.json` in the invocation directory so CI can
+//! upload them as an artifact.
+//!
+//! Hand-rolled harness (not criterion): each configuration is one
+//! end-to-end run over the identical broker contents, timed wall-clock,
+//! and the bench asserts the outputs are byte-identical across worker
+//! counts — a throughput number for a wrong answer is worthless.
+//!
+//! Flags (unknown flags, e.g. criterion's `--bench`, are ignored):
+//! * `--test`            smoke mode: tiny workload, workers 1 and 2
+//! * `--workers 1,4`     comma-separated worker counts (default 1,2,4,8)
+//! * `--batches N`       broker batches to generate (default 5760, one
+//!   simulated day at 15 s ticks)
+//! * `--out PATH`        output path (default BENCH_pipeline.json)
+
+use bytes::Bytes;
+use serde::Serialize;
+
+use oda_pipeline::checkpoint::CheckpointStore;
+use oda_pipeline::frame_io::frame_to_colfile;
+use oda_pipeline::medallion::{
+    observation_decoder, quality_filter_map, streaming_silver_transform,
+};
+use oda_pipeline::streaming::{MemorySink, StreamingQuery};
+use oda_stream::{Broker, Consumer, RetentionPolicy};
+use oda_telemetry::record::Observation;
+use oda_telemetry::system::SystemModel;
+use oda_telemetry::{SensorCatalog, TelemetryGenerator};
+use std::sync::Arc;
+use std::time::Instant;
+
+const TOPIC: &str = "bronze";
+const PARTITIONS: u32 = 8;
+const MAX_RECORDS: usize = 64;
+
+struct Config {
+    workers: Vec<usize>,
+    batches: usize,
+    out: String,
+    smoke: bool,
+}
+
+#[derive(Serialize)]
+struct RunEntry {
+    workers: usize,
+    elapsed_s: f64,
+    records: usize,
+    records_per_sec: f64,
+    rows: usize,
+    rows_per_sec: f64,
+    silver_rows: usize,
+    speedup_vs_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: String,
+    topic: String,
+    partitions: u32,
+    batches: usize,
+    observation_rows: usize,
+    max_records: usize,
+    available_parallelism: usize,
+    smoke: bool,
+    baseline_workers: usize,
+    runs: Vec<RunEntry>,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        workers: vec![1, 2, 4, 8],
+        batches: 5_760,
+        out: "BENCH_pipeline.json".to_string(),
+        smoke: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--test" => config.smoke = true,
+            "--workers" if i + 1 < args.len() => {
+                i += 1;
+                config.workers = args[i]
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("--workers takes e.g. 1,4"))
+                    .collect();
+            }
+            "--batches" if i + 1 < args.len() => {
+                i += 1;
+                config.batches = args[i].parse().expect("--batches takes an integer");
+            }
+            "--out" if i + 1 < args.len() => {
+                i += 1;
+                config.out = args[i].clone();
+            }
+            _ => {} // ignore harness flags cargo bench forwards
+        }
+        i += 1;
+    }
+    if config.smoke {
+        config.batches = config.batches.min(64);
+        config.workers = vec![1, 2];
+    }
+    assert!(
+        config.workers.iter().all(|&w| w >= 1),
+        "worker counts must be >= 1"
+    );
+    config
+}
+
+/// The same broker contents for every worker count: keyless produce so
+/// records round-robin across all partitions.
+fn seeded_broker(batches: usize) -> (Arc<Broker>, SensorCatalog, usize) {
+    let mut generator = TelemetryGenerator::new(SystemModel::tiny(), 42);
+    let broker = Broker::new();
+    broker
+        .create_topic(TOPIC, PARTITIONS, RetentionPolicy::unbounded())
+        .unwrap();
+    let mut rows = 0usize;
+    for _ in 0..batches {
+        let batch = generator.next_batch();
+        rows += batch.observations.len();
+        let payload = Observation::encode_batch(&batch.observations);
+        broker
+            .produce(TOPIC, batch.ts_ms, None, Bytes::from(payload))
+            .unwrap();
+    }
+    (broker, generator.catalog().clone(), rows)
+}
+
+struct RunResult {
+    workers: usize,
+    elapsed_s: f64,
+    silver_rows: usize,
+    output: Vec<u8>,
+}
+
+fn run(broker: &Arc<Broker>, catalog: &SensorCatalog, workers: usize) -> RunResult {
+    let consumer =
+        Consumer::subscribe(broker.clone(), &format!("bench-w{workers}"), TOPIC).unwrap();
+    let mut query = StreamingQuery::builder()
+        .source(consumer)
+        .decoder(observation_decoder(catalog.clone()))
+        .map_partitions(quality_filter_map())
+        .transform(streaming_silver_transform(15_000, 0))
+        .checkpoints(CheckpointStore::new())
+        .max_records(MAX_RECORDS)
+        .workers(workers)
+        .build()
+        .unwrap();
+    let mut sink = MemorySink::new();
+    let start = Instant::now();
+    query.run_to_completion(&mut sink).unwrap();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let silver = sink.concat().unwrap();
+    RunResult {
+        workers,
+        elapsed_s,
+        silver_rows: silver.rows(),
+        output: frame_to_colfile(&silver).unwrap(),
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    let (broker, catalog, rows) = seeded_broker(config.batches);
+    println!(
+        "pipeline_throughput: {} batches ({} observation rows) across {} partitions, max_records {}",
+        config.batches, rows, PARTITIONS, MAX_RECORDS
+    );
+
+    let results: Vec<RunResult> = config
+        .workers
+        .iter()
+        .map(|&w| run(&broker, &catalog, w))
+        .collect();
+
+    // Worker count must be invisible in the output before any number
+    // here means anything.
+    for r in &results[1..] {
+        assert_eq!(
+            r.output, results[0].output,
+            "silver diverged between workers={} and workers={}",
+            results[0].workers, r.workers
+        );
+    }
+
+    let base = results
+        .iter()
+        .find(|r| r.workers == 1)
+        .unwrap_or(&results[0]);
+    let mut entries = Vec::new();
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>9}",
+        "workers", "elapsed_s", "records/sec", "rows/sec", "speedup"
+    );
+    for r in &results {
+        let records_per_sec = config.batches as f64 / r.elapsed_s;
+        let rows_per_sec = rows as f64 / r.elapsed_s;
+        let speedup = base.elapsed_s / r.elapsed_s;
+        println!(
+            "{:>8} {:>10.3} {:>14.0} {:>14.0} {:>8.2}x",
+            r.workers, r.elapsed_s, records_per_sec, rows_per_sec, speedup
+        );
+        entries.push(RunEntry {
+            workers: r.workers,
+            elapsed_s: r.elapsed_s,
+            records: config.batches,
+            records_per_sec,
+            rows,
+            rows_per_sec,
+            silver_rows: r.silver_rows,
+            speedup_vs_baseline: speedup,
+        });
+    }
+
+    let report = Report {
+        benchmark: "pipeline_throughput".to_string(),
+        topic: TOPIC.to_string(),
+        partitions: PARTITIONS,
+        batches: config.batches,
+        observation_rows: rows,
+        max_records: MAX_RECORDS,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        smoke: config.smoke,
+        baseline_workers: base.workers,
+        runs: entries,
+    };
+    std::fs::write(&config.out, serde_json::to_string(&report).unwrap())
+        .expect("write BENCH_pipeline.json");
+    println!(
+        "wrote {}",
+        std::fs::canonicalize(&config.out)
+            .unwrap_or_else(|_| config.out.clone().into())
+            .display()
+    );
+}

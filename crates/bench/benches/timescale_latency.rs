@@ -63,14 +63,14 @@ fn bench_timescales(c: &mut Criterion) {
             || {
                 let broker = loaded_broker(&obs);
                 let consumer = Consumer::subscribe(broker, "rt", "bronze").unwrap();
-                let mut q = StreamingQuery::new(
-                    consumer,
-                    observation_decoder(catalog.clone()),
-                    streaming_silver_transform(15_000, 0),
-                    CheckpointStore::new(),
-                )
-                .unwrap()
-                .with_max_records(8); // ~one tick of records per batch
+                let mut q = StreamingQuery::builder()
+                    .source(consumer)
+                    .decoder(observation_decoder(catalog.clone()))
+                    .transform(streaming_silver_transform(15_000, 0))
+                    .checkpoints(CheckpointStore::new())
+                    .max_records(8) // ~one tick of records per batch
+                    .build()
+                    .unwrap();
                 let mut sink = MemorySink::new();
                 // Warm up half the stream.
                 for _ in 0..100 {

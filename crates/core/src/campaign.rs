@@ -6,6 +6,7 @@
 //! Bronze→Silver pipeline, then promote the stream's maturity so
 //! downstream areas can rely on it.
 
+use crate::error::OdaError;
 use crate::facility::Facility;
 use crate::ingest::topics;
 use oda_govern::dictionary::{DataDictionary, DictionaryEntry};
@@ -13,7 +14,6 @@ use oda_govern::maturity::{Area, Generation, Maturity, MaturityMatrix, StreamRow
 use oda_pipeline::checkpoint::CheckpointStore;
 use oda_pipeline::medallion::{observation_decoder, streaming_silver_transform};
 use oda_pipeline::streaming::{MemorySink, StreamingQuery};
-use oda_pipeline::PipelineError;
 use oda_stream::Consumer;
 use oda_telemetry::sensors::DataSource;
 use serde::{Deserialize, Serialize};
@@ -56,7 +56,7 @@ pub fn run_campaign(
     area: Area,
     dictionary: &mut DataDictionary,
     matrix: &mut MaturityMatrix,
-) -> Result<CampaignReport, PipelineError> {
+) -> Result<CampaignReport, OdaError> {
     let system = facility.systems()[0].clone();
     let catalog = oda_telemetry::SensorCatalog::for_system(&system);
 
@@ -85,12 +85,12 @@ pub fn run_campaign(
     facility.run(40);
     let (bronze, _, _) = topics(&system.name);
     let consumer = Consumer::subscribe(facility.broker(), "campaign", &bronze)?;
-    let mut query = StreamingQuery::new(
-        consumer,
-        observation_decoder(catalog),
-        streaming_silver_transform(15_000, 0),
-        CheckpointStore::new(),
-    )?;
+    let mut query = StreamingQuery::builder()
+        .source(consumer)
+        .decoder(observation_decoder(catalog))
+        .transform(streaming_silver_transform(15_000, 0))
+        .checkpoints(CheckpointStore::new())
+        .build()?;
     let mut sink = MemorySink::new();
     query.run_to_completion(&mut sink)?;
     let silver_rows = sink.total_rows();

@@ -14,14 +14,18 @@
 //!   adjust (the adjustment actually changes subsequent telemetry).
 //! * [`campaign`] — the §VI data-exploration campaign driver: build the
 //!   dictionary, stand up the Silver pipeline, promote maturity.
+//! * [`error`] — [`OdaError`], the workspace-level error every facade
+//!   entry point returns.
 
 pub mod campaign;
 pub mod config;
+pub mod error;
 pub mod facility;
 pub mod ingest;
 pub mod lifecycle;
 
 pub use config::FacilityConfig;
+pub use error::OdaError;
 pub use facility::Facility;
 pub use lifecycle::{Adjustment, LoopReport, OperationalLoop};
 
@@ -29,6 +33,7 @@ pub use lifecycle::{Adjustment, LoopReport, OperationalLoop};
 pub mod prelude {
     pub use crate::campaign::{run_campaign, CampaignReport};
     pub use crate::config::FacilityConfig;
+    pub use crate::error::OdaError;
     pub use crate::facility::Facility;
     pub use crate::lifecycle::{Adjustment, LoopReport, OperationalLoop};
     pub use oda_analytics::{Copacetic, LvaIndex, RatsReport, UaDashboard};

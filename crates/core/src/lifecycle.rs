@@ -8,12 +8,12 @@
 //! the indicators), **adjust** (turn a real actuator — the coolant
 //! supply set point — so the *next* iteration's telemetry changes).
 
+use crate::error::OdaError;
 use crate::facility::Facility;
 use crate::ingest::topics;
 use oda_pipeline::checkpoint::CheckpointStore;
 use oda_pipeline::medallion::{observation_decoder, streaming_silver_transform};
 use oda_pipeline::streaming::{MemorySink, StreamingQuery};
-use oda_pipeline::PipelineError;
 use oda_stream::Consumer;
 use serde::{Deserialize, Serialize};
 
@@ -68,17 +68,17 @@ impl OperationalLoop {
         facility: &Facility,
         system_index: usize,
         window_ms: i64,
-    ) -> Result<OperationalLoop, PipelineError> {
+    ) -> Result<OperationalLoop, OdaError> {
         let system = facility.systems()[system_index].clone();
         let (bronze, _, _) = topics(&system.name);
         let consumer = Consumer::subscribe(facility.broker(), "ops-loop", &bronze)?;
         let catalog = oda_telemetry::SensorCatalog::for_system(&system);
-        let query = StreamingQuery::new(
-            consumer,
-            observation_decoder(catalog),
-            streaming_silver_transform(window_ms, 0),
-            CheckpointStore::new(),
-        )?;
+        let query = StreamingQuery::builder()
+            .source(consumer)
+            .decoder(observation_decoder(catalog))
+            .transform(streaming_silver_transform(window_ms, 0))
+            .checkpoints(CheckpointStore::new())
+            .build()?;
         Ok(OperationalLoop {
             query,
             system_index,
@@ -94,7 +94,7 @@ impl OperationalLoop {
         &mut self,
         facility: &mut Facility,
         ticks: usize,
-    ) -> Result<LoopReport, PipelineError> {
+    ) -> Result<LoopReport, OdaError> {
         // Collect.
         facility.run(ticks);
         // Engineer: drain the stream into Silver.

@@ -7,11 +7,15 @@
 //! fired from a seeded [`FaultPlan`] at a named [`FaultSite`].
 //!
 //! Determinism is the core contract: a plan's decisions are a pure
-//! function of `(seed, site, invocation index)` via a SplitMix64-style
-//! mixer — no wall clock, no global RNG. Replaying the same workload
-//! under the same seed reproduces the exact same fault schedule, which
-//! is what lets the chaos suite assert byte-identical exactly-once
-//! output across recovery paths.
+//! function of `(seed, site, context, invocation index)` via a
+//! SplitMix64-style mixer — no wall clock, no global RNG. Replaying the
+//! same workload under the same seed reproduces the exact same fault
+//! schedule, which is what lets the chaos suite assert byte-identical
+//! exactly-once output across recovery paths. Because each
+//! `(site, context)` pair owns its own invocation counter, concurrent
+//! callers at distinct contexts (e.g. parallel partition workers, where
+//! the fetch context is the partition id) can interleave in any order
+//! without perturbing each other's schedules.
 //!
 //! Components accept any [`FaultPoint`] implementation; production code
 //! paths pay one `Option` check when no plan is armed.
@@ -93,14 +97,16 @@ impl fmt::Display for FaultKind {
     }
 }
 
-/// Where in the stack a fault can fire. Each site is an independent
-/// deterministic stream: invocation counts at one site never perturb
-/// draws at another.
+/// Where in the stack a fault can fire. Each `(site, ctx)` pair is an
+/// independent deterministic stream: invocation counts at one site or
+/// context never perturb draws at another, so concurrent workers at
+/// distinct contexts are schedule-isolated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultSite {
     /// `Broker::produce` / `Producer::send`.
     Produce,
-    /// `Broker::fetch` (via `Consumer::poll`).
+    /// `Broker::fetch` (via `Consumer::poll` /
+    /// `Consumer::fetch_partition`). `ctx` is the partition id.
     Fetch,
     /// After `Sink::write(epoch, ..)`, before the checkpoint commit.
     /// `ctx` is the epoch.

@@ -58,10 +58,16 @@ pub struct InjectedFault {
 
 /// Deterministic, seed-driven [`FaultPoint`].
 ///
-/// Each site keeps its own invocation counter; the decision for
-/// invocation `n` at site `s` is a pure function of
-/// `(seed, s, n)` — independent of every other site, so adding an
-/// instrumented call site never reshuffles the schedule elsewhere.
+/// Each `(site, ctx)` pair keeps its own invocation counter; the
+/// decision for invocation `n` of context `c` at site `s` is a pure
+/// function of `(seed, s, c, n)` — independent of every other site
+/// *and* every other context. Adding an instrumented call site never
+/// reshuffles the schedule elsewhere, and — the property the parallel
+/// partitioned executor depends on — concurrent workers hammering the
+/// same site at *different* contexts (partition ids, epochs,
+/// observation indices) can interleave in any order without perturbing
+/// each other's schedules. A plan is safe to share across threads via
+/// `Arc<dyn FaultPoint>`.
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
@@ -71,7 +77,7 @@ pub struct FaultPlan {
 
 #[derive(Debug, Default)]
 struct PlanState {
-    invocations: HashMap<FaultSite, u64>,
+    invocations: HashMap<(FaultSite, u64), u64>,
     /// Crash epochs that already fired (one-shot semantics).
     crashed_epochs: BTreeSet<u64>,
     log: Vec<InjectedFault>,
@@ -146,11 +152,15 @@ impl FaultPlan {
         out
     }
 
-    /// Deterministic draw in `[0, 1)` for invocation `n` at `site`.
-    fn draw(&self, site: FaultSite, n: u64) -> f64 {
+    /// Deterministic draw in `[0, 1)` for invocation `n` of context
+    /// `ctx` at `site`.
+    fn draw(&self, site: FaultSite, ctx: u64, n: u64) -> f64 {
         let site_tag = site as u64;
         unit_f64(splitmix64(
-            self.seed ^ splitmix64(site_tag.wrapping_add(0x517e)) ^ splitmix64(n),
+            self.seed
+                ^ splitmix64(site_tag.wrapping_add(0x517e))
+                ^ splitmix64(ctx.wrapping_add(0xc017e)).rotate_left(17)
+                ^ splitmix64(n),
         ))
     }
 }
@@ -160,29 +170,28 @@ impl FaultPoint for FaultPlan {
         let mut state = self.inner.lock().expect("plan lock");
         let n = *state
             .invocations
-            .entry(site)
+            .entry((site, ctx))
             .and_modify(|c| *c += 1)
             .or_insert(0);
         let kind = match site {
-            FaultSite::Produce => (self.draw(site, n) < self.spec.produce_timeout)
+            FaultSite::Produce => (self.draw(site, ctx, n) < self.spec.produce_timeout)
                 .then_some(FaultKind::ProduceTimeout),
             FaultSite::Fetch => {
-                (self.draw(site, n) < self.spec.fetch_error).then_some(FaultKind::FetchError)
+                (self.draw(site, ctx, n) < self.spec.fetch_error).then_some(FaultKind::FetchError)
             }
             FaultSite::SinkWrite => {
                 // ctx is the epoch; explicit schedule, one shot each.
                 (self.spec.crash_after_sink.contains(&ctx) && state.crashed_epochs.insert(ctx))
                     .then_some(FaultKind::CrashAfterSink { epoch: ctx })
             }
-            FaultSite::CheckpointCommit => (self.draw(site, n) < self.spec.checkpoint_lost)
+            FaultSite::CheckpointCommit => (self.draw(site, ctx, n) < self.spec.checkpoint_lost)
                 .then_some(FaultKind::CheckpointLost),
-            FaultSite::TierMigrate => (self.draw(site, n) < self.spec.tier_migrate_fail)
+            FaultSite::TierMigrate => (self.draw(site, ctx, n) < self.spec.tier_migrate_fail)
                 .then_some(FaultKind::TierMigrateFail),
-            FaultSite::SensorRead => (self.draw(site, n) < self.spec.sensor_dropout).then_some(
-                FaultKind::SensorDropout {
+            FaultSite::SensorRead => (self.draw(site, ctx, n) < self.spec.sensor_dropout)
+                .then_some(FaultKind::SensorDropout {
                     rate: self.spec.sensor_dropout,
-                },
-            ),
+                }),
         };
         if let Some(kind) = &kind {
             state.log.push(InjectedFault {
@@ -242,6 +251,66 @@ mod tests {
             interleaved.push(b.check(FaultSite::Produce, i).is_some());
         }
         assert_eq!(solo, interleaved);
+    }
+
+    #[test]
+    fn contexts_are_independent_streams() {
+        // A context's schedule is a pure function of (seed, site, ctx,
+        // invocation) — calls at other contexts, in any interleaving,
+        // must not perturb it. This is what lets parallel partition
+        // workers share one plan.
+        let spec = FaultSpec {
+            fetch_error: 0.5,
+            ..FaultSpec::default()
+        };
+        let solo = FaultPlan::new(21, spec.clone());
+        let want: Vec<bool> = (0..100)
+            .map(|_| solo.check(FaultSite::Fetch, 3).is_some())
+            .collect();
+        let noisy = FaultPlan::new(21, spec);
+        let mut got = Vec::new();
+        for i in 0..100u64 {
+            noisy.check(FaultSite::Fetch, i % 3); // ctx 0/1/2 churn
+            got.push(noisy.check(FaultSite::Fetch, 3).is_some());
+        }
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn concurrent_contexts_are_schedule_deterministic() {
+        // Threads hammering the same site at distinct contexts may
+        // interleave arbitrarily; each context must still see exactly
+        // the schedule a serial run would give it.
+        use std::sync::Arc;
+        let spec = FaultSpec {
+            fetch_error: 0.4,
+            ..FaultSpec::default()
+        };
+        let serial = FaultPlan::new(33, spec.clone());
+        let want: Vec<Vec<bool>> = (0..4u64)
+            .map(|ctx| {
+                (0..64)
+                    .map(|_| serial.check(FaultSite::Fetch, ctx).is_some())
+                    .collect()
+            })
+            .collect();
+        for round in 0..8 {
+            let plan = Arc::new(FaultPlan::new(33, spec.clone()));
+            let got: Vec<Vec<bool>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4u64)
+                    .map(|ctx| {
+                        let plan = Arc::clone(&plan);
+                        s.spawn(move || {
+                            (0..64)
+                                .map(|_| plan.check(FaultSite::Fetch, ctx).is_some())
+                                .collect::<Vec<bool>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(want, got, "round {round}: schedule diverged under threads");
+        }
     }
 
     #[test]

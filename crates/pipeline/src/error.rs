@@ -34,6 +34,8 @@ pub enum PipelineError {
         /// The epoch that was offered.
         got: u64,
     },
+    /// A `StreamingQueryBuilder::build` rejected the configuration.
+    InvalidQuery(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -52,6 +54,7 @@ impl fmt::Display for PipelineError {
                 f,
                 "checkpoint epochs must be dense: expected {expected}, got {got}"
             ),
+            PipelineError::InvalidQuery(m) => write!(f, "invalid streaming query: {m}"),
         }
     }
 }
@@ -69,7 +72,8 @@ impl Retryable for PipelineError {
             | PipelineError::RaggedColumns
             | PipelineError::Storage(_)
             | PipelineError::Decode(_)
-            | PipelineError::CheckpointGap { .. } => FaultClass::Fatal,
+            | PipelineError::CheckpointGap { .. }
+            | PipelineError::InvalidQuery(_) => FaultClass::Fatal,
         }
     }
 }

@@ -14,6 +14,7 @@
 
 pub mod checkpoint;
 pub mod error;
+pub mod executor;
 pub mod expr;
 pub mod frame;
 pub mod frame_io;
@@ -26,7 +27,8 @@ pub mod window;
 
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use error::PipelineError;
+pub use executor::EpochMeta;
 pub use expr::Expr;
 pub use frame::Frame;
 pub use plan::{PipelinePlan, Stage, StageTiming};
-pub use streaming::{MemorySink, Sink, StreamingQuery};
+pub use streaming::{MemorySink, Sink, StreamingQuery, StreamingQueryBuilder};

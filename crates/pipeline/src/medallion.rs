@@ -17,7 +17,7 @@ use crate::frame::Frame;
 use crate::ops::{Agg, AggSpec};
 use crate::plan::{PipelinePlan, Stage};
 use crate::state::{CellState, StateStore};
-use crate::streaming::{Decoder, Transform};
+use crate::streaming::{Decoder, PartitionMap, Transform};
 use oda_faults::{FaultPoint, FaultSite};
 use oda_storage::colfile::ColumnData;
 use oda_telemetry::jobs::Job;
@@ -118,6 +118,21 @@ pub fn observation_decoder_with_faults(
             }
         }
         Ok(bronze_frame(&all, &catalog))
+    })
+}
+
+/// The Fig. 4-b quality filter as a stateless per-partition stage:
+/// drops rows whose `quality` is not Good (0) or whose `value` is NaN.
+/// Row-local, so it runs inside the parallel partition workers (via
+/// `StreamingQueryBuilder::map_partitions`) with output identical to
+/// filtering the merged frame.
+pub fn quality_filter_map() -> PartitionMap {
+    Box::new(|frame: Frame| {
+        let mask = Expr::col("quality")
+            .eq_(Expr::LitI(0))
+            .and(Expr::col("value").is_nan().not())
+            .eval_mask(&frame)?;
+        Ok(frame.filter_mask(&mask))
     })
 }
 
@@ -650,6 +665,20 @@ mod tests {
     }
 
     #[test]
+    fn quality_filter_map_drops_bad_rows() {
+        let cat = tiny_catalog();
+        let mut rows = vec![obs(0, 1, 0, 500.0), obs(1_000, 2, 1, f64::NAN)];
+        rows.push(Observation {
+            quality: Quality::Suspect,
+            ..obs(2_000, 3, 0, 510.0)
+        });
+        let frame = bronze_frame(&rows, &cat);
+        let filtered = quality_filter_map()(frame).unwrap();
+        assert_eq!(filtered.rows(), 1, "NaN and Suspect rows must drop");
+        assert_eq!(filtered.i64s("node").unwrap(), &[1]);
+    }
+
+    #[test]
     fn full_broker_to_silver_streaming_query() {
         // Telemetry generator -> broker -> streaming silver -> sink.
         let mut generator = TelemetryGenerator::new(SystemModel::tiny(), 42);
@@ -670,14 +699,15 @@ mod tests {
                 .unwrap();
         }
         let consumer = Consumer::subscribe(broker, "silver", "bronze").unwrap();
-        let mut q = StreamingQuery::new(
-            consumer,
-            observation_decoder(generator.catalog().clone()),
-            streaming_silver_transform(15_000, 0),
-            CheckpointStore::new(),
-        )
-        .unwrap()
-        .with_max_records(5);
+        let mut q = StreamingQuery::builder()
+            .source(consumer)
+            .decoder(observation_decoder(generator.catalog().clone()))
+            .transform(streaming_silver_transform(15_000, 0))
+            .checkpoints(CheckpointStore::new())
+            .max_records(5)
+            .workers(2)
+            .build()
+            .unwrap();
         let mut sink = MemorySink::new();
         q.run_to_completion(&mut sink).unwrap();
         let silver = sink.concat().unwrap();

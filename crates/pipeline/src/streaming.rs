@@ -2,32 +2,42 @@
 //!
 //! A [`StreamingQuery`] polls a broker consumer, decodes records into a
 //! frame, applies a stateful transform, writes the result to a [`Sink`]
-//! tagged with the batch epoch, and then atomically commits a
+//! tagged with its [`EpochMeta`], and then atomically commits a
 //! checkpoint (epoch, offsets, state). On recovery the query restores
 //! the latest checkpoint; a batch that was sunk but not checkpointed is
 //! replayed with the *same epoch*, so an idempotent sink deduplicates —
 //! exactly-once end-to-end.
+//!
+//! Queries are configured through [`StreamingQueryBuilder`]; with
+//! `workers(n)` the per-partition fetch/decode/map stage runs on `n`
+//! threads via the [`crate::executor`] module, with a deterministic
+//! ordered merge (partition id, then offset) feeding the serial
+//! stateful transform — output is byte-identical for any worker count.
 
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::error::PipelineError;
+pub use crate::executor::EpochMeta;
+use crate::executor::{epoch_meta, merge_partition_outputs, partition_stage};
 use crate::frame::Frame;
 use crate::state::StateStore;
-use oda_faults::{FaultKind, FaultPlan, FaultPoint, FaultSite};
+use oda_faults::{FaultKind, FaultPoint, FaultSite};
 use oda_stream::{Consumer, Record};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Batch output target with idempotent epoch semantics.
 pub trait Sink {
-    /// Write the output of `epoch`. Must be idempotent in `epoch`:
-    /// writing the same epoch twice must leave one copy.
-    fn write(&mut self, epoch: u64, frame: &Frame) -> Result<(), PipelineError>;
+    /// Write the output of the epoch described by `meta`. Must be
+    /// idempotent in `meta.epoch`: writing the same epoch twice must
+    /// leave one copy.
+    fn write(&mut self, meta: &EpochMeta, frame: &Frame) -> Result<(), PipelineError>;
 }
 
 /// In-memory sink keyed by epoch (idempotent by construction).
 #[derive(Debug, Default)]
 pub struct MemorySink {
     batches: BTreeMap<u64, Frame>,
+    metas: BTreeMap<u64, EpochMeta>,
     /// Total writes attempted, including duplicate epochs (for tests).
     pub write_calls: usize,
 }
@@ -58,45 +68,150 @@ impl MemorySink {
     pub fn epochs(&self) -> usize {
         self.batches.len()
     }
+
+    /// The metadata the engine attached to `epoch`, if written.
+    pub fn meta(&self, epoch: u64) -> Option<&EpochMeta> {
+        self.metas.get(&epoch)
+    }
+
+    /// Epoch metadata in epoch order.
+    pub fn metas(&self) -> Vec<&EpochMeta> {
+        self.metas.values().collect()
+    }
 }
 
 impl Sink for MemorySink {
-    fn write(&mut self, epoch: u64, frame: &Frame) -> Result<(), PipelineError> {
+    fn write(&mut self, meta: &EpochMeta, frame: &Frame) -> Result<(), PipelineError> {
         self.write_calls += 1;
-        self.batches.insert(epoch, frame.clone());
+        self.batches.insert(meta.epoch, frame.clone());
+        self.metas.insert(meta.epoch, *meta);
         Ok(())
     }
 }
 
-/// Batch decoder: broker records -> frame.
-pub type Decoder = Box<dyn Fn(&[Record]) -> Result<Frame, PipelineError> + Send>;
-/// Stateful transform: input frame + state -> output frame.
+/// Batch decoder: broker records -> frame. Must be row-local (each
+/// record decodes independently of its neighbors) so that decoding a
+/// partition slice equals slicing a decoded batch — the property that
+/// makes per-partition parallel decode equivalent to the serial path.
+pub type Decoder = Box<dyn Fn(&[Record]) -> Result<Frame, PipelineError> + Send + Sync>;
+/// Stateful transform: input frame + state -> output frame. Runs
+/// serially on the merged epoch, after the parallel partition stage.
 pub type Transform = Box<dyn FnMut(Frame, &mut StateStore) -> Result<Frame, PipelineError> + Send>;
+/// Stateless per-partition map applied inside workers, between decode
+/// and merge (e.g. row filtering, unit normalization). Must be
+/// row-local, like [`Decoder`].
+pub type PartitionMap = Box<dyn Fn(Frame) -> Result<Frame, PipelineError> + Send + Sync>;
 
-/// A recoverable micro-batch query.
-pub struct StreamingQuery {
-    consumer: Consumer,
-    decode: Decoder,
-    transform: Transform,
-    state: StateStore,
-    checkpoints: CheckpointStore,
-    epoch: u64,
-    max_records: usize,
-    /// Armed fault plans, each consulted at the sink-write site. Crashes
-    /// in the sink→checkpoint window come from here (simulating the
-    /// exactly-once vulnerable window).
+/// Step-by-step configuration for a [`StreamingQuery`].
+///
+/// ```text
+/// StreamingQueryBuilder::new()
+///     .source(consumer)            // required
+///     .decoder(decode)             // required
+///     .transform(transform)        // required
+///     .checkpoints(store)          // required
+///     .map_partitions(map)         // optional parallel stage
+///     .max_records(5_000)          // default 10_000
+///     .workers(4)                  // default 1
+///     .faults(plan)                // optional, stacks
+///     .build()?                    // validates + checkpoint recovery
+/// ```
+///
+/// `build` validates the configuration ([`PipelineError::InvalidQuery`]
+/// on a missing stage or zero budget) and performs checkpoint recovery:
+/// if the store holds a checkpoint, the consumer is sought to its
+/// offsets, state is restored, and the query resumes at the next epoch.
+#[derive(Default)]
+pub struct StreamingQueryBuilder {
+    source: Option<Consumer>,
+    decoder: Option<Decoder>,
+    partition_map: Option<PartitionMap>,
+    transform: Option<Transform>,
+    checkpoints: Option<CheckpointStore>,
+    max_records: Option<usize>,
+    workers: Option<usize>,
     faults: Vec<Arc<dyn FaultPoint>>,
 }
 
-impl StreamingQuery {
-    /// Create a query, recovering from the latest checkpoint in
-    /// `checkpoints` if one exists.
-    pub fn new(
-        mut consumer: Consumer,
-        decode: Decoder,
-        transform: Transform,
-        checkpoints: CheckpointStore,
-    ) -> Result<StreamingQuery, PipelineError> {
+impl StreamingQueryBuilder {
+    /// Start an empty configuration.
+    pub fn new() -> StreamingQueryBuilder {
+        StreamingQueryBuilder::default()
+    }
+
+    /// The consumer to poll (required).
+    pub fn source(mut self, consumer: Consumer) -> Self {
+        self.source = Some(consumer);
+        self
+    }
+
+    /// The record decoder (required).
+    pub fn decoder(mut self, decode: Decoder) -> Self {
+        self.decoder = Some(decode);
+        self
+    }
+
+    /// Optional stateless per-partition map, run inside workers after
+    /// decode and before the ordered merge.
+    pub fn map_partitions(mut self, map: PartitionMap) -> Self {
+        self.partition_map = Some(map);
+        self
+    }
+
+    /// The stateful transform (required).
+    pub fn transform(mut self, transform: Transform) -> Self {
+        self.transform = Some(transform);
+        self
+    }
+
+    /// The checkpoint store to recover from and commit to (required).
+    pub fn checkpoints(mut self, checkpoints: CheckpointStore) -> Self {
+        self.checkpoints = Some(checkpoints);
+        self
+    }
+
+    /// Cap records per micro-batch (default 10 000, must be ≥ 1).
+    pub fn max_records(mut self, max: usize) -> Self {
+        self.max_records = Some(max);
+        self
+    }
+
+    /// Worker threads for the partition stage (default 1, must be ≥ 1).
+    /// Output is byte-identical for every worker count; more workers
+    /// than partitions is clamped.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Arm a fault plan at the query's sink-write site. Multiple plans
+    /// stack; the first that fires wins. Crash-after-sink schedules
+    /// (see `FaultPlan::crash_after_sink`) arm here.
+    pub fn faults(mut self, faults: Arc<dyn FaultPoint>) -> Self {
+        self.faults.push(faults);
+        self
+    }
+
+    /// Validate the configuration and build the query, recovering from
+    /// the latest checkpoint if one exists.
+    pub fn build(self) -> Result<StreamingQuery, PipelineError> {
+        let missing = |what: &str| PipelineError::InvalidQuery(format!("{what} is required"));
+        let mut consumer = self.source.ok_or_else(|| missing("source"))?;
+        let decode = self.decoder.ok_or_else(|| missing("decoder"))?;
+        let transform = self.transform.ok_or_else(|| missing("transform"))?;
+        let checkpoints = self.checkpoints.ok_or_else(|| missing("checkpoints"))?;
+        let max_records = self.max_records.unwrap_or(10_000);
+        if max_records == 0 {
+            return Err(PipelineError::InvalidQuery(
+                "max_records must be at least 1".into(),
+            ));
+        }
+        let workers = self.workers.unwrap_or(1);
+        if workers == 0 {
+            return Err(PipelineError::InvalidQuery(
+                "workers must be at least 1".into(),
+            ));
+        }
         let (state, epoch) = match checkpoints.latest() {
             Some(cp) => {
                 for (&p, &off) in &cp.offsets {
@@ -111,36 +226,84 @@ impl StreamingQuery {
         Ok(StreamingQuery {
             consumer,
             decode,
+            partition_map: self.partition_map,
             transform,
             state,
             checkpoints,
             epoch,
-            max_records: 10_000,
-            faults: Vec::new(),
+            max_records,
+            workers,
+            faults: self.faults,
         })
+    }
+}
+
+/// A recoverable micro-batch query. Configure via
+/// [`StreamingQueryBuilder`].
+pub struct StreamingQuery {
+    consumer: Consumer,
+    decode: Decoder,
+    partition_map: Option<PartitionMap>,
+    transform: Transform,
+    state: StateStore,
+    checkpoints: CheckpointStore,
+    epoch: u64,
+    max_records: usize,
+    workers: usize,
+    /// Armed fault plans, each consulted at the sink-write site. Crashes
+    /// in the sink→checkpoint window come from here (simulating the
+    /// exactly-once vulnerable window).
+    faults: Vec<Arc<dyn FaultPoint>>,
+}
+
+impl std::fmt::Debug for StreamingQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingQuery")
+            .field("epoch", &self.epoch)
+            .field("max_records", &self.max_records)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingQuery {
+    /// Start configuring a query.
+    pub fn builder() -> StreamingQueryBuilder {
+        StreamingQueryBuilder::new()
+    }
+
+    /// Create a query, recovering from the latest checkpoint in
+    /// `checkpoints` if one exists.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use StreamingQuery::builder() / StreamingQueryBuilder"
+    )]
+    pub fn new(
+        consumer: Consumer,
+        decode: Decoder,
+        transform: Transform,
+        checkpoints: CheckpointStore,
+    ) -> Result<StreamingQuery, PipelineError> {
+        StreamingQueryBuilder::new()
+            .source(consumer)
+            .decoder(decode)
+            .transform(transform)
+            .checkpoints(checkpoints)
+            .build()
     }
 
     /// Cap records per micro-batch.
+    #[deprecated(since = "0.2.0", note = "use StreamingQueryBuilder::max_records")]
     pub fn with_max_records(mut self, max: usize) -> StreamingQuery {
         self.max_records = max;
         self
     }
 
-    /// Arm a fault plan at this query's sink-write site. Multiple plans
-    /// stack; the first that fires wins.
+    /// Arm a fault plan at this query's sink-write site.
+    #[deprecated(since = "0.2.0", note = "use StreamingQueryBuilder::faults")]
     pub fn with_faults(mut self, faults: Arc<dyn FaultPoint>) -> StreamingQuery {
         self.faults.push(faults);
         self
-    }
-
-    /// Arrange a simulated crash after the sink write of `epoch`.
-    ///
-    /// Convenience wrapper over [`FaultPlan::crash_after_sink`]; the
-    /// underlying plan is one-shot, so the replay of `epoch` after
-    /// recovery proceeds normally.
-    pub fn inject_crash_after_sink(&mut self, epoch: u64) {
-        self.faults
-            .push(Arc::new(FaultPlan::crash_after_sink([epoch])));
     }
 
     fn fault(&self, site: FaultSite, ctx: u64) -> Option<FaultKind> {
@@ -152,20 +315,51 @@ impl StreamingQuery {
         self.epoch
     }
 
+    /// Worker threads used by the partition stage.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// Read-only view of the query state.
     pub fn state(&self) -> &StateStore {
         &self.state
     }
 
     /// Process one micro-batch. Returns records consumed (0 = caught up).
+    ///
+    /// The per-partition fetch/decode/map stage runs on the configured
+    /// worker pool; the deterministic merge (partition id, then offset)
+    /// then feeds the serial transform → sink → checkpoint tail. The
+    /// consumer's positions advance only after every partition's stage
+    /// succeeded, so a failed epoch re-reads the identical record set.
     pub fn run_once(&mut self, sink: &mut dyn Sink) -> Result<usize, PipelineError> {
-        let records = self.consumer.poll(self.max_records)?;
-        if records.is_empty() {
+        let budget = self.consumer.per_partition_budget(self.max_records);
+        let partitions: Vec<(u32, u64)> = self
+            .consumer
+            .assignment()
+            .iter()
+            .map(|&p| (p, self.consumer.position(p).expect("assigned partition")))
+            .collect();
+        let outputs = partition_stage(
+            &self.consumer,
+            &partitions,
+            budget,
+            self.workers,
+            &self.decode,
+            self.partition_map.as_ref(),
+        )?;
+        // Accept the epoch's reads: advance positions (retention
+        // skip-forward applies even to empty fetches).
+        for o in &outputs {
+            self.consumer.seek(o.partition, o.next_offset)?;
+        }
+        let meta = epoch_meta(self.epoch, &outputs);
+        if meta.records == 0 {
             return Ok(0);
         }
-        let input = (self.decode)(&records)?;
+        let input = merge_partition_outputs(&outputs)?;
         let output = (self.transform)(input, &mut self.state)?;
-        sink.write(self.epoch, &output)?;
+        sink.write(&meta, &output)?;
         if let Some(kind) = self.fault(FaultSite::SinkWrite, self.epoch) {
             return Err(PipelineError::Injected(kind));
         }
@@ -176,7 +370,7 @@ impl StreamingQuery {
         })?;
         self.consumer.commit();
         self.epoch += 1;
-        Ok(records.len())
+        Ok(meta.records)
     }
 
     /// Run until the consumer is caught up; returns batches processed.
@@ -193,6 +387,7 @@ impl StreamingQuery {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use oda_faults::FaultPlan;
     use oda_storage::colfile::ColumnData;
     use oda_stream::{Broker, RetentionPolicy};
     use std::sync::Arc;
@@ -242,9 +437,14 @@ mod tests {
 
     fn query(b: &Arc<Broker>, cps: &CheckpointStore, max: usize) -> StreamingQuery {
         let c = Consumer::subscribe(b.clone(), "q", "vals").unwrap();
-        StreamingQuery::new(c, decoder(), summing_transform(), cps.clone())
+        StreamingQuery::builder()
+            .source(c)
+            .decoder(decoder())
+            .transform(summing_transform())
+            .checkpoints(cps.clone())
+            .max_records(max)
+            .build()
             .unwrap()
-            .with_max_records(max)
     }
 
     #[test]
@@ -293,9 +493,17 @@ mod tests {
         let cps = CheckpointStore::new();
         let mut sink = MemorySink::new();
         {
-            let mut q = query(&b, &cps, 2);
+            let c = Consumer::subscribe(b.clone(), "q", "vals").unwrap();
+            let mut q = StreamingQuery::builder()
+                .source(c)
+                .decoder(decoder())
+                .transform(summing_transform())
+                .checkpoints(cps.clone())
+                .max_records(2)
+                .faults(Arc::new(FaultPlan::crash_after_sink([1])))
+                .build()
+                .unwrap();
             q.run_once(&mut sink).unwrap(); // epoch 0 ok
-            q.inject_crash_after_sink(1);
             let err = q.run_once(&mut sink).unwrap_err(); // epoch 1 sunk, not checkpointed
             assert!(err.to_string().contains("injected"));
         }
@@ -348,5 +556,129 @@ mod tests {
         assert!(q.run_once(&mut sink).is_err());
         assert!(cps.is_empty());
         assert_eq!(sink.epochs(), 0);
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let missing = StreamingQueryBuilder::new().build().unwrap_err();
+        assert!(matches!(missing, PipelineError::InvalidQuery(_)));
+        assert!(missing.to_string().contains("source"));
+
+        let b = broker_with(&[1.0]);
+        let bad_workers = StreamingQuery::builder()
+            .source(Consumer::subscribe(b.clone(), "q", "vals").unwrap())
+            .decoder(decoder())
+            .transform(summing_transform())
+            .checkpoints(CheckpointStore::new())
+            .workers(0)
+            .build()
+            .unwrap_err();
+        assert!(bad_workers.to_string().contains("workers"));
+
+        let bad_budget = StreamingQuery::builder()
+            .source(Consumer::subscribe(b, "q", "vals").unwrap())
+            .decoder(decoder())
+            .transform(summing_transform())
+            .checkpoints(CheckpointStore::new())
+            .max_records(0)
+            .build()
+            .unwrap_err();
+        assert!(bad_budget.to_string().contains("max_records"));
+    }
+
+    #[test]
+    fn sink_receives_epoch_meta() {
+        let b = Broker::new();
+        b.create_topic("vals", 2, RetentionPolicy::unbounded())
+            .unwrap();
+        for i in 0..6 {
+            // Keyless: round-robin across both partitions.
+            b.produce("vals", 100 + i, None, Bytes::from(format!("{i}.0")))
+                .unwrap();
+        }
+        let c = Consumer::subscribe(b, "q", "vals").unwrap();
+        let mut q = StreamingQuery::builder()
+            .source(c)
+            .decoder(decoder())
+            .transform(summing_transform())
+            .checkpoints(CheckpointStore::new())
+            .workers(2)
+            .build()
+            .unwrap();
+        let mut sink = MemorySink::new();
+        q.run_to_completion(&mut sink).unwrap();
+        let meta = *sink.meta(0).unwrap();
+        assert_eq!(meta.epoch, 0);
+        assert_eq!(meta.partitions, 2);
+        assert_eq!(meta.records, 6);
+        assert_eq!(meta.watermark_ms, 105, "max record ts in the epoch");
+    }
+
+    #[test]
+    fn worker_counts_produce_identical_output() {
+        let run = |workers: usize| {
+            let b = Broker::new();
+            b.create_topic("vals", 4, RetentionPolicy::unbounded())
+                .unwrap();
+            for i in 0..40 {
+                b.produce("vals", i, None, Bytes::from(format!("{i}.25")))
+                    .unwrap();
+            }
+            let c = Consumer::subscribe(b, "q", "vals").unwrap();
+            let mut q = StreamingQuery::builder()
+                .source(c)
+                .decoder(decoder())
+                .transform(summing_transform())
+                .checkpoints(CheckpointStore::new())
+                .max_records(8)
+                .workers(workers)
+                .build()
+                .unwrap();
+            let mut sink = MemorySink::new();
+            q.run_to_completion(&mut sink).unwrap();
+            sink
+        };
+        let base = run(1);
+        for workers in [2, 8] {
+            let sink = run(workers);
+            assert_eq!(sink.epochs(), base.epochs());
+            assert_eq!(
+                sink.concat().unwrap(),
+                base.concat().unwrap(),
+                "workers={workers} diverged"
+            );
+            assert_eq!(
+                sink.metas()
+                    .into_iter()
+                    .copied()
+                    .collect::<Vec<EpochMeta>>(),
+                base.metas()
+                    .into_iter()
+                    .copied()
+                    .collect::<Vec<EpochMeta>>()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let b = broker_with(&[1.0, 2.0, 3.0]);
+        let legacy_cps = CheckpointStore::new();
+        let c = Consumer::subscribe(b.clone(), "legacy", "vals").unwrap();
+        let mut legacy = StreamingQuery::new(c, decoder(), summing_transform(), legacy_cps.clone())
+            .unwrap()
+            .with_max_records(2);
+        let mut legacy_sink = MemorySink::new();
+        legacy.run_to_completion(&mut legacy_sink).unwrap();
+
+        let built_cps = CheckpointStore::new();
+        let mut built = query(&b, &built_cps, 2);
+        let mut built_sink = MemorySink::new();
+        built.run_to_completion(&mut built_sink).unwrap();
+
+        assert_eq!(legacy_sink.epochs(), built_sink.epochs());
+        assert_eq!(legacy_sink.concat().unwrap(), built_sink.concat().unwrap());
+        assert_eq!(legacy_cps.len(), built_cps.len());
     }
 }

@@ -13,6 +13,25 @@ use oda_faults::Retry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One partition's share of a partitioned poll: the records fetched
+/// plus the position the consumer should advance to once the whole
+/// poll is accepted.
+///
+/// Ordering is canonical — `poll_partitioned` returns batches sorted by
+/// partition id, and records within a batch are offset-ordered — so a
+/// concatenation of batches is the deterministic merge order the
+/// parallel executor relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionBatch {
+    /// The partition the records came from.
+    pub partition: u32,
+    /// Offset-ordered records.
+    pub records: Vec<Record>,
+    /// Next offset to read after this batch (accounts for retention
+    /// skip-forward even when no records were returned).
+    pub next_offset: u64,
+}
+
 /// A group member consuming one topic.
 pub struct Consumer {
     broker: Arc<Broker>,
@@ -90,30 +109,89 @@ impl Consumer {
         }
     }
 
+    /// The per-partition record budget a poll of `max` records uses:
+    /// the budget is split evenly (rounding up) across the assignment,
+    /// so the record set a poll returns is a pure function of `max` and
+    /// the assignment — never of who fetches which partition when.
+    pub fn per_partition_budget(&self, max: usize) -> usize {
+        max.div_ceil(self.assignment.len().max(1))
+    }
+
+    /// Fetch up to `max` records from one owned partition starting at
+    /// `from`, WITHOUT touching the consumer's position.
+    ///
+    /// Takes `&self`, so parallel workers can fetch distinct partitions
+    /// of one consumer concurrently; the caller advances positions with
+    /// [`Consumer::seek`] once every partition's fetch has succeeded.
+    /// Applies the consumer's retry policy to transient faults and
+    /// skips forward over retention gaps, exactly like [`Consumer::poll`].
+    /// Returns the records plus the position to advance to.
+    pub fn fetch_partition(
+        &self,
+        partition: u32,
+        from: u64,
+        max: usize,
+    ) -> Result<(Vec<Record>, u64), StreamError> {
+        if !self.assignment.contains(&partition) {
+            return Err(StreamError::UnknownPartition {
+                topic: self.topic.clone(),
+                partition,
+            });
+        }
+        let mut pos = from;
+        let recs = match self.fetch(partition, pos, max) {
+            Ok(r) => r,
+            Err(StreamError::OffsetOutOfRange { earliest, .. }) => {
+                // Data below our position was expired by retention;
+                // skip forward (the consumer lost records, which the
+                // caller can detect via `lag` jumps).
+                pos = earliest;
+                self.fetch(partition, pos, max)?
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(last) = recs.last() {
+            pos = last.offset + 1;
+        }
+        Ok((recs, pos))
+    }
+
+    /// The current read position of one owned partition.
+    pub fn position(&self, partition: u32) -> Option<u64> {
+        self.position.get(&partition).copied()
+    }
+
     /// Fetch up to `max` records across owned partitions, advancing the
     /// local position (but not the committed offsets).
     pub fn poll(&mut self, max: usize) -> Result<Vec<Record>, StreamError> {
-        let mut out = Vec::new();
-        let per_part = max.div_ceil(self.assignment.len().max(1));
+        Ok(self
+            .poll_partitioned(max)?
+            .into_iter()
+            .flat_map(|b| b.records)
+            .collect())
+    }
+
+    /// Fetch up to `max` records across owned partitions, keeping each
+    /// partition's records in its own [`PartitionBatch`] (sorted by
+    /// partition id). Positions advance only after every partition's
+    /// fetch succeeded, so a failed poll leaves the consumer where it
+    /// was and a replay re-reads the identical record set.
+    pub fn poll_partitioned(&mut self, max: usize) -> Result<Vec<PartitionBatch>, StreamError> {
+        let per_part = self.per_partition_budget(max);
+        let mut out = Vec::with_capacity(self.assignment.len());
         for &p in &self.assignment {
-            let mut pos = *self.position.get(&p).expect("assigned partition");
-            let recs = match self.fetch(p, pos, per_part) {
-                Ok(r) => r,
-                Err(StreamError::OffsetOutOfRange { earliest, .. }) => {
-                    // Data below our position was expired by retention;
-                    // skip forward (the consumer lost records, which the
-                    // caller can detect via `lag` jumps).
-                    pos = earliest;
-                    self.fetch(p, pos, per_part)?
-                }
-                Err(e) => return Err(e),
-            };
-            if let Some(last) = recs.last() {
-                pos = last.offset + 1;
-            }
-            self.position.insert(p, pos);
-            out.extend(recs);
+            let from = *self.position.get(&p).expect("assigned partition");
+            let (records, next_offset) = self.fetch_partition(p, from, per_part)?;
+            out.push(PartitionBatch {
+                partition: p,
+                records,
+                next_offset,
+            });
         }
+        for b in &out {
+            self.position.insert(b.partition, b.next_offset);
+        }
+        out.sort_by_key(|b| b.partition);
         Ok(out)
     }
 
@@ -308,6 +386,92 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 500);
+    }
+
+    #[test]
+    fn poll_partitioned_matches_poll_and_orders_by_partition() {
+        let b = setup(4, 200);
+        let mut flat = Consumer::subscribe(b.clone(), "g-flat", "t").unwrap();
+        let mut parts = Consumer::subscribe(b, "g-part", "t").unwrap();
+        loop {
+            let a = flat.poll(32).unwrap();
+            let batches = parts.poll_partitioned(32).unwrap();
+            let b: Vec<_> = batches.iter().flat_map(|p| p.records.clone()).collect();
+            assert_eq!(a, b, "flattened partitioned poll must equal poll");
+            let ids: Vec<u32> = batches.iter().map(|p| p.partition).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "batches must be partition-ordered");
+            for batch in &batches {
+                for w in batch.records.windows(2) {
+                    assert!(w[0].offset < w[1].offset);
+                }
+            }
+            if a.is_empty() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_partition_is_position_neutral() {
+        let b = setup(2, 40);
+        let c = Consumer::subscribe(b, "g", "t").unwrap();
+        let (first, next) = c.fetch_partition(0, 0, 8).unwrap();
+        assert_eq!(first.len(), 8);
+        assert_eq!(next, first.last().unwrap().offset + 1);
+        // No position moved: the same fetch replays identically.
+        assert_eq!(c.position(0), Some(0));
+        let (again, _) = c.fetch_partition(0, 0, 8).unwrap();
+        assert_eq!(first, again);
+        // Unowned partitions are rejected.
+        assert!(matches!(
+            c.fetch_partition(9, 0, 8),
+            Err(StreamError::UnknownPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_fetch_partition_reads_are_exact() {
+        // Workers fetching distinct partitions of ONE consumer through a
+        // shared reference must each see exactly their partition's
+        // records — the access pattern the parallel executor uses.
+        let b = setup(4, 400);
+        let c = Consumer::subscribe(b, "g", "t").unwrap();
+        let serial: Vec<_> = (0..4u32)
+            .map(|p| c.fetch_partition(p, 0, 1_000).unwrap())
+            .collect();
+        let threaded: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|p| {
+                    let c = &c;
+                    s.spawn(move || c.fetch_partition(p, 0, 1_000).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, threaded);
+        let total: usize = threaded.iter().map(|(r, _)| r.len()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn failed_poll_leaves_positions_untouched() {
+        use oda_faults::{FaultPlan, FaultSpec};
+        let b = setup(2, 100);
+        let mut c = Consumer::subscribe(b.clone(), "g", "t").unwrap();
+        let before = c.positions();
+        // Certain fetch failure, no retry policy: the poll must fail
+        // without advancing ANY partition's position.
+        b.arm_faults(Arc::new(FaultPlan::new(
+            1,
+            FaultSpec {
+                fetch_error: 1.0,
+                ..FaultSpec::default()
+            },
+        )));
+        assert!(c.poll(16).is_err());
+        assert_eq!(c.positions(), before);
     }
 
     #[test]

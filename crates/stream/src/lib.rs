@@ -27,7 +27,7 @@ pub mod segment;
 pub mod topic;
 
 pub use broker::{Broker, Producer};
-pub use consumer::Consumer;
+pub use consumer::{Consumer, PartitionBatch};
 pub use error::StreamError;
 pub use record::Record;
 pub use retention::RetentionPolicy;

@@ -75,15 +75,16 @@ fn main() {
         let consumer = Consumer::subscribe(broker.clone(), "replay", TOPIC)
             .unwrap()
             .with_retry(retry);
-        let mut query = StreamingQuery::new(
-            consumer,
-            observation_decoder(catalog.clone()),
-            streaming_silver_transform(15_000, 0),
-            checkpoints.clone(),
-        )
-        .unwrap()
-        .with_max_records(5)
-        .with_faults(plan.clone() as Arc<dyn FaultPoint>);
+        let mut query = StreamingQuery::builder()
+            .source(consumer)
+            .decoder(observation_decoder(catalog.clone()))
+            .transform(streaming_silver_transform(15_000, 0))
+            .checkpoints(checkpoints.clone())
+            .max_records(5)
+            .workers(2)
+            .faults(plan.clone() as Arc<dyn FaultPoint>)
+            .build()
+            .unwrap();
         let recovered_at = query.epoch();
         let outcome = loop {
             match query.run_once(&mut sink) {
@@ -168,14 +169,14 @@ fn fault_free_gold() -> Frame {
             .unwrap();
     }
     let consumer = Consumer::subscribe(broker, "replay", TOPIC).unwrap();
-    let mut query = StreamingQuery::new(
-        consumer,
-        observation_decoder(generator.catalog().clone()),
-        streaming_silver_transform(15_000, 0),
-        CheckpointStore::new(),
-    )
-    .unwrap()
-    .with_max_records(5);
+    let mut query = StreamingQuery::builder()
+        .source(consumer)
+        .decoder(observation_decoder(generator.catalog().clone()))
+        .transform(streaming_silver_transform(15_000, 0))
+        .checkpoints(CheckpointStore::new())
+        .max_records(5)
+        .build()
+        .unwrap();
     let mut sink = MemorySink::new();
     query.run_to_completion(&mut sink).unwrap();
     gold_reduction(&sink)

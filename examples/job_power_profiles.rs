@@ -38,13 +38,14 @@ fn main() {
     let system = facility.systems()[0].clone();
     let (bronze, _, _) = topics(&system.name);
     let consumer = Consumer::subscribe(facility.broker(), "profiles", &bronze).expect("subscribe");
-    let mut query = StreamingQuery::new(
-        consumer,
-        observation_decoder(SensorCatalog::for_system(&system)),
-        streaming_silver_transform(15_000, 0),
-        CheckpointStore::new(),
-    )
-    .expect("query");
+    let mut query = StreamingQuery::builder()
+        .source(consumer)
+        .decoder(observation_decoder(SensorCatalog::for_system(&system)))
+        .transform(streaming_silver_transform(15_000, 0))
+        .checkpoints(CheckpointStore::new())
+        .workers(2)
+        .build()
+        .expect("query");
     let mut sink = MemorySink::new();
     query.run_to_completion(&mut sink).expect("stream");
     let silver = sink.concat().expect("silver");

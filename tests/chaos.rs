@@ -59,8 +59,9 @@ struct RunReport {
 
 /// Drive the query to completion under an optional fault plan,
 /// rebuilding it from the checkpoint store after every fatal fault —
-/// the crash/recovery loop a supervisor would run.
-fn run_pipeline(plan: Option<Arc<FaultPlan>>) -> RunReport {
+/// the crash/recovery loop a supervisor would run. `workers` sizes the
+/// partition-stage pool; output must not depend on it.
+fn run_pipeline_with_workers(plan: Option<Arc<FaultPlan>>, workers: usize) -> RunReport {
     let (broker, catalog) = seeded_broker();
     let checkpoints = CheckpointStore::new();
     if let Some(p) = &plan {
@@ -74,14 +75,17 @@ fn run_pipeline(plan: Option<Arc<FaultPlan>>) -> RunReport {
         let consumer = Consumer::subscribe(broker.clone(), "chaos", TOPIC)
             .unwrap()
             .with_retry(Retry::with_attempts(25));
-        let mut query = StreamingQuery::new(
-            consumer,
-            observation_decoder(catalog.clone()),
-            streaming_silver_transform(15_000, 0),
-            checkpoints.clone(),
-        )
-        .unwrap()
-        .with_max_records(MAX_RECORDS);
+        let mut builder = StreamingQuery::builder()
+            .source(consumer)
+            .decoder(observation_decoder(catalog.clone()))
+            .transform(streaming_silver_transform(15_000, 0))
+            .checkpoints(checkpoints.clone())
+            .max_records(MAX_RECORDS)
+            .workers(workers);
+        if let Some(p) = &plan {
+            builder = builder.faults(p.clone() as Arc<dyn FaultPoint>);
+        }
+        let mut query = builder.build().unwrap();
         assert!(
             query.epoch() >= last_recovered_epoch,
             "recovery must never move the epoch backwards: {} < {}",
@@ -89,9 +93,6 @@ fn run_pipeline(plan: Option<Arc<FaultPlan>>) -> RunReport {
             last_recovered_epoch
         );
         last_recovered_epoch = query.epoch();
-        if let Some(p) = &plan {
-            query = query.with_faults(p.clone() as Arc<dyn FaultPoint>);
-        }
         let outcome = loop {
             match query.run_once(&mut sink) {
                 Ok(0) => break Ok(()),
@@ -120,6 +121,10 @@ fn run_pipeline(plan: Option<Arc<FaultPlan>>) -> RunReport {
         checkpoints,
         restarts,
     }
+}
+
+fn run_pipeline(plan: Option<Arc<FaultPlan>>) -> RunReport {
+    run_pipeline_with_workers(plan, 1)
 }
 
 /// Deterministic Gold reduction over the Silver stream: per-(node,

@@ -173,13 +173,14 @@ fn independent_pipelines_share_one_stream() {
             thread::spawn(move || {
                 let consumer =
                     Consumer::subscribe(broker, &format!("proj{p}"), "tiny.bronze").unwrap();
-                let mut query = StreamingQuery::new(
-                    consumer,
-                    observation_decoder(SensorCatalog::for_system(&system)),
-                    streaming_silver_transform(15_000, 0),
-                    CheckpointStore::new(),
-                )
-                .unwrap();
+                let mut query = StreamingQuery::builder()
+                    .source(consumer)
+                    .decoder(observation_decoder(SensorCatalog::for_system(&system)))
+                    .transform(streaming_silver_transform(15_000, 0))
+                    .checkpoints(CheckpointStore::new())
+                    .workers(1 + p) // one serial, one parallel — must agree
+                    .build()
+                    .unwrap();
                 let mut sink = MemorySink::new();
                 query.run_to_completion(&mut sink).unwrap();
                 let silver = sink.concat().unwrap();

@@ -10,6 +10,7 @@ use oda::analytics::profiles::extract_profiles;
 use oda::core::config::FacilityConfig;
 use oda::core::facility::Facility;
 use oda::core::ingest::topics;
+use oda::faults::FaultPlan;
 use oda::pipeline::checkpoint::CheckpointStore;
 use oda::pipeline::medallion::{
     bronze_frame, bronze_to_silver_plan, job_context_frame, observation_decoder,
@@ -40,16 +41,17 @@ fn run_silver(facility: &Facility, crash_at: Option<u64>) -> oda::pipeline::Fram
     let mut sink = MemorySink::new();
     {
         let consumer = Consumer::subscribe(facility.broker(), "e2e", &bronze).unwrap();
-        let mut query = StreamingQuery::new(
-            consumer,
-            observation_decoder(catalog.clone()),
-            streaming_silver_transform(15_000, 0),
-            checkpoints.clone(),
-        )
-        .unwrap()
-        .with_max_records(50);
+        let mut builder = StreamingQuery::builder()
+            .source(consumer)
+            .decoder(observation_decoder(catalog.clone()))
+            .transform(streaming_silver_transform(15_000, 0))
+            .checkpoints(checkpoints.clone())
+            .max_records(50);
         if let Some(epoch) = crash_at {
-            query.inject_crash_after_sink(epoch);
+            builder = builder.faults(std::sync::Arc::new(FaultPlan::crash_after_sink([epoch])));
+        }
+        let mut query = builder.build().unwrap();
+        if crash_at.is_some() {
             // Run until the injected crash fires.
             loop {
                 match query.run_once(&mut sink) {
@@ -64,14 +66,14 @@ fn run_silver(facility: &Facility, crash_at: Option<u64>) -> oda::pipeline::Fram
     }
     // Recover (a fresh query against the same checkpoints) and finish.
     let consumer = Consumer::subscribe(facility.broker(), "e2e", &bronze).unwrap();
-    let mut query = StreamingQuery::new(
-        consumer,
-        observation_decoder(catalog),
-        streaming_silver_transform(15_000, 0),
-        checkpoints,
-    )
-    .unwrap()
-    .with_max_records(50);
+    let mut query = StreamingQuery::builder()
+        .source(consumer)
+        .decoder(observation_decoder(catalog))
+        .transform(streaming_silver_transform(15_000, 0))
+        .checkpoints(checkpoints)
+        .max_records(50)
+        .build()
+        .unwrap();
     query.run_to_completion(&mut sink).unwrap();
     sink.concat().unwrap()
 }
