@@ -49,17 +49,17 @@ impl JobIoProfile {
 
 /// Extract per-job I/O profiles from Silver long rows.
 ///
-/// `silver` needs columns `window` (I64), `node` (I64), `sensor` (Str),
-/// `min` (F64), `max` (F64) — the streaming Silver output, which keeps
-/// per-window counter extremes. Counter sensors: `fs_read_bytes`,
-/// `fs_write_bytes`.
+/// `silver` needs columns `window` (I64), `node` (I64), `sensor` (Dict
+/// or Str — read through `Frame::cat`), `min` (F64), `max` (F64) — the
+/// streaming Silver output, which keeps per-window counter extremes.
+/// Counter sensors: `fs_read_bytes`, `fs_write_bytes`.
 pub fn extract_io_profiles(
     silver: &Frame,
     jobs: &[Job],
 ) -> Result<Vec<JobIoProfile>, PipelineError> {
     let windows = silver.i64s("window")?;
     let nodes = silver.i64s("node")?;
-    let sensors = silver.strs("sensor")?;
+    let sensors = silver.cat("sensor")?;
     let mins = silver.f64s("min")?;
     let maxs = silver.f64s("max")?;
 
@@ -84,7 +84,7 @@ pub fn extract_io_profiles(
     }
     let mut spans: HashMap<(usize, i64, bool), Span> = HashMap::new();
     for i in 0..silver.rows() {
-        let is_write = match sensors[i].as_str() {
+        let is_write = match sensors.get(i) {
             "fs_read_bytes" => false,
             "fs_write_bytes" => true,
             _ => continue,

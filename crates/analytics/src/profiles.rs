@@ -79,8 +79,9 @@ impl JobPowerProfile {
 /// Extract per-job power profiles from Silver long rows.
 ///
 /// `silver` must have columns `window` (I64), `node` (I64), `sensor`
-/// (Str), `mean` (F64) — the output of the streaming Bronze→Silver
-/// transform. Only `node_power_w` rows participate.
+/// (Dict or Str — read through `Frame::cat`), `mean` (F64) — the output
+/// of the streaming Bronze→Silver transform. Only `node_power_w` rows
+/// participate.
 pub fn extract_profiles(
     silver: &Frame,
     jobs: &[Job],
@@ -88,7 +89,7 @@ pub fn extract_profiles(
 ) -> Result<Vec<JobPowerProfile>, oda_pipeline::PipelineError> {
     let windows = silver.i64s("window")?;
     let nodes = silver.i64s("node")?;
-    let sensors = silver.strs("sensor")?;
+    let sensors = silver.cat("sensor")?;
     let means = silver.f64s("mean")?;
 
     // node -> [(start, end, job index)], sorted by start.
@@ -108,7 +109,7 @@ pub fn extract_profiles(
     // (job index, window) -> (sum, count) of node means.
     let mut cells: HashMap<(usize, i64), (f64, u64)> = HashMap::new();
     for i in 0..silver.rows() {
-        if sensors[i] != "node_power_w" || means[i].is_nan() {
+        if sensors.get(i) != "node_power_w" || means[i].is_nan() {
             continue;
         }
         let node = nodes[i] as u32;

@@ -1,33 +1,43 @@
-//! Pipeline throughput across executor worker counts.
+//! Pipeline throughput across executor worker counts, plus the Silver
+//! pivot with and without dictionary-encoded categoricals.
 //!
-//! Drives the full streaming Bronze -> Silver query (fetch + decode +
-//! quality filter in the partition-parallel stage, then the ordered
-//! merge and the stateful window transform) over a synthetic telemetry
-//! day and reports records/sec at each requested worker count. Results
-//! land in `BENCH_pipeline.json` in the invocation directory so CI can
-//! upload them as an artifact.
+//! Section 1 drives the full streaming Bronze -> Silver query (fetch +
+//! decode + quality filter in the partition-parallel stage, then the
+//! ordered merge and the stateful window transform) over a synthetic
+//! telemetry day and reports records/sec at each requested worker
+//! count. Section 2 runs the batch Silver core (quality filter → window
+//! → group-by → pivot) over the same Bronze content built two ways —
+//! dictionary-encoded categorical columns versus the materialized
+//! per-row `String` baseline — and reports the speedup. Results land in
+//! `BENCH_pipeline.json` in the invocation directory so CI can upload
+//! them as an artifact.
 //!
 //! Hand-rolled harness (not criterion): each configuration is one
-//! end-to-end run over the identical broker contents, timed wall-clock,
-//! and the bench asserts the outputs are byte-identical across worker
-//! counts — a throughput number for a wrong answer is worthless.
+//! end-to-end run over identical input, timed wall-clock, and the bench
+//! asserts the outputs agree across configurations — a throughput
+//! number for a wrong answer is worthless.
 //!
 //! Flags (unknown flags, e.g. criterion's `--bench`, are ignored):
 //! * `--test`            smoke mode: tiny workload, workers 1 and 2
 //! * `--workers 1,4`     comma-separated worker counts (default 1,2,4,8)
 //! * `--batches N`       broker batches to generate (default 5760, one
 //!   simulated day at 15 s ticks)
+//! * `--pivot-rows N`    bronze rows for the Silver-pivot comparison
+//!   (default 1_000_000; smoke mode caps at 20_000)
 //! * `--out PATH`        output path (default BENCH_pipeline.json)
 
 use bytes::Bytes;
 use serde::Serialize;
 
+use oda_bench::{bronze_frame_str, tiny_observations};
 use oda_pipeline::checkpoint::CheckpointStore;
 use oda_pipeline::frame_io::frame_to_colfile;
 use oda_pipeline::medallion::{
-    observation_decoder, quality_filter_map, streaming_silver_transform,
+    bronze_frame, observation_decoder, quality_filter_map, streaming_silver_transform,
 };
+use oda_pipeline::ops::{Agg, AggSpec};
 use oda_pipeline::streaming::{MemorySink, StreamingQuery};
+use oda_pipeline::{Expr, PipelinePlan, Stage};
 use oda_stream::{Broker, Consumer, RetentionPolicy};
 use oda_telemetry::record::Observation;
 use oda_telemetry::system::SystemModel;
@@ -42,6 +52,7 @@ const MAX_RECORDS: usize = 64;
 struct Config {
     workers: Vec<usize>,
     batches: usize,
+    pivot_rows: usize,
     out: String,
     smoke: bool,
 }
@@ -59,6 +70,23 @@ struct RunEntry {
 }
 
 #[derive(Serialize)]
+struct PivotEntry {
+    representation: String,
+    bronze_build_s: f64,
+    plan_s: f64,
+    total_s: f64,
+    rows_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SilverPivotReport {
+    bronze_rows: usize,
+    silver_rows: usize,
+    runs: Vec<PivotEntry>,
+    dict_speedup_vs_str: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     benchmark: String,
     topic: String,
@@ -70,12 +98,14 @@ struct Report {
     smoke: bool,
     baseline_workers: usize,
     runs: Vec<RunEntry>,
+    silver_pivot: SilverPivotReport,
 }
 
 fn parse_args() -> Config {
     let mut config = Config {
         workers: vec![1, 2, 4, 8],
         batches: 5_760,
+        pivot_rows: 1_000_000,
         out: "BENCH_pipeline.json".to_string(),
         smoke: false,
     };
@@ -95,6 +125,10 @@ fn parse_args() -> Config {
                 i += 1;
                 config.batches = args[i].parse().expect("--batches takes an integer");
             }
+            "--pivot-rows" if i + 1 < args.len() => {
+                i += 1;
+                config.pivot_rows = args[i].parse().expect("--pivot-rows takes an integer");
+            }
             "--out" if i + 1 < args.len() => {
                 i += 1;
                 config.out = args[i].clone();
@@ -106,6 +140,7 @@ fn parse_args() -> Config {
     if config.smoke {
         config.batches = config.batches.min(64);
         config.workers = vec![1, 2];
+        config.pivot_rows = config.pivot_rows.min(20_000);
     }
     assert!(
         config.workers.iter().all(|&w| w >= 1),
@@ -167,6 +202,88 @@ fn run(broker: &Arc<Broker>, catalog: &SensorCatalog, workers: usize) -> RunResu
     }
 }
 
+/// The batch Silver core of Fig. 4-b without the job-context join (the
+/// join keys on I64 `node`, so it costs the same in both arms and would
+/// only dilute the categorical-representation comparison).
+fn silver_core_plan() -> PipelinePlan {
+    PipelinePlan::new()
+        .then(Stage::Where(
+            Expr::col("quality")
+                .eq_(Expr::LitI(0))
+                .and(Expr::col("value").is_nan().not()),
+        ))
+        .then(Stage::Window {
+            ts_col: "ts_ms".into(),
+            width_ms: 15_000,
+        })
+        .then(Stage::GroupBy {
+            keys: vec!["window".into(), "node".into(), "sensor".into()],
+            aggs: vec![AggSpec::new("value", Agg::Mean, "value")],
+        })
+        .then(Stage::Pivot {
+            index: vec!["window".into(), "node".into()],
+            pivot_col: "sensor".into(),
+            value_col: "value".into(),
+            agg: Agg::Mean,
+        })
+}
+
+/// Bronze build + Silver pivot over the same observations, once per
+/// categorical representation: dictionary-encoded (`bronze_frame`)
+/// versus the materialized per-row `String` baseline kept in
+/// `oda_bench::bronze_frame_str`. The two Silver products must be
+/// logically equal before the speedup means anything.
+fn silver_pivot(rows: usize) -> SilverPivotReport {
+    let (catalog, mut obs) = tiny_observations(42, rows / 30 + 2);
+    assert!(
+        obs.len() >= rows,
+        "generated {} < requested {rows}",
+        obs.len()
+    );
+    obs.truncate(rows);
+
+    // Str baseline first so allocator warm-up, if anything, favors it.
+    let start = Instant::now();
+    let bronze_str = bronze_frame_str(&obs, &catalog);
+    let build_str = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let silver_str = silver_core_plan().execute(bronze_str).unwrap();
+    let plan_str = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let bronze_dict = bronze_frame(&obs, &catalog);
+    let build_dict = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let silver_dict = silver_core_plan().execute(bronze_dict).unwrap();
+    let plan_dict = start.elapsed().as_secs_f64();
+
+    // The wide silver is all-numeric (pivot drops `sensor`), so colfile
+    // bytes are an exact equality check — Frame's F64 PartialEq is IEEE
+    // and the pivot's NaN gap fills would never compare equal.
+    assert_eq!(
+        frame_to_colfile(&silver_dict).unwrap(),
+        frame_to_colfile(&silver_str).unwrap(),
+        "silver diverged between dict and str bronze"
+    );
+
+    let entry = |representation: &str, build_s: f64, plan_s: f64| PivotEntry {
+        representation: representation.to_string(),
+        bronze_build_s: build_s,
+        plan_s,
+        total_s: build_s + plan_s,
+        rows_per_sec: rows as f64 / (build_s + plan_s),
+    };
+    SilverPivotReport {
+        bronze_rows: rows,
+        silver_rows: silver_dict.rows(),
+        runs: vec![
+            entry("dict", build_dict, plan_dict),
+            entry("str", build_str, plan_str),
+        ],
+        dict_speedup_vs_str: (build_str + plan_str) / (build_dict + plan_dict),
+    }
+}
+
 fn main() {
     let config = parse_args();
     let (broker, catalog, rows) = seeded_broker(config.batches);
@@ -220,6 +337,32 @@ fn main() {
         });
     }
 
+    println!(
+        "silver_pivot: {} bronze rows per categorical representation",
+        config.pivot_rows
+    );
+    let pivot = silver_pivot(config.pivot_rows);
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>14}",
+        "repr", "build_s", "plan_s", "total_s", "rows/sec"
+    );
+    for r in &pivot.runs {
+        println!(
+            "{:>8} {:>10.3} {:>10.3} {:>10.3} {:>14.0}",
+            r.representation, r.bronze_build_s, r.plan_s, r.total_s, r.rows_per_sec
+        );
+    }
+    println!(
+        "silver_pivot: dict {:.2}x vs str baseline ({} silver rows)",
+        pivot.dict_speedup_vs_str, pivot.silver_rows
+    );
+    if !config.smoke && pivot.dict_speedup_vs_str < 1.5 {
+        eprintln!(
+            "WARNING: dict speedup {:.2}x below the 1.5x floor",
+            pivot.dict_speedup_vs_str
+        );
+    }
+
     let report = Report {
         benchmark: "pipeline_throughput".to_string(),
         topic: TOPIC.to_string(),
@@ -233,6 +376,7 @@ fn main() {
         smoke: config.smoke,
         baseline_workers: base.workers,
         runs: entries,
+        silver_pivot: pivot,
     };
     std::fs::write(&config.out, serde_json::to_string(&report).unwrap())
         .expect("write BENCH_pipeline.json");

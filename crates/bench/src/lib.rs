@@ -5,10 +5,10 @@
 //! deterministic workloads they share.
 
 use oda_pipeline::frame::Frame;
-use oda_pipeline::medallion::bronze_frame;
+use oda_pipeline::medallion::{bronze_frame, device_label};
 use oda_storage::colfile::ColumnData;
 use oda_telemetry::jobs::{ApplicationArchetype, Job};
-use oda_telemetry::record::Observation;
+use oda_telemetry::record::{Observation, Quality};
 use oda_telemetry::sensors::SensorCatalog;
 use oda_telemetry::system::SystemModel;
 use oda_telemetry::TelemetryGenerator;
@@ -34,6 +34,45 @@ pub fn bronze_with_rows(seed: u64, rows: usize) -> Frame {
     );
     obs.truncate(rows);
     bronze_frame(&obs, &catalog)
+}
+
+/// The pre-dictionary Bronze builder, kept as a benchmark baseline: it
+/// materializes `device` and `sensor` as per-row `String`s exactly like
+/// `bronze_frame` did before the categorical columns became
+/// dictionary-encoded. Logically equal to [`bronze_frame`] output.
+pub fn bronze_frame_str(obs: &[Observation], catalog: &SensorCatalog) -> Frame {
+    let mut ts = Vec::with_capacity(obs.len());
+    let mut node = Vec::with_capacity(obs.len());
+    let mut device = Vec::with_capacity(obs.len());
+    let mut sensor = Vec::with_capacity(obs.len());
+    let mut value = Vec::with_capacity(obs.len());
+    let mut quality = Vec::with_capacity(obs.len());
+    for o in obs {
+        ts.push(o.ts_ms);
+        node.push(i64::from(o.component.node));
+        device.push(device_label(o.component.device));
+        sensor.push(
+            catalog
+                .get(o.sensor)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| format!("s{}", o.sensor)),
+        );
+        value.push(o.value);
+        quality.push(match o.quality {
+            Quality::Good => 0i64,
+            Quality::Missing => 1,
+            Quality::Suspect => 2,
+        });
+    }
+    Frame::new(vec![
+        ("ts_ms".into(), ColumnData::I64(ts)),
+        ("node".into(), ColumnData::I64(node)),
+        ("device".into(), ColumnData::Str(device)),
+        ("sensor".into(), ColumnData::Str(sensor)),
+        ("value".into(), ColumnData::F64(value)),
+        ("quality".into(), ColumnData::I64(quality)),
+    ])
+    .expect("equal-length columns by construction")
 }
 
 /// A synthetic job for workload builders.
@@ -105,5 +144,15 @@ mod tests {
             .all(|j| !j.nodes.is_empty() && j.end_ms > j.start_ms));
         let s = silver_long(10, 4);
         assert_eq!(s.rows(), 40);
+    }
+
+    #[test]
+    fn str_baseline_is_logically_equal_to_dict_bronze() {
+        let (catalog, obs) = tiny_observations(7, 4);
+        let dict = bronze_frame(&obs, &catalog);
+        let str_ = bronze_frame_str(&obs, &catalog);
+        assert!(dict.dict("sensor").is_ok());
+        assert!(str_.strs("sensor").is_ok());
+        assert_eq!(dict, str_);
     }
 }

@@ -102,22 +102,22 @@ impl OperationalLoop {
         self.query.run_to_completion(&mut sink)?;
         let silver = sink.concat()?;
         // Analyze: thermal + power indicators from Silver.
-        let sensors = silver.strs("sensor")?;
+        let sensors = silver.cat("sensor")?;
         let means = silver.f64s("mean")?;
         let mut outlet_sum = 0.0;
         let mut outlet_n = 0usize;
         let mut outlet_peak = f64::NEG_INFINITY;
         let mut power_sum = 0.0;
         let mut power_n = 0usize;
-        for i in 0..silver.rows() {
-            match sensors[i].as_str() {
-                "node_outlet_temp_c" if means[i].is_finite() => {
-                    outlet_sum += means[i];
+        for (i, &mean) in means.iter().enumerate() {
+            match sensors.get(i) {
+                "node_outlet_temp_c" if mean.is_finite() => {
+                    outlet_sum += mean;
                     outlet_n += 1;
-                    outlet_peak = outlet_peak.max(means[i]);
+                    outlet_peak = outlet_peak.max(mean);
                 }
-                "node_power_w" if means[i].is_finite() => {
-                    power_sum += means[i];
+                "node_power_w" if mean.is_finite() => {
+                    power_sum += mean;
                     power_n += 1;
                 }
                 _ => {}

@@ -3,6 +3,7 @@
 use crate::error::PipelineError;
 use crate::frame::Frame;
 use oda_storage::colfile::ColumnData;
+use std::sync::Arc;
 
 /// A scalar expression over frame columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,7 @@ enum Evaluated {
     F64(Vec<f64>),
     I64(Vec<i64>),
     Str(Vec<String>),
+    Dict(Arc<Vec<String>>, Vec<u32>),
     Bool(Vec<bool>),
 }
 
@@ -131,6 +133,9 @@ impl Expr {
                 ColumnData::I64(v) => Evaluated::I64(v.clone()),
                 ColumnData::F64(v) => Evaluated::F64(v.clone()),
                 ColumnData::Str(v) => Evaluated::Str(v.clone()),
+                ColumnData::Dict { dict, codes } => {
+                    Evaluated::Dict(Arc::clone(dict), codes.clone())
+                }
             },
             Expr::LitF(x) => Evaluated::F64(vec![*x; n]),
             Expr::LitI(x) => Evaluated::I64(vec![*x; n]),
@@ -235,10 +240,12 @@ impl Evaluated {
         match self {
             Evaluated::F64(v) => Ok(v),
             Evaluated::I64(v) => Ok(v.into_iter().map(|x| x as f64).collect()),
-            Evaluated::Bool(_) | Evaluated::Str(_) => Err(PipelineError::TypeMismatch {
-                column: "expression".into(),
-                expected: "numeric".into(),
-            }),
+            Evaluated::Bool(_) | Evaluated::Str(_) | Evaluated::Dict(..) => {
+                Err(PipelineError::TypeMismatch {
+                    column: "expression".into(),
+                    expected: "numeric".into(),
+                })
+            }
         }
     }
 }
@@ -293,6 +300,21 @@ fn cmp(op: CmpOp, a: &Evaluated, b: &Evaluated) -> Result<Vec<bool>, PipelineErr
         (Evaluated::Str(x), Evaluated::Str(y)) => {
             x.iter().zip(y).map(|(x, y)| test_s(x, y)).collect()
         }
+        (Evaluated::Dict(dict, codes), Evaluated::Str(y)) => codes
+            .iter()
+            .zip(y)
+            .map(|(&c, y)| test_s(&dict[c as usize], y))
+            .collect(),
+        (Evaluated::Str(x), Evaluated::Dict(dict, codes)) => x
+            .iter()
+            .zip(codes)
+            .map(|(x, &c)| test_s(x, &dict[c as usize]))
+            .collect(),
+        (Evaluated::Dict(da, ca), Evaluated::Dict(db, cb)) => ca
+            .iter()
+            .zip(cb)
+            .map(|(&x, &y)| test_s(&da[x as usize], &db[y as usize]))
+            .collect(),
         _ => {
             return Err(PipelineError::TypeMismatch {
                 column: "comparison".into(),

@@ -7,6 +7,10 @@
 
 use crate::error::PipelineError;
 use oda_storage::colfile::{ColumnData, ColumnType, TableSchema};
+use oda_storage::intern::StringInterner;
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An ordered collection of named columns with equal lengths.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +18,71 @@ pub struct Frame {
     names: Vec<String>,
     columns: Vec<ColumnData>,
     rows: usize,
+}
+
+/// Borrowed view over a categorical (string-valued) column, unifying
+/// plain [`ColumnData::Str`] and dictionary-encoded
+/// [`ColumnData::Dict`] storage. Consumers written against this view
+/// accept frames in either representation without materializing.
+#[derive(Debug, Clone, Copy)]
+pub enum StrColumn<'a> {
+    /// Plain per-row string storage.
+    Str(&'a [String]),
+    /// Dictionary storage: row i's value is `dict[codes[i]]`.
+    Dict {
+        /// Distinct values, in code order.
+        dict: &'a [String],
+        /// Per-row indexes into `dict`.
+        codes: &'a [u32],
+    },
+}
+
+impl<'a> StrColumn<'a> {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            StrColumn::Str(v) => v.len(),
+            StrColumn::Dict { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value of `row`.
+    #[inline]
+    pub fn get(&self, row: usize) -> &'a str {
+        match self {
+            StrColumn::Str(v) => &v[row],
+            StrColumn::Dict { dict, codes } => &dict[codes[row] as usize],
+        }
+    }
+
+    /// Iterate the values in row order.
+    pub fn iter(self) -> impl Iterator<Item = &'a str> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The column as (dictionary, codes): borrowed for `Dict` columns,
+    /// built by a single interning pass for `Str` columns. Lets hot
+    /// paths key on 4-byte codes regardless of representation.
+    pub fn to_dict(self) -> (Cow<'a, [String]>, Cow<'a, [u32]>) {
+        match self {
+            StrColumn::Dict { dict, codes } => (Cow::Borrowed(dict), Cow::Borrowed(codes)),
+            StrColumn::Str(v) => {
+                let mut interner = StringInterner::new();
+                let codes: Vec<u32> = v.iter().map(|s| interner.intern(s)).collect();
+                (Cow::Owned(interner.into_dict()), Cow::Owned(codes))
+            }
+        }
+    }
+
+    /// Materialize to owned strings.
+    pub fn to_vec(self) -> Vec<String> {
+        self.iter().map(str::to_string).collect()
+    }
 }
 
 impl Frame {
@@ -41,6 +110,7 @@ impl Frame {
                     ColumnType::I64 => ColumnData::I64(Vec::new()),
                     ColumnType::F64 => ColumnData::F64(Vec::new()),
                     ColumnType::Str => ColumnData::Str(Vec::new()),
+                    ColumnType::Dict => ColumnData::dict(Vec::new(), Vec::new()),
                 };
                 (n.clone(), col)
             })
@@ -131,6 +201,33 @@ impl Frame {
         }
     }
 
+    /// Categorical column view accepting both `Str` and `Dict`
+    /// representations, or a type error. Prefer this over
+    /// [`Frame::strs`] in consumers: Bronze/Silver categorical columns
+    /// are dictionary-encoded.
+    pub fn cat(&self, name: &str) -> Result<StrColumn<'_>, PipelineError> {
+        match self.column(name)? {
+            ColumnData::Str(v) => Ok(StrColumn::Str(v)),
+            ColumnData::Dict { dict, codes } => Ok(StrColumn::Dict { dict, codes }),
+            _ => Err(PipelineError::TypeMismatch {
+                column: name.into(),
+                expected: "str or dict".into(),
+            }),
+        }
+    }
+
+    /// Raw (dictionary, codes) parts of a `Dict` column, or a type
+    /// error for every other representation.
+    pub fn dict(&self, name: &str) -> Result<(&Arc<Vec<String>>, &[u32]), PipelineError> {
+        match self.column(name)? {
+            ColumnData::Dict { dict, codes } => Ok((dict, codes)),
+            _ => Err(PipelineError::TypeMismatch {
+                column: name.into(),
+                expected: "dict".into(),
+            }),
+        }
+    }
+
     /// Append a column.
     pub fn push_column(&mut self, name: &str, col: ColumnData) -> Result<(), PipelineError> {
         if !self.columns.is_empty() && col.len() != self.rows {
@@ -172,6 +269,15 @@ impl Frame {
                         .map(|(x, _)| x.clone())
                         .collect(),
                 ),
+                ColumnData::Dict { dict, codes } => ColumnData::Dict {
+                    dict: dict.clone(),
+                    codes: codes
+                        .iter()
+                        .zip(mask)
+                        .filter(|(_, &m)| m)
+                        .map(|(x, _)| *x)
+                        .collect(),
+                },
             })
             .collect();
         let rows = mask.iter().filter(|&&m| m).count();
@@ -193,6 +299,10 @@ impl Frame {
                 ColumnData::Str(v) => {
                     ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
                 }
+                ColumnData::Dict { dict, codes } => ColumnData::Dict {
+                    dict: dict.clone(),
+                    codes: indices.iter().map(|&i| codes[i]).collect(),
+                },
             })
             .collect();
         Frame {
@@ -230,6 +340,47 @@ impl Frame {
                     (ColumnData::I64(d), ColumnData::I64(s)) => d.extend_from_slice(s),
                     (ColumnData::F64(d), ColumnData::F64(s)) => d.extend_from_slice(s),
                     (ColumnData::Str(d), ColumnData::Str(s)) => d.extend_from_slice(s),
+                    (
+                        ColumnData::Dict { dict, codes },
+                        ColumnData::Dict {
+                            dict: s_dict,
+                            codes: s_codes,
+                        },
+                    ) => {
+                        if Arc::ptr_eq(dict, s_dict) || **dict == **s_dict {
+                            codes.extend_from_slice(s_codes);
+                        } else {
+                            // Deterministic merge: remap the source
+                            // dictionary into the destination, appending
+                            // unseen entries in source order.
+                            let remap = merge_dicts(dict, s_dict);
+                            codes.extend(s_codes.iter().map(|&c| remap[c as usize]));
+                        }
+                    }
+                    // Mixed representations concatenate too, so frames
+                    // read from old Str-typed files mix with Dict frames.
+                    (ColumnData::Dict { dict, codes }, ColumnData::Str(s)) => {
+                        let mut index: HashMap<String, u32> = dict
+                            .iter()
+                            .enumerate()
+                            .map(|(i, e)| (e.clone(), i as u32))
+                            .collect();
+                        let mut added: Vec<String> = Vec::new();
+                        let base = dict.len();
+                        for v in s {
+                            let code = *index.entry(v.clone()).or_insert_with(|| {
+                                added.push(v.clone());
+                                (base + added.len() - 1) as u32
+                            });
+                            codes.push(code);
+                        }
+                        if !added.is_empty() {
+                            Arc::make_mut(dict).extend(added);
+                        }
+                    }
+                    (ColumnData::Str(d), ColumnData::Dict { dict, codes }) => {
+                        d.extend(codes.iter().map(|&c| dict[c as usize].clone()));
+                    }
                     _ => {
                         return Err(PipelineError::TypeMismatch {
                             column: "concat".into(),
@@ -246,21 +397,31 @@ impl Frame {
             rows,
         })
     }
+}
 
-    /// A human-readable key for one row of the named columns (used by
-    /// group-by and join hashing).
-    pub(crate) fn row_key(&self, cols: &[usize], row: usize) -> String {
-        let mut key = String::new();
-        for &c in cols {
-            match &self.columns[c] {
-                ColumnData::I64(v) => key.push_str(&v[row].to_string()),
-                ColumnData::F64(v) => key.push_str(&v[row].to_bits().to_string()),
-                ColumnData::Str(v) => key.push_str(&v[row]),
-            }
-            key.push('\u{1f}');
-        }
-        key
+/// Remap table from `src` dictionary codes into `dst`, appending
+/// entries `dst` lacks (in `src` order) via copy-on-write.
+fn merge_dicts(dst: &mut Arc<Vec<String>>, src: &[String]) -> Vec<u32> {
+    let mut index: HashMap<String, u32> = dst
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.clone(), i as u32))
+        .collect();
+    let mut added: Vec<String> = Vec::new();
+    let base = dst.len();
+    let remap: Vec<u32> = src
+        .iter()
+        .map(|e| {
+            *index.entry(e.clone()).or_insert_with(|| {
+                added.push(e.clone());
+                (base + added.len() - 1) as u32
+            })
+        })
+        .collect();
+    if !added.is_empty() {
+        Arc::make_mut(dst).extend(added);
     }
+    remap
 }
 
 #[cfg(test)]

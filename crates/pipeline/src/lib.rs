@@ -21,6 +21,7 @@ pub mod frame_io;
 pub mod medallion;
 pub mod ops;
 pub mod plan;
+pub(crate) mod rowkey;
 pub mod state;
 pub mod streaming;
 pub mod window;
@@ -29,6 +30,6 @@ pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use error::PipelineError;
 pub use executor::EpochMeta;
 pub use expr::Expr;
-pub use frame::Frame;
+pub use frame::{Frame, StrColumn};
 pub use plan::{PipelinePlan, Stage, StageTiming};
 pub use streaming::{MemorySink, Sink, StreamingQuery, StreamingQueryBuilder};

@@ -20,10 +20,12 @@ use crate::state::{CellState, StateStore};
 use crate::streaming::{Decoder, PartitionMap, Transform};
 use oda_faults::{FaultPoint, FaultSite};
 use oda_storage::colfile::ColumnData;
+use oda_storage::intern::StringInterner;
 use oda_telemetry::jobs::Job;
 use oda_telemetry::record::{Device, Observation, Quality};
 use oda_telemetry::sensors::SensorCatalog;
-use std::collections::BTreeMap;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Default Silver aggregation window (the paper's "e.g., every 15
@@ -44,8 +46,13 @@ pub fn device_label(d: Device) -> String {
 }
 
 /// Build a Bronze frame from observations: columns `ts_ms` (I64),
-/// `node` (I64), `device` (Str), `sensor` (Str), `value` (F64),
+/// `node` (I64), `device` (Dict), `sensor` (Dict), `value` (F64),
 /// `quality` (I64 code: 0 good, 1 missing, 2 suspect).
+///
+/// The categorical columns are dictionary-encoded at the source: sensor
+/// names are interned from the catalog up front and devices are labeled
+/// once per distinct device, so the per-row cost is a 4-byte code push
+/// — no `String` is allocated per observation.
 pub fn bronze_frame(obs: &[Observation], catalog: &SensorCatalog) -> Frame {
     let mut ts = Vec::with_capacity(obs.len());
     let mut node = Vec::with_capacity(obs.len());
@@ -53,16 +60,32 @@ pub fn bronze_frame(obs: &[Observation], catalog: &SensorCatalog) -> Frame {
     let mut sensor = Vec::with_capacity(obs.len());
     let mut value = Vec::with_capacity(obs.len());
     let mut quality = Vec::with_capacity(obs.len());
+    // Catalog ids are dense (get(id) indexes specs by position), so the
+    // pre-seeded interner makes the common case a direct table lookup.
+    // Unused pre-seeded entries are dropped at colfile write time.
+    let mut sensors = StringInterner::new();
+    let known: Vec<u32> = catalog
+        .specs()
+        .iter()
+        .map(|s| sensors.intern(&s.name))
+        .collect();
+    let mut unknown: HashMap<u16, u32> = HashMap::new();
+    let mut devices = StringInterner::new();
+    let mut device_code: HashMap<Device, u32> = HashMap::new();
     for o in obs {
         ts.push(o.ts_ms);
         node.push(i64::from(o.component.node));
-        device.push(device_label(o.component.device));
-        sensor.push(
-            catalog
-                .get(o.sensor)
-                .map(|s| s.name.clone())
-                .unwrap_or_else(|| format!("s{}", o.sensor)),
+        device.push(
+            *device_code
+                .entry(o.component.device)
+                .or_insert_with(|| devices.intern(&device_label(o.component.device))),
         );
+        sensor.push(match known.get(usize::from(o.sensor)) {
+            Some(&code) => code,
+            None => *unknown
+                .entry(o.sensor)
+                .or_insert_with(|| sensors.intern(&format!("s{}", o.sensor))),
+        });
         value.push(o.value);
         quality.push(match o.quality {
             Quality::Good => 0i64,
@@ -73,8 +96,14 @@ pub fn bronze_frame(obs: &[Observation], catalog: &SensorCatalog) -> Frame {
     Frame::new(vec![
         ("ts_ms".into(), ColumnData::I64(ts)),
         ("node".into(), ColumnData::I64(node)),
-        ("device".into(), ColumnData::Str(device)),
-        ("sensor".into(), ColumnData::Str(sensor)),
+        (
+            "device".into(),
+            ColumnData::dict(devices.into_dict(), device),
+        ),
+        (
+            "sensor".into(),
+            ColumnData::dict(sensors.into_dict(), sensor),
+        ),
         ("value".into(), ColumnData::F64(value)),
         ("quality".into(), ColumnData::I64(quality)),
     ])
@@ -137,8 +166,8 @@ pub fn quality_filter_map() -> PartitionMap {
 }
 
 /// Job allocation context: one row per (job, node), with columns
-/// `node` (I64), `job` (I64), `archetype` (Str), `program` (I64),
-/// `user` (I64), `project` (Str), and the allocation bounds
+/// `node` (I64), `job` (I64), `archetype` (Dict), `program` (I64),
+/// `user` (I64), `project` (Dict), and the allocation bounds
 /// `job_start_ms` / `job_end_ms` (I64) used for the temporal join.
 pub fn job_context_frame(jobs: &[Job]) -> Frame {
     let mut node = Vec::new();
@@ -149,14 +178,16 @@ pub fn job_context_frame(jobs: &[Job]) -> Frame {
     let mut project = Vec::new();
     let mut start = Vec::new();
     let mut end = Vec::new();
+    let mut archetypes = StringInterner::new();
+    let mut projects = StringInterner::new();
     for j in jobs {
         for &n in &j.nodes {
             node.push(i64::from(n));
             job.push(j.id as i64);
-            archetype.push(j.archetype.label().to_string());
+            archetype.push(archetypes.intern(j.archetype.label()));
             program.push(i64::from(j.program));
             user.push(i64::from(j.user));
-            project.push(j.project.clone());
+            project.push(projects.intern(&j.project));
             start.push(j.start_ms);
             end.push(j.end_ms);
         }
@@ -164,10 +195,16 @@ pub fn job_context_frame(jobs: &[Job]) -> Frame {
     Frame::new(vec![
         ("node".into(), ColumnData::I64(node)),
         ("job".into(), ColumnData::I64(job)),
-        ("archetype".into(), ColumnData::Str(archetype)),
+        (
+            "archetype".into(),
+            ColumnData::dict(archetypes.into_dict(), archetype),
+        ),
         ("program".into(), ColumnData::I64(program)),
         ("user".into(), ColumnData::I64(user)),
-        ("project".into(), ColumnData::Str(project)),
+        (
+            "project".into(),
+            ColumnData::dict(projects.into_dict(), project),
+        ),
         ("job_start_ms".into(), ColumnData::I64(start)),
         ("job_end_ms".into(), ColumnData::I64(end)),
     ])
@@ -214,26 +251,32 @@ pub fn bronze_to_silver_plan(window_ms: i64, job_ctx: Frame) -> PipelinePlan {
 /// Streaming Bronze→Silver transform: folds observations into
 /// per-(window, node, sensor) accumulators and emits rows for windows
 /// the watermark has closed. Output columns: `window` (I64), `node`
-/// (I64), `sensor` (Str), `mean`/`min`/`max` (F64), `count` (I64).
+/// (I64), `sensor` (Dict), `mean`/`min`/`max` (F64), `count` (I64).
 ///
 /// The event-time watermark survives recovery because it is kept in the
-/// checkpointed state (`wm_ms` counter).
+/// checkpointed state (`wm_ms` counter). State keys stay in the
+/// `"{node}\u{1f}{sensor}"` format for checkpoint compatibility, but
+/// are rendered once per distinct (node, sensor code) per batch — the
+/// per-row path does not allocate.
 pub fn streaming_silver_transform(window_ms: i64, lateness_ms: i64) -> Transform {
     Box::new(move |frame: Frame, state: &mut StateStore| {
         let ts = frame.i64s("ts_ms")?;
         let node = frame.i64s("node")?;
-        let sensor = frame.strs("sensor")?;
+        let (dict, codes) = frame.cat("sensor")?.to_dict();
         let value = frame.f64s("value")?;
         let quality = frame.i64s("quality")?;
         let mut max_ts = state.counter("wm_ms") as i64;
+        let mut key_cache: HashMap<(i64, u32), String> = HashMap::new();
         for i in 0..frame.rows() {
             max_ts = max_ts.max(ts[i]);
             if quality[i] != 0 || value[i].is_nan() {
                 continue;
             }
             let window = ts[i].div_euclid(window_ms) * window_ms;
-            let key = format!("{}\u{1f}{}", node[i], sensor[i]);
-            state.cell(window, &key).push(value[i]);
+            let key = key_cache
+                .entry((node[i], codes[i]))
+                .or_insert_with(|| format!("{}\u{1f}{}", node[i], &dict[codes[i] as usize]));
+            state.cell(window, key).push(value[i]);
         }
         // Persist watermark progress (monotonic, safe as u64: sim time
         // is non-negative).
@@ -249,6 +292,7 @@ pub fn streaming_silver_transform(window_ms: i64, lateness_ms: i64) -> Transform
         let closed = state.drain_closed(horizon);
         let mut w_col = Vec::with_capacity(closed.len());
         let mut n_col = Vec::with_capacity(closed.len());
+        let mut out_sensors = StringInterner::new();
         let mut s_col = Vec::with_capacity(closed.len());
         let mut mean_col = Vec::with_capacity(closed.len());
         let mut min_col = Vec::with_capacity(closed.len());
@@ -264,7 +308,7 @@ pub fn streaming_silver_transform(window_ms: i64, lateness_ms: i64) -> Transform
                     .parse::<i64>()
                     .map_err(|_| PipelineError::Decode("bad node".into()))?,
             );
-            s_col.push(sensor_s.to_string());
+            s_col.push(out_sensors.intern(sensor_s));
             mean_col.push(cell.mean());
             min_col.push(cell.min);
             max_col.push(cell.max);
@@ -273,7 +317,10 @@ pub fn streaming_silver_transform(window_ms: i64, lateness_ms: i64) -> Transform
         Frame::new(vec![
             ("window".into(), ColumnData::I64(w_col)),
             ("node".into(), ColumnData::I64(n_col)),
-            ("sensor".into(), ColumnData::Str(s_col)),
+            (
+                "sensor".into(),
+                ColumnData::dict(out_sensors.into_dict(), s_col),
+            ),
             ("mean".into(), ColumnData::F64(mean_col)),
             ("min".into(), ColumnData::F64(min_col)),
             ("max".into(), ColumnData::F64(max_col)),
@@ -298,11 +345,14 @@ pub fn streaming_silver_transform_gap_marked(window_ms: i64, lateness_ms: i64) -
     Box::new(move |frame: Frame, state: &mut StateStore| {
         let ts = frame.i64s("ts_ms")?;
         let node = frame.i64s("node")?;
-        let sensor = frame.strs("sensor")?;
+        let (dict, codes) = frame.cat("sensor")?.to_dict();
         let value = frame.f64s("value")?;
         let quality = frame.i64s("quality")?;
         let mut max_ts = state.counter("wm_ms") as i64;
         let mut first_window = i64::MAX;
+        // Keys (and the roster check) are rendered once per distinct
+        // (node, sensor code) per batch; rows hit a code-indexed cache.
+        let mut key_cache: HashMap<(i64, u32), String> = HashMap::new();
         for i in 0..frame.rows() {
             max_ts = max_ts.max(ts[i]);
             if quality[i] != 0 || value[i].is_nan() {
@@ -310,12 +360,18 @@ pub fn streaming_silver_transform_gap_marked(window_ms: i64, lateness_ms: i64) -
             }
             let window = ts[i].div_euclid(window_ms) * window_ms;
             first_window = first_window.min(window);
-            let key = format!("{}\u{1f}{}", node[i], sensor[i]);
-            let roster_key = format!("{ROSTER_PREFIX}{key}");
-            if state.counter(&roster_key) == 0 {
-                state.bump(&roster_key, 1);
-            }
-            state.cell(window, &key).push(value[i]);
+            let key = match key_cache.entry((node[i], codes[i])) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    let key = format!("{}\u{1f}{}", node[i], &dict[codes[i] as usize]);
+                    let roster_key = format!("{ROSTER_PREFIX}{key}");
+                    if state.counter(&roster_key) == 0 {
+                        state.bump(&roster_key, 1);
+                    }
+                    e.insert(key)
+                }
+            };
+            state.cell(window, key).push(value[i]);
         }
         if max_ts > 0 {
             state.bump(
@@ -367,6 +423,7 @@ pub fn streaming_silver_transform_gap_marked(window_ms: i64, lateness_ms: i64) -
         rows.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
         let mut w_col = Vec::with_capacity(rows.len());
         let mut n_col = Vec::with_capacity(rows.len());
+        let mut out_sensors = StringInterner::new();
         let mut s_col = Vec::with_capacity(rows.len());
         let mut mean_col = Vec::with_capacity(rows.len());
         let mut min_col = Vec::with_capacity(rows.len());
@@ -383,7 +440,7 @@ pub fn streaming_silver_transform_gap_marked(window_ms: i64, lateness_ms: i64) -
                     .parse::<i64>()
                     .map_err(|_| PipelineError::Decode("bad node".into()))?,
             );
-            s_col.push(sensor_s.to_string());
+            s_col.push(out_sensors.intern(sensor_s));
             if gap == 1 {
                 mean_col.push(f64::NAN);
                 min_col.push(f64::NAN);
@@ -399,7 +456,10 @@ pub fn streaming_silver_transform_gap_marked(window_ms: i64, lateness_ms: i64) -
         Frame::new(vec![
             ("window".into(), ColumnData::I64(w_col)),
             ("node".into(), ColumnData::I64(n_col)),
-            ("sensor".into(), ColumnData::Str(s_col)),
+            (
+                "sensor".into(),
+                ColumnData::dict(out_sensors.into_dict(), s_col),
+            ),
             ("mean".into(), ColumnData::F64(mean_col)),
             ("min".into(), ColumnData::F64(min_col)),
             ("max".into(), ColumnData::F64(max_col)),
@@ -466,8 +526,12 @@ mod tests {
         let rows = vec![obs(0, 1, 0, 500.0), obs(1_000, 2, 1, 21.0)];
         let f = bronze_frame(&rows, &cat);
         assert_eq!(f.rows(), 2);
-        assert_eq!(f.strs("sensor").unwrap()[0], "node_power_w");
+        let sensors = f.cat("sensor").unwrap();
+        assert_eq!(sensors.get(0), "node_power_w");
         assert_eq!(f.i64s("node").unwrap(), &[1, 2]);
+        // Categorical columns are dictionary-encoded at the source.
+        assert!(f.dict("sensor").is_ok());
+        assert!(f.dict("device").is_ok());
     }
 
     #[test]
@@ -596,12 +660,12 @@ mod tests {
         let batch2: Vec<Observation> = (20..35).map(|t| obs(t * 1_000, 0, 0, 100.0)).collect();
         let out2 = transform(bronze_frame(&batch2, &cat), &mut state).unwrap();
         assert_eq!(out2.rows(), 2, "one real row + one gap marker");
-        let sensors = out2.strs("sensor").unwrap();
+        let sensors = out2.cat("sensor").unwrap();
         let gaps = out2.i64s("gap").unwrap();
         let counts = out2.i64s("count").unwrap();
         let means = out2.f64s("mean").unwrap();
         for i in 0..2 {
-            if sensors[i] == "node_inlet_temp_c" {
+            if sensors.get(i) == "node_inlet_temp_c" {
                 assert_eq!(gaps[i], 1, "dark sensor must be gap-marked");
                 assert_eq!(counts[i], 0);
                 assert!(means[i].is_nan());
@@ -724,12 +788,12 @@ mod tests {
             assert!(c <= 15, "window cell with {c} samples");
         }
         // node_power_w means are physically plausible for the tiny system.
-        let sensors = silver.strs("sensor").unwrap();
+        let sensors = silver.cat("sensor").unwrap();
         let means = silver.f64s("mean").unwrap();
         let mut checked = 0;
-        for i in 0..silver.rows() {
-            if sensors[i] == "node_power_w" {
-                assert!(means[i] > 300.0 && means[i] < 2_500.0, "power {}", means[i]);
+        for (i, &mean) in means.iter().enumerate() {
+            if sensors.get(i) == "node_power_w" {
+                assert!(mean > 300.0 && mean < 2_500.0, "power {mean}");
                 checked += 1;
             }
         }

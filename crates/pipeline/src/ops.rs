@@ -5,9 +5,11 @@
 //! PIVOT + JOIN, and the benches time exactly these functions.
 
 use crate::error::PipelineError;
-use crate::frame::Frame;
+use crate::frame::{Frame, StrColumn};
+use crate::rowkey::{join_keys, KeyCols, RowKey};
 use oda_storage::colfile::ColumnData;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Aggregation function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,7 +126,7 @@ fn numeric_at(col: &ColumnData, row: usize) -> Result<f64, PipelineError> {
     match col {
         ColumnData::F64(v) => Ok(v[row]),
         ColumnData::I64(v) => Ok(v[row] as f64),
-        ColumnData::Str(_) => Err(PipelineError::TypeMismatch {
+        ColumnData::Str(_) | ColumnData::Dict { .. } => Err(PipelineError::TypeMismatch {
             column: "aggregate input".into(),
             expected: "numeric".into(),
         }),
@@ -144,7 +146,9 @@ pub fn group_by(frame: &Frame, keys: &[&str], aggs: &[AggSpec]) -> Result<Frame,
     // Validate agg inputs upfront.
     for spec in aggs {
         let col = frame.column(&spec.column)?;
-        if matches!(col, ColumnData::Str(_)) && !matches!(spec.agg, Agg::First | Agg::Last) {
+        if matches!(col, ColumnData::Str(_) | ColumnData::Dict { .. })
+            && !matches!(spec.agg, Agg::First | Agg::Last)
+        {
             return Err(PipelineError::TypeMismatch {
                 column: spec.column.clone(),
                 expected: "numeric (strings support only First/Last)".into(),
@@ -152,13 +156,13 @@ pub fn group_by(frame: &Frame, keys: &[&str], aggs: &[AggSpec]) -> Result<Frame,
         }
     }
 
-    let mut group_of: HashMap<String, usize> = HashMap::new();
+    let key_cols = KeyCols::of(frame, &key_idx);
+    let mut group_of: HashMap<RowKey, usize> = HashMap::new();
     let mut representative: Vec<usize> = Vec::new();
     let mut row_group: Vec<usize> = Vec::with_capacity(frame.rows());
     for row in 0..frame.rows() {
-        let key = frame.row_key(&key_idx, row);
         let next = representative.len();
-        let g = *group_of.entry(key).or_insert_with(|| {
+        let g = *group_of.entry(key_cols.key(row)).or_insert_with(|| {
             representative.push(row);
             next
         });
@@ -201,6 +205,33 @@ pub fn group_by(frame: &Frame, keys: &[&str], aggs: &[AggSpec]) -> Result<Frame,
                     ColumnData::Str(vals.into_iter().map(|o| o.unwrap_or_default()).collect()),
                 ));
             }
+            ColumnData::Dict { dict, codes } => {
+                // Type-preserving First/Last over codes: the output shares
+                // the input dictionary, no strings are touched.
+                let mut picked: Vec<Option<u32>> = vec![None; n_groups];
+                for row in 0..frame.rows() {
+                    let g = row_group[row];
+                    match spec.agg {
+                        Agg::First => {
+                            if picked[g].is_none() {
+                                picked[g] = Some(codes[row]);
+                            }
+                        }
+                        Agg::Last => picked[g] = Some(codes[row]),
+                        _ => unreachable!("validated above"),
+                    }
+                }
+                out.push((
+                    spec.output.clone(),
+                    ColumnData::Dict {
+                        dict: Arc::clone(dict),
+                        codes: picked
+                            .into_iter()
+                            .map(|o| o.expect("every group has at least one row"))
+                            .collect(),
+                    },
+                ));
+            }
             _ => {
                 let mut accs = vec![NumAcc::new(); n_groups];
                 for row in 0..frame.rows() {
@@ -228,42 +259,62 @@ pub fn pivot(
     value_col: &str,
     agg: Agg,
 ) -> Result<Frame, PipelineError> {
-    let pivots = frame.strs(pivot_col)?;
+    let pivots = frame.cat(pivot_col)?;
     let index_idx: Vec<usize> = index
         .iter()
         .map(|k| frame.index_of(k))
         .collect::<Result<_, _>>()?;
     let values = frame.column(value_col)?;
 
-    // Distinct pivot values, sorted for stable output schema.
-    let mut distinct: Vec<String> = {
-        let mut set: Vec<&String> = pivots.iter().collect();
-        set.sort();
-        set.dedup();
-        set.into_iter().cloned().collect()
+    // Distinct pivot values (sorted for a stable output schema) plus a
+    // per-row output-column slot. Dict inputs resolve slots through a
+    // code-indexed table — no hashing and no string touch per row;
+    // Str inputs sort borrowed `&str`s and hash each row once.
+    let (distinct, slot_of_row): (Vec<String>, Vec<usize>) = match pivots {
+        StrColumn::Dict { dict, codes } => {
+            let mut used = vec![false; dict.len()];
+            for &c in codes {
+                used[c as usize] = true;
+            }
+            let mut used_entries: Vec<usize> = (0..dict.len()).filter(|&e| used[e]).collect();
+            used_entries.sort_by(|&a, &b| dict[a].as_str().cmp(dict[b].as_str()));
+            let mut table = vec![usize::MAX; dict.len()];
+            for (slot, &e) in used_entries.iter().enumerate() {
+                table[e] = slot;
+            }
+            (
+                used_entries.iter().map(|&e| dict[e].clone()).collect(),
+                codes.iter().map(|&c| table[c as usize]).collect(),
+            )
+        }
+        StrColumn::Str(v) => {
+            let mut set: Vec<&str> = v.iter().map(String::as_str).collect();
+            set.sort_unstable();
+            set.dedup();
+            let slot: HashMap<&str, usize> = set.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+            (
+                set.iter().map(|s| s.to_string()).collect(),
+                v.iter().map(|s| slot[s.as_str()]).collect(),
+            )
+        }
     };
-    distinct.shrink_to_fit();
-    let pivot_of: HashMap<&str, usize> = distinct
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.as_str(), i))
-        .collect();
 
-    let mut group_of: HashMap<String, usize> = HashMap::new();
+    let key_cols = KeyCols::of(frame, &index_idx);
+    let mut group_of: HashMap<RowKey, usize> = HashMap::new();
     let mut representative: Vec<usize> = Vec::new();
-    let mut cells: Vec<Vec<NumAcc>> = Vec::new();
+    // Expected index cardinality: every (index, pivot value) pair fills
+    // one cell, so rows / distinct is the dense-grid group count.
+    let mut cells: Vec<Vec<NumAcc>> = Vec::with_capacity(frame.rows() / distinct.len().max(1) + 1);
     for row in 0..frame.rows() {
-        let key = frame.row_key(&index_idx, row);
         let next = representative.len();
-        let g = *group_of.entry(key).or_insert_with(|| {
+        let g = *group_of.entry(key_cols.key(row)).or_insert_with(|| {
             representative.push(row);
             next
         });
         if g == cells.len() {
             cells.push(vec![NumAcc::new(); distinct.len()]);
         }
-        let p = pivot_of[pivots[row].as_str()];
-        cells[g][p].push(numeric_at(values, row)?);
+        cells[g][slot_of_row[row]].push(numeric_at(values, row)?);
     }
 
     let key_frame = frame.take(&representative);
@@ -300,7 +351,10 @@ pub fn melt(
         .filter(|i| !index_idx.contains(i))
         .collect();
     for &ci in &value_cols {
-        if matches!(frame.column_at(ci), ColumnData::Str(_)) {
+        if matches!(
+            frame.column_at(ci),
+            ColumnData::Str(_) | ColumnData::Dict { .. }
+        ) {
             return Err(PipelineError::TypeMismatch {
                 column: frame.names()[ci].clone(),
                 expected: "numeric value columns for melt".into(),
@@ -316,11 +370,17 @@ pub fn melt(
         }
     }
     let index_frame = frame.select(index)?.take(&take_idx);
-    let mut vars = Vec::with_capacity(n_out);
+    // The variable column repeats the value-column names cyclically:
+    // a natural dictionary column (k distinct entries, n*k codes).
+    let var_dict: Vec<String> = value_cols
+        .iter()
+        .map(|&ci| frame.names()[ci].clone())
+        .collect();
+    let mut var_codes = Vec::with_capacity(n_out);
     let mut values = Vec::with_capacity(n_out);
     for row in 0..frame.rows() {
-        for &ci in &value_cols {
-            vars.push(frame.names()[ci].clone());
+        for (vi, &ci) in value_cols.iter().enumerate() {
+            var_codes.push(vi as u32);
             values.push(numeric_at(frame.column_at(ci), row)?);
         }
     }
@@ -330,7 +390,7 @@ pub fn melt(
         .zip(index_frame.columns())
         .map(|(n, c)| (n.clone(), c.clone()))
         .collect();
-    columns.push((var_col.to_string(), ColumnData::Str(vars)));
+    columns.push((var_col.to_string(), ColumnData::dict(var_dict, var_codes)));
     columns.push((value_col.to_string(), ColumnData::F64(values)));
     Frame::new(columns)
 }
@@ -347,18 +407,16 @@ pub fn join_inner(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, Pip
         .map(|k| right.index_of(k))
         .collect::<Result<_, _>>()?;
 
-    let mut right_rows: HashMap<String, Vec<usize>> = HashMap::new();
+    let (l_keys, r_keys) = join_keys(left, &l_idx, right, &r_idx);
+    let mut right_rows: HashMap<RowKey, Vec<usize>> = HashMap::new();
     for row in 0..right.rows() {
-        right_rows
-            .entry(right.row_key(&r_idx, row))
-            .or_default()
-            .push(row);
+        right_rows.entry(r_keys.key(row)).or_default().push(row);
     }
 
     let mut l_take = Vec::new();
     let mut r_take = Vec::new();
     for row in 0..left.rows() {
-        if let Some(matches) = right_rows.get(&left.row_key(&l_idx, row)) {
+        if let Some(matches) = right_rows.get(&l_keys.key(row)) {
             for &m in matches {
                 l_take.push(row);
                 r_take.push(m);
@@ -400,17 +458,15 @@ pub fn join_left(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, Pipe
         .iter()
         .map(|k| right.index_of(k))
         .collect::<Result<_, _>>()?;
-    let mut right_rows: HashMap<String, Vec<usize>> = HashMap::new();
+    let (l_keys, r_keys) = join_keys(left, &l_idx, right, &r_idx);
+    let mut right_rows: HashMap<RowKey, Vec<usize>> = HashMap::new();
     for row in 0..right.rows() {
-        right_rows
-            .entry(right.row_key(&r_idx, row))
-            .or_default()
-            .push(row);
+        right_rows.entry(r_keys.key(row)).or_default().push(row);
     }
     let mut l_take = Vec::new();
     let mut r_take: Vec<Option<usize>> = Vec::new();
     for row in 0..left.rows() {
-        match right_rows.get(&left.row_key(&l_idx, row)) {
+        match right_rows.get(&l_keys.key(row)) {
             Some(matches) => {
                 for &m in matches {
                     l_take.push(row);
@@ -458,6 +514,28 @@ pub fn join_left(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, Pipe
                     .map(|m| m.map(|i| v[i].clone()).unwrap_or_default())
                     .collect(),
             ),
+            ColumnData::Dict { dict, codes } => {
+                // Unmatched rows fill with "": reuse its code if the
+                // dictionary already has one, else append it.
+                let mut dict = Arc::clone(dict);
+                let fill = match r_take.iter().any(|m| m.is_none()) {
+                    true => match dict.iter().position(|e| e.is_empty()) {
+                        Some(i) => i as u32,
+                        None => {
+                            Arc::make_mut(&mut dict).push(String::new());
+                            (dict.len() - 1) as u32
+                        }
+                    },
+                    false => 0,
+                };
+                ColumnData::Dict {
+                    codes: r_take
+                        .iter()
+                        .map(|m| m.map_or(fill, |i| codes[i]))
+                        .collect(),
+                    dict,
+                }
+            }
         };
         columns.push((out_name, col));
     }
@@ -476,11 +554,12 @@ pub fn sort_by_i64(frame: &Frame, col: &str) -> Result<Frame, PipelineError> {
     Ok(frame.take(&idx))
 }
 
-/// Sort rows ascending by a string column (stable).
+/// Sort rows ascending by a string-like (`Str` or `Dict`) column
+/// (stable).
 pub fn sort_by_str(frame: &Frame, col: &str) -> Result<Frame, PipelineError> {
-    let keys = frame.strs(col)?;
+    let keys = frame.cat(col)?;
     let mut idx: Vec<usize> = (0..frame.rows()).collect();
-    idx.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    idx.sort_by(|&a, &b| keys.get(a).cmp(keys.get(b)));
     Ok(frame.take(&idx))
 }
 
@@ -727,5 +806,110 @@ mod tests {
         );
         let s = sort_by_str(&f, "tag").unwrap();
         assert_eq!(s.strs("tag").unwrap()[0], "a");
+    }
+
+    #[test]
+    fn pivot_dict_matches_str() {
+        // Same logical frame, sensor column dictionary-encoded with a
+        // shuffled dictionary: pivot output must be identical.
+        let f = long_frame();
+        let w_str = pivot(&f, &["ts", "node"], "sensor", "value", Agg::Mean).unwrap();
+        let mut cols: Vec<(String, ColumnData)> = f
+            .names()
+            .iter()
+            .zip(f.columns())
+            .map(|(n, c)| (n.clone(), c.clone()))
+            .collect();
+        cols[2].1 = ColumnData::dict(
+            vec!["t".into(), "unused".into(), "p".into()],
+            vec![2, 0, 2, 0, 2, 0, 2, 0],
+        );
+        let fd = Frame::new(cols).unwrap();
+        let w_dict = pivot(&fd, &["ts", "node"], "sensor", "value", Agg::Mean).unwrap();
+        assert_eq!(
+            w_dict.names(),
+            w_str.names(),
+            "unused entries must not pivot"
+        );
+        assert_eq!(w_dict, w_str);
+    }
+
+    #[test]
+    fn group_by_dict_first_last_preserves_dictionary() {
+        let f = Frame::new(vec![
+            ("k".into(), ColumnData::I64(vec![1, 1, 2])),
+            (
+                "s".into(),
+                ColumnData::dict(vec!["a".into(), "b".into(), "c".into()], vec![0, 1, 2]),
+            ),
+        ])
+        .unwrap();
+        let g = group_by(
+            &f,
+            &["k"],
+            &[
+                AggSpec::new("s", Agg::First, "first"),
+                AggSpec::new("s", Agg::Last, "last"),
+            ],
+        )
+        .unwrap();
+        let first = g.cat("first").unwrap();
+        let last = g.cat("last").unwrap();
+        assert_eq!(first.iter().collect::<Vec<_>>(), vec!["a", "c"]);
+        assert_eq!(last.iter().collect::<Vec<_>>(), vec!["b", "c"]);
+        assert!(g.dict("first").is_ok(), "output stays dictionary-encoded");
+        // Numeric aggregates over dict strings are rejected, like Str.
+        assert!(group_by(&f, &["k"], &[AggSpec::new("s", Agg::Sum, "x")]).is_err());
+    }
+
+    #[test]
+    fn left_join_fills_dict_columns_with_empty() {
+        let left = Frame::new(vec![("node".into(), ColumnData::I64(vec![1, 2, 3]))]).unwrap();
+        let right = Frame::new(vec![
+            ("node".into(), ColumnData::I64(vec![2])),
+            ("tag".into(), ColumnData::dict(vec!["x".into()], vec![0])),
+        ])
+        .unwrap();
+        let j = join_left(&left, &right, &["node"]).unwrap();
+        let tag = j.cat("tag").unwrap();
+        assert_eq!(tag.iter().collect::<Vec<_>>(), vec!["", "x", ""]);
+    }
+
+    #[test]
+    fn join_matches_across_str_and_dict_keys() {
+        let left = Frame::new(vec![
+            (
+                "dev".into(),
+                ColumnData::Str(vec!["cpu0".into(), "gpu1".into(), "cpu9".into()]),
+            ),
+            ("v".into(), ColumnData::I64(vec![1, 2, 3])),
+        ])
+        .unwrap();
+        let right = Frame::new(vec![
+            (
+                "dev".into(),
+                ColumnData::dict(vec!["gpu1".into(), "cpu0".into()], vec![0, 1]),
+            ),
+            ("w".into(), ColumnData::I64(vec![10, 20])),
+        ])
+        .unwrap();
+        let j = join_inner(&left, &right, &["dev"]).unwrap();
+        assert_eq!(j.rows(), 2);
+        assert_eq!(j.i64s("v").unwrap(), &[1, 2]);
+        assert_eq!(j.i64s("w").unwrap(), &[20, 10]);
+    }
+
+    #[test]
+    fn melt_emits_dict_variable_column() {
+        let f = long_frame();
+        let wide = pivot(&f, &["ts", "node"], "sensor", "value", Agg::Mean).unwrap();
+        let long = melt(&wide, &["ts", "node"], "sensor", "value").unwrap();
+        assert!(
+            long.dict("sensor").is_ok(),
+            "melt vars are dictionary-encoded"
+        );
+        let (dict, codes) = long.dict("sensor").unwrap();
+        assert_eq!(dict.as_slice(), &["p".to_string(), "t".to_string()]);
+        assert_eq!(codes.len(), long.rows());
     }
 }

@@ -1,0 +1,260 @@
+//! Typed fixed-width group/join keys.
+//!
+//! Group-by, pivot, and the hash joins used to key rows by rendering
+//! every key column to text and concatenating the pieces — one `String`
+//! allocation plus several `to_string` calls per row. A [`RowKey`] is
+//! the same identity as raw `u64` words: `i64` bits, `f64` bits
+//! (`to_bits`, so NaN patterns group deterministically), and dictionary
+//! codes for categorical columns. Keys of up to three columns are
+//! stored inline; wider keys spill to one boxed slice.
+
+use crate::frame::Frame;
+use oda_storage::colfile::ColumnData;
+use oda_storage::intern::StringInterner;
+
+/// One row's group/join identity: a fixed-width sequence of `u64`
+/// words, one per key column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum RowKey {
+    /// Single-column key.
+    One(u64),
+    /// Two-column key.
+    Two([u64; 2]),
+    /// Three-column key (window, node, sensor — the Silver group-by).
+    Three([u64; 3]),
+    /// Wider keys.
+    Many(Box<[u64]>),
+}
+
+/// Per-column key material. Numeric columns are borrowed directly;
+/// categorical columns contribute dictionary codes — borrowed for
+/// `Dict` columns, interned in one pass for `Str` columns.
+enum KeyPart<'a> {
+    I64(&'a [i64]),
+    F64(&'a [f64]),
+    Codes(&'a [u32]),
+    Owned(Vec<u32>),
+}
+
+impl KeyPart<'_> {
+    #[inline]
+    fn word(&self, row: usize) -> u64 {
+        match self {
+            KeyPart::I64(v) => v[row] as u64,
+            KeyPart::F64(v) => v[row].to_bits(),
+            KeyPart::Codes(v) => u64::from(v[row]),
+            KeyPart::Owned(v) => u64::from(v[row]),
+        }
+    }
+}
+
+/// Key extractor over a fixed set of key columns.
+pub(crate) struct KeyCols<'a> {
+    parts: Vec<KeyPart<'a>>,
+}
+
+impl<'a> KeyCols<'a> {
+    /// Keys over one frame's columns (group-by / pivot). Each `Str`
+    /// column is interned once up front; every other type is borrowed.
+    pub(crate) fn of(frame: &'a Frame, cols: &[usize]) -> KeyCols<'a> {
+        let parts = cols
+            .iter()
+            .map(|&c| match frame.column_at(c) {
+                ColumnData::I64(v) => KeyPart::I64(v),
+                ColumnData::F64(v) => KeyPart::F64(v),
+                ColumnData::Dict { codes, .. } => KeyPart::Codes(codes),
+                ColumnData::Str(v) => {
+                    let mut interner = StringInterner::new();
+                    KeyPart::Owned(v.iter().map(|s| interner.intern(s)).collect())
+                }
+            })
+            .collect();
+        KeyCols { parts }
+    }
+
+    /// The key of `row`.
+    #[inline]
+    pub(crate) fn key(&self, row: usize) -> RowKey {
+        match self.parts.as_slice() {
+            [a] => RowKey::One(a.word(row)),
+            [a, b] => RowKey::Two([a.word(row), b.word(row)]),
+            [a, b, c] => RowKey::Three([a.word(row), b.word(row), c.word(row)]),
+            parts => RowKey::Many(parts.iter().map(|p| p.word(row)).collect()),
+        }
+    }
+}
+
+/// Key extractors for a hash join: the two sides must agree on what a
+/// word means, so categorical join columns share one interner per
+/// column pair, and mismatched-type pairs fall back to interning the
+/// legacy textual rendering (preserving the old string-key semantics).
+pub(crate) fn join_keys<'a>(
+    left: &'a Frame,
+    l_cols: &[usize],
+    right: &'a Frame,
+    r_cols: &[usize],
+) -> (KeyCols<'a>, KeyCols<'a>) {
+    let mut l_parts = Vec::with_capacity(l_cols.len());
+    let mut r_parts = Vec::with_capacity(r_cols.len());
+    for (&lc, &rc) in l_cols.iter().zip(r_cols) {
+        let (lp, rp) = match (left.column_at(lc), right.column_at(rc)) {
+            (ColumnData::I64(a), ColumnData::I64(b)) => (KeyPart::I64(a), KeyPart::I64(b)),
+            (ColumnData::F64(a), ColumnData::F64(b)) => (KeyPart::F64(a), KeyPart::F64(b)),
+            (a, b) if is_str_like(a) && is_str_like(b) => {
+                let mut shared = StringInterner::new();
+                (shared_codes(a, &mut shared), shared_codes(b, &mut shared))
+            }
+            (a, b) => {
+                let mut shared = StringInterner::new();
+                (
+                    rendered_codes(a, &mut shared),
+                    rendered_codes(b, &mut shared),
+                )
+            }
+        };
+        l_parts.push(lp);
+        r_parts.push(rp);
+    }
+    (KeyCols { parts: l_parts }, KeyCols { parts: r_parts })
+}
+
+fn is_str_like(col: &ColumnData) -> bool {
+    matches!(col, ColumnData::Str(_) | ColumnData::Dict { .. })
+}
+
+/// Codes for a categorical column through a shared interner. A `Dict`
+/// column remaps its dictionary once (`dict.len()` hashes) instead of
+/// hashing per row.
+fn shared_codes<'a>(col: &ColumnData, shared: &mut StringInterner) -> KeyPart<'a> {
+    match col {
+        ColumnData::Str(v) => KeyPart::Owned(v.iter().map(|s| shared.intern(s)).collect()),
+        ColumnData::Dict { dict, codes } => {
+            let remap: Vec<u32> = dict.iter().map(|e| shared.intern(e)).collect();
+            KeyPart::Owned(codes.iter().map(|&c| remap[c as usize]).collect())
+        }
+        _ => unreachable!("shared_codes is only called for string-like columns"),
+    }
+}
+
+/// Legacy textual identity for mixed-type join keys: i64 as decimal,
+/// f64 as decimal bits, strings verbatim — exactly what the old
+/// concatenated string keys compared.
+fn rendered_codes<'a>(col: &ColumnData, shared: &mut StringInterner) -> KeyPart<'a> {
+    let codes = match col {
+        ColumnData::I64(v) => v.iter().map(|x| shared.intern(&x.to_string())).collect(),
+        ColumnData::F64(v) => v
+            .iter()
+            .map(|x| shared.intern(&x.to_bits().to_string()))
+            .collect(),
+        ColumnData::Str(v) => v.iter().map(|s| shared.intern(s)).collect(),
+        ColumnData::Dict { dict, codes } => {
+            let remap: Vec<u32> = dict.iter().map(|e| shared.intern(e)).collect();
+            codes.iter().map(|&c| remap[c as usize]).collect()
+        }
+    };
+    KeyPart::Owned(codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn frame() -> Frame {
+        Frame::new(vec![
+            ("i".into(), ColumnData::I64(vec![1, 1, 2, 2])),
+            (
+                "f".into(),
+                ColumnData::F64(vec![0.5, f64::NAN, 0.5, f64::NAN]),
+            ),
+            (
+                "s".into(),
+                ColumnData::Str(vec!["a".into(), "a".into(), "b".into(), "a".into()]),
+            ),
+            (
+                "d".into(),
+                ColumnData::dict(vec!["x".into(), "y".into()], vec![0, 1, 0, 1]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn keys_distinguish_rows_per_column_type() {
+        let f = frame();
+        for col in 0..4 {
+            let kc = KeyCols::of(&f, &[col]);
+            let keys: Vec<RowKey> = (0..4).map(|r| kc.key(r)).collect();
+            // Column-specific expected group structure.
+            let expected: Vec<Vec<usize>> = match col {
+                0 => vec![vec![0, 1], vec![2, 3]],
+                1 => vec![vec![0, 2], vec![1, 3]], // NaN groups with NaN
+                2 => vec![vec![0, 1, 3], vec![2]],
+                _ => vec![vec![0, 2], vec![1, 3]],
+            };
+            for group in expected {
+                let first = &keys[group[0]];
+                for &r in &group {
+                    assert_eq!(&keys[r], first, "col {col}: rows must share a key");
+                }
+                for (r, key) in keys.iter().enumerate() {
+                    if !group.contains(&r) {
+                        assert_ne!(key, first, "col {col}: row {r} must differ");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_rows_group_deterministically() {
+        // The regression the RowKey change must preserve: grouping by an
+        // f64 column with NaN entries (Missing-quality fills) puts all
+        // same-bit NaNs in one stable group instead of one group per row.
+        let f = Frame::new(vec![(
+            "v".into(),
+            ColumnData::F64(vec![f64::NAN, 1.0, f64::NAN, 1.0, f64::NAN]),
+        )])
+        .unwrap();
+        let kc = KeyCols::of(&f, &[0]);
+        let distinct: HashSet<RowKey> = (0..5).map(|r| kc.key(r)).collect();
+        assert_eq!(
+            distinct.len(),
+            2,
+            "NaN must be a single deterministic group"
+        );
+        assert_eq!(kc.key(0), kc.key(2));
+        assert_eq!(kc.key(0), kc.key(4));
+        assert_ne!(kc.key(0), kc.key(1));
+    }
+
+    #[test]
+    fn join_keys_agree_across_representations() {
+        // Left stores the key as Str, right as Dict with a different
+        // code layout: equal strings must produce equal keys.
+        let left = Frame::new(vec![(
+            "k".into(),
+            ColumnData::Str(vec!["b".into(), "a".into(), "c".into()]),
+        )])
+        .unwrap();
+        let right = Frame::new(vec![(
+            "k".into(),
+            ColumnData::dict(vec!["a".into(), "b".into()], vec![0, 1]),
+        )])
+        .unwrap();
+        let (lk, rk) = join_keys(&left, &[0], &right, &[0]);
+        assert_eq!(lk.key(0), rk.key(1), "b == b");
+        assert_eq!(lk.key(1), rk.key(0), "a == a");
+        assert_ne!(lk.key(2), rk.key(0));
+        assert_ne!(lk.key(2), rk.key(1));
+    }
+
+    #[test]
+    fn wide_keys_spill_to_many() {
+        let f = frame();
+        let kc = KeyCols::of(&f, &[0, 1, 2, 3]);
+        assert!(matches!(kc.key(0), RowKey::Many(_)));
+        assert_eq!(kc.key(0), kc.key(0));
+        assert_ne!(kc.key(0), kc.key(1));
+    }
+}

@@ -272,40 +272,6 @@ impl StreamingQuery {
         StreamingQueryBuilder::new()
     }
 
-    /// Create a query, recovering from the latest checkpoint in
-    /// `checkpoints` if one exists.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use StreamingQuery::builder() / StreamingQueryBuilder"
-    )]
-    pub fn new(
-        consumer: Consumer,
-        decode: Decoder,
-        transform: Transform,
-        checkpoints: CheckpointStore,
-    ) -> Result<StreamingQuery, PipelineError> {
-        StreamingQueryBuilder::new()
-            .source(consumer)
-            .decoder(decode)
-            .transform(transform)
-            .checkpoints(checkpoints)
-            .build()
-    }
-
-    /// Cap records per micro-batch.
-    #[deprecated(since = "0.2.0", note = "use StreamingQueryBuilder::max_records")]
-    pub fn with_max_records(mut self, max: usize) -> StreamingQuery {
-        self.max_records = max;
-        self
-    }
-
-    /// Arm a fault plan at this query's sink-write site.
-    #[deprecated(since = "0.2.0", note = "use StreamingQueryBuilder::faults")]
-    pub fn with_faults(mut self, faults: Arc<dyn FaultPoint>) -> StreamingQuery {
-        self.faults.push(faults);
-        self
-    }
-
     fn fault(&self, site: FaultSite, ctx: u64) -> Option<FaultKind> {
         self.faults.iter().find_map(|f| f.check(site, ctx))
     }
@@ -658,27 +624,5 @@ mod tests {
                     .collect::<Vec<EpochMeta>>()
             );
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder() {
-        let b = broker_with(&[1.0, 2.0, 3.0]);
-        let legacy_cps = CheckpointStore::new();
-        let c = Consumer::subscribe(b.clone(), "legacy", "vals").unwrap();
-        let mut legacy = StreamingQuery::new(c, decoder(), summing_transform(), legacy_cps.clone())
-            .unwrap()
-            .with_max_records(2);
-        let mut legacy_sink = MemorySink::new();
-        legacy.run_to_completion(&mut legacy_sink).unwrap();
-
-        let built_cps = CheckpointStore::new();
-        let mut built = query(&b, &built_cps, 2);
-        let mut built_sink = MemorySink::new();
-        built.run_to_completion(&mut built_sink).unwrap();
-
-        assert_eq!(legacy_sink.epochs(), built_sink.epochs());
-        assert_eq!(legacy_sink.concat().unwrap(), built_sink.concat().unwrap());
-        assert_eq!(legacy_cps.len(), built_cps.len());
     }
 }

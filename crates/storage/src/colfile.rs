@@ -8,9 +8,13 @@
 //! stats give row-group–level predicate pushdown.
 
 use crate::compress::{compress, decompress};
-use crate::encoding::{decode_f64, decode_i64, decode_str, encode_f64, encode_i64, encode_str};
+use crate::encoding::{
+    decode_dict, decode_f64, decode_i64, decode_str, encode_dict, encode_f64, encode_i64,
+    encode_str,
+};
 use crate::error::StorageError;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"OCF1";
 
@@ -23,10 +27,12 @@ pub enum ColumnType {
     F64,
     /// UTF-8 string.
     Str,
+    /// Dictionary-encoded string (categorical).
+    Dict,
 }
 
 /// Column values for one row group.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum ColumnData {
     /// Integer values.
     I64(Vec<i64>),
@@ -34,15 +40,33 @@ pub enum ColumnData {
     F64(Vec<f64>),
     /// String values.
     Str(Vec<String>),
+    /// Dictionary-encoded strings: row i's value is `dict[codes[i]]`.
+    /// The dictionary is shared (`Arc`) so gathers and concats move
+    /// 4-byte codes instead of cloning strings.
+    Dict {
+        /// Distinct values, in code order.
+        dict: Arc<Vec<String>>,
+        /// Per-row indexes into `dict`.
+        codes: Vec<u32>,
+    },
 }
 
 impl ColumnData {
+    /// Build a dictionary column from distinct entries and per-row codes.
+    pub fn dict(dict: Vec<String>, codes: Vec<u32>) -> ColumnData {
+        ColumnData::Dict {
+            dict: Arc::new(dict),
+            codes,
+        }
+    }
+
     /// Number of values.
     pub fn len(&self) -> usize {
         match self {
             ColumnData::I64(v) => v.len(),
             ColumnData::F64(v) => v.len(),
             ColumnData::Str(v) => v.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
         }
     }
 
@@ -57,6 +81,42 @@ impl ColumnData {
             ColumnData::I64(_) => ColumnType::I64,
             ColumnData::F64(_) => ColumnType::F64,
             ColumnData::Str(_) => ColumnType::Str,
+            ColumnData::Dict { .. } => ColumnType::Dict,
+        }
+    }
+}
+
+/// Equality is logical, not representational: a `Str` column and a
+/// `Dict` column are equal when they hold the same string sequence, and
+/// two `Dict` columns compare by values, not by dictionary layout.
+/// Numeric columns keep IEEE semantics (`NaN != NaN`).
+impl PartialEq for ColumnData {
+    fn eq(&self, other: &ColumnData) -> bool {
+        match (self, other) {
+            (ColumnData::I64(a), ColumnData::I64(b)) => a == b,
+            (ColumnData::F64(a), ColumnData::F64(b)) => a == b,
+            (ColumnData::Str(a), ColumnData::Str(b)) => a == b,
+            (
+                ColumnData::Dict {
+                    dict: da,
+                    codes: ca,
+                },
+                ColumnData::Dict {
+                    dict: db,
+                    codes: cb,
+                },
+            ) => {
+                ca.len() == cb.len()
+                    && ca
+                        .iter()
+                        .zip(cb)
+                        .all(|(&x, &y)| da[x as usize] == db[y as usize])
+            }
+            (ColumnData::Str(a), ColumnData::Dict { dict, codes })
+            | (ColumnData::Dict { dict, codes }, ColumnData::Str(a)) => {
+                a.len() == codes.len() && a.iter().zip(codes).all(|(s, &c)| *s == dict[c as usize])
+            }
+            _ => false,
         }
     }
 }
@@ -153,8 +213,19 @@ fn stats_of(data: &ColumnData) -> ChunkStats {
                 ChunkStats::None
             }
         }
-        ColumnData::Str(_) => ChunkStats::None,
+        ColumnData::Str(_) | ColumnData::Dict { .. } => ChunkStats::None,
     }
+}
+
+/// `Str` and `Dict` are interchangeable on write: both are string
+/// columns, and the page encoder produces identical bytes for either
+/// representation of the same values.
+fn type_compatible(data: ColumnType, schema: ColumnType) -> bool {
+    data == schema
+        || matches!(
+            (data, schema),
+            (ColumnType::Str, ColumnType::Dict) | (ColumnType::Dict, ColumnType::Str)
+        )
 }
 
 impl TableWriter {
@@ -178,7 +249,7 @@ impl TableWriter {
         }
         let rows = columns.first().map_or(0, ColumnData::len);
         for (data, (name, ty)) in columns.iter().zip(&self.schema.columns) {
-            if data.column_type() != *ty {
+            if !type_compatible(data.column_type(), *ty) {
                 return Err(StorageError::SchemaMismatch {
                     expected: format!("{name}: {ty:?}"),
                     got: format!("{name}: {:?}", data.column_type()),
@@ -190,6 +261,13 @@ impl TableWriter {
                     got: format!("{name}: {} rows", data.len()),
                 });
             }
+            if let ColumnData::Dict { dict, codes } = data {
+                if codes.iter().any(|&c| c as usize >= dict.len()) {
+                    return Err(StorageError::Corrupt(format!(
+                        "{name}: dict code out of range"
+                    )));
+                }
+            }
         }
         let mut chunks = Vec::with_capacity(columns.len());
         for data in columns {
@@ -197,6 +275,7 @@ impl TableWriter {
                 ColumnData::I64(v) => encode_i64(v),
                 ColumnData::F64(v) => encode_f64(v),
                 ColumnData::Str(v) => encode_str(v),
+                ColumnData::Dict { dict, codes } => encode_dict(dict, codes),
             };
             let compressed = compress(&encoded);
             let offset = self.buf.len();
@@ -293,6 +372,13 @@ impl TableFile {
             ColumnType::I64 => Ok(ColumnData::I64(decode_i64(&raw, g.rows)?)),
             ColumnType::F64 => Ok(ColumnData::F64(decode_f64(&raw, g.rows)?)),
             ColumnType::Str => Ok(ColumnData::Str(decode_str(&raw, g.rows)?)),
+            ColumnType::Dict => {
+                let (dict, codes) = decode_dict(&raw, g.rows)?;
+                Ok(ColumnData::Dict {
+                    dict: Arc::new(dict),
+                    codes,
+                })
+            }
         }
     }
 
@@ -465,6 +551,65 @@ mod tests {
         // And it still reads back.
         let f = TableFile::open(file_bytes).unwrap();
         assert_eq!(f.num_rows(), rows);
+    }
+
+    #[test]
+    fn dict_columns_roundtrip_without_materializing() {
+        let s = TableSchema::new(&[("device", ColumnType::Dict)]);
+        let dict = vec!["node".to_string(), "cpu0".to_string(), "gpu1".to_string()];
+        let codes: Vec<u32> = (0..5_000).map(|i| (i % 3) as u32).collect();
+        let mut w = TableFile::writer(s);
+        w.write_row_group(&[ColumnData::dict(dict.clone(), codes.clone())])
+            .unwrap();
+        let file = TableFile::open(w.finish()).unwrap();
+        assert_eq!(file.schema().columns[0].1, ColumnType::Dict);
+        match file.read_column(0, 0).unwrap() {
+            ColumnData::Dict {
+                dict: got_dict,
+                codes: got_codes,
+            } => {
+                assert_eq!(*got_dict, dict);
+                assert_eq!(got_codes, codes);
+            }
+            other => panic!("expected dict column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn str_and_dict_are_write_compatible_and_logically_equal() {
+        let strings: Vec<String> = (0..64).map(|i| format!("s{}", i % 4)).collect();
+        let dict = vec![
+            "s0".to_string(),
+            "s1".to_string(),
+            "s2".to_string(),
+            "s3".to_string(),
+        ];
+        let codes: Vec<u32> = (0..64).map(|i| (i % 4) as u32).collect();
+        let str_col = ColumnData::Str(strings);
+        let dict_col = ColumnData::dict(dict, codes);
+        assert_eq!(str_col, dict_col, "logical equality across representations");
+        // A Dict column satisfies a Str schema slot and vice versa, and
+        // the chunk bytes are identical either way.
+        let mut w1 = TableFile::writer(TableSchema::new(&[("s", ColumnType::Str)]));
+        w1.write_row_group(std::slice::from_ref(&dict_col)).unwrap();
+        let mut w2 = TableFile::writer(TableSchema::new(&[("s", ColumnType::Str)]));
+        w2.write_row_group(std::slice::from_ref(&str_col)).unwrap();
+        assert_eq!(
+            w1.finish(),
+            w2.finish(),
+            "bytes must not depend on representation"
+        );
+        let mut w3 = TableFile::writer(TableSchema::new(&[("s", ColumnType::Dict)]));
+        w3.write_row_group(std::slice::from_ref(&str_col)).unwrap();
+        let file = TableFile::open(w3.finish()).unwrap();
+        assert_eq!(file.read_column(0, 0).unwrap(), dict_col);
+    }
+
+    #[test]
+    fn dict_code_out_of_range_rejected() {
+        let mut w = TableFile::writer(TableSchema::new(&[("s", ColumnType::Dict)]));
+        let bad = ColumnData::dict(vec!["a".to_string()], vec![0, 1]);
+        assert!(w.write_row_group(&[bad]).is_err());
     }
 
     #[test]

@@ -205,6 +205,117 @@ pub fn encode_str(values: &[String]) -> Vec<u8> {
     }
 }
 
+/// Encode a dictionary column (`dict[codes[i]]` is row i's value)
+/// without materializing per-row strings.
+///
+/// Byte-compatible with [`encode_str`] over the materialized rows —
+/// same plain-vs-dict size chooser, same first-occurrence entry order —
+/// so file bytes do not depend on the in-memory representation.
+/// `codes` must all be `< dict.len()`.
+pub fn encode_dict(dict: &[String], codes: &[u32]) -> Vec<u8> {
+    // Plain candidate: varint(len) + bytes per row.
+    let mut plain = vec![Encoding::Plain.tag()];
+    for &c in codes {
+        let v = &dict[c as usize];
+        put_varint(&mut plain, v.len() as u64);
+        plain.extend_from_slice(v.as_bytes());
+    }
+    // Dict candidate: remap codes into first-occurrence-in-row order and
+    // drop unused dictionary entries, matching encode_str's page layout.
+    let mut remap: Vec<u32> = vec![u32::MAX; dict.len()];
+    let mut used: Vec<u32> = Vec::new();
+    let mut indices: Vec<u64> = Vec::with_capacity(codes.len());
+    for &c in codes {
+        let slot = &mut remap[c as usize];
+        if *slot == u32::MAX {
+            *slot = used.len() as u32;
+            used.push(c);
+        }
+        indices.push(u64::from(*slot));
+    }
+    let mut out = vec![Encoding::Dict.tag()];
+    put_varint(&mut out, used.len() as u64);
+    for &old in &used {
+        let e = &dict[old as usize];
+        put_varint(&mut out, e.len() as u64);
+        out.extend_from_slice(e.as_bytes());
+    }
+    for idx in indices {
+        put_varint(&mut out, idx);
+    }
+    if out.len() < plain.len() {
+        out
+    } else {
+        plain
+    }
+}
+
+/// Decode a string chunk of `count` values into dictionary form.
+///
+/// Dict pages map directly onto (entries, indices); plain pages are
+/// interned on the fly. Accepts every chunk [`encode_str`] or
+/// [`encode_dict`] can produce, so old `Str`-typed files read cleanly.
+pub fn decode_dict(buf: &[u8], count: usize) -> Result<(Vec<String>, Vec<u32>), StorageError> {
+    let (&tag, rest) = buf
+        .split_first()
+        .ok_or_else(|| StorageError::Corrupt("empty str chunk".into()))?;
+    let read_str = |buf: &[u8], pos: &mut usize| -> Result<String, StorageError> {
+        let (len, n) = get_varint(&buf[*pos..])?;
+        *pos += n;
+        let len = len as usize;
+        if *pos + len > buf.len() {
+            return Err(StorageError::Corrupt("string overruns chunk".into()));
+        }
+        let s = std::str::from_utf8(&buf[*pos..*pos + len])
+            .map_err(|_| StorageError::Corrupt("invalid utf8".into()))?
+            .to_string();
+        *pos += len;
+        Ok(s)
+    };
+    let mut dict: Vec<String> = Vec::new();
+    let mut codes: Vec<u32> = Vec::with_capacity(count);
+    match Encoding::from_tag(tag)? {
+        Encoding::Plain => {
+            let mut index: std::collections::HashMap<String, u32> =
+                std::collections::HashMap::new();
+            let mut pos = 0;
+            for _ in 0..count {
+                let s = read_str(rest, &mut pos)?;
+                let code = *index.entry(s).or_insert_with_key(|k| {
+                    dict.push(k.clone());
+                    (dict.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            if pos != rest.len() {
+                return Err(StorageError::Corrupt("trailing bytes in str chunk".into()));
+            }
+        }
+        Encoding::Dict => {
+            let mut pos = 0;
+            let (n_entries, n) = get_varint(rest)?;
+            pos += n;
+            for _ in 0..n_entries {
+                dict.push(read_str(rest, &mut pos)?);
+            }
+            for _ in 0..count {
+                let (idx, n) = get_varint(&rest[pos..])?;
+                pos += n;
+                if idx as usize >= dict.len() {
+                    return Err(StorageError::Corrupt("dict index out of range".into()));
+                }
+                codes.push(idx as u32);
+            }
+        }
+        other => {
+            return Err(StorageError::Corrupt(format!(
+                "{other:?} invalid for strings"
+            )));
+        }
+    }
+    Ok((dict, codes))
+}
+
 /// Decode a string column of `count` values.
 pub fn decode_str(buf: &[u8], count: usize) -> Result<Vec<String>, StorageError> {
     let (&tag, rest) = buf
@@ -341,6 +452,45 @@ mod tests {
         // Count mismatch.
         let enc = encode_i64(&[1, 2, 3]);
         assert!(decode_i64(&enc, 5).is_err());
+    }
+
+    #[test]
+    fn dict_encoding_matches_str_encoding_bytes() {
+        // Shuffled dict order and an unused entry must not leak into the
+        // bytes: encode_dict(remap) == encode_str(materialized).
+        let dict = vec![
+            "unused".to_string(),
+            "cpu1".to_string(),
+            "node".to_string(),
+            "gpu0".to_string(),
+        ];
+        let codes: Vec<u32> = vec![2, 1, 1, 3, 2, 2, 1, 3, 3, 2];
+        let materialized: Vec<String> = codes.iter().map(|&c| dict[c as usize].clone()).collect();
+        assert_eq!(encode_dict(&dict, &codes), encode_str(&materialized));
+        // High-cardinality: the plain page wins on both paths too.
+        let dict: Vec<String> = (0..50).map(|i| format!("unique-value-{i}")).collect();
+        let codes: Vec<u32> = (0..50).collect();
+        let materialized: Vec<String> = codes.iter().map(|&c| dict[c as usize].clone()).collect();
+        assert_eq!(encode_dict(&dict, &codes), encode_str(&materialized));
+    }
+
+    #[test]
+    fn decode_dict_reads_both_page_kinds() {
+        // Dict page.
+        let vals: Vec<String> = (0..1_000).map(|i| format!("s{}", i % 5)).collect();
+        let enc = encode_str(&vals);
+        assert_eq!(enc[0], 3, "dict page expected");
+        let (dict, codes) = decode_dict(&enc, vals.len()).unwrap();
+        assert_eq!(dict.len(), 5);
+        let back: Vec<&str> = codes.iter().map(|&c| dict[c as usize].as_str()).collect();
+        assert_eq!(back, vals.iter().map(String::as_str).collect::<Vec<_>>());
+        // Plain page: interned on the fly.
+        let vals: Vec<String> = (0..40).map(|i| format!("unique-{i}")).collect();
+        let enc = encode_str(&vals);
+        assert_eq!(enc[0], 0, "plain page expected");
+        let (dict, codes) = decode_dict(&enc, vals.len()).unwrap();
+        assert_eq!(dict, vals);
+        assert_eq!(codes, (0..40).collect::<Vec<u32>>());
     }
 
     proptest! {

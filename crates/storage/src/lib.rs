@@ -11,6 +11,8 @@
 //!   per-chunk min/max statistics for predicate pushdown, and a footer —
 //!   the Parquet analogue that gives "significant data compression and
 //!   minimal I/O footprint" (§V-B).
+//! * [`intern`] — string interning backing the in-memory
+//!   dictionary-encoded (`Dict`) categorical columns.
 //! * [`ocean`] — an object store with appendable datasets (the
 //!   MinIO + ever-appended-Parquet OCEAN service).
 //! * [`lake`] — a time-partitioned online segment store for real-time
@@ -25,6 +27,7 @@ pub mod compress;
 pub mod encoding;
 pub mod error;
 pub mod glacier;
+pub mod intern;
 pub mod lake;
 pub mod ocean;
 pub mod tiering;
@@ -32,6 +35,7 @@ pub mod tiering;
 pub use colfile::{ColumnData, ColumnType, TableFile, TableSchema};
 pub use error::StorageError;
 pub use glacier::Glacier;
+pub use intern::StringInterner;
 pub use lake::Lake;
 pub use ocean::Ocean;
 pub use tiering::{DataClass, LifecycleAction, Tier, TierManager};

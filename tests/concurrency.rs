@@ -190,7 +190,7 @@ fn independent_pipelines_share_one_stream() {
                             "{}|{}|{}|{}",
                             silver.i64s("window").unwrap()[i],
                             silver.i64s("node").unwrap()[i],
-                            silver.strs("sensor").unwrap()[i],
+                            silver.cat("sensor").unwrap().get(i),
                             silver.f64s("mean").unwrap()[i].to_bits()
                         )
                     })

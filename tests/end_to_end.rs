@@ -91,10 +91,10 @@ fn streaming_crash_recovery_is_exactly_once_end_to_end() {
     let key = |f: &oda::pipeline::Frame| {
         let w = f.i64s("window").unwrap();
         let n = f.i64s("node").unwrap();
-        let s = f.strs("sensor").unwrap();
+        let s = f.cat("sensor").unwrap();
         let m = f.f64s("mean").unwrap();
         let mut rows: Vec<(i64, i64, String, u64)> = (0..f.rows())
-            .map(|i| (w[i], n[i], s[i].clone(), m[i].to_bits()))
+            .map(|i| (w[i], n[i], s.get(i).to_string(), m[i].to_bits()))
             .collect();
         rows.sort();
         rows
@@ -146,29 +146,29 @@ fn streaming_and_batch_silver_agree() {
     let (bw, bn, bs, bm) = (
         batch.i64s("window").unwrap(),
         batch.i64s("node").unwrap(),
-        batch.strs("sensor").unwrap(),
+        batch.cat("sensor").unwrap(),
         batch.f64s("mean").unwrap(),
     );
     for i in 0..batch.rows() {
-        batch_cells.insert((bw[i], bn[i], bs[i].clone()), bm[i]);
+        batch_cells.insert((bw[i], bn[i], bs.get(i).to_string()), bm[i]);
     }
     let (sw, sn, ss, sm) = (
         streaming.i64s("window").unwrap(),
         streaming.i64s("node").unwrap(),
-        streaming.strs("sensor").unwrap(),
+        streaming.cat("sensor").unwrap(),
         streaming.f64s("mean").unwrap(),
     );
     assert!(streaming.rows() > 100);
     for i in 0..streaming.rows() {
         let batch_mean = batch_cells
-            .get(&(sw[i], sn[i], ss[i].clone()))
-            .unwrap_or_else(|| panic!("cell missing in batch: {} {} {}", sw[i], sn[i], ss[i]));
+            .get(&(sw[i], sn[i], ss.get(i).to_string()))
+            .unwrap_or_else(|| panic!("cell missing in batch: {} {} {}", sw[i], sn[i], ss.get(i)));
         assert!(
             (batch_mean - sm[i]).abs() < 1e-9,
             "cell ({}, {}, {}): batch {} vs streaming {}",
             sw[i],
             sn[i],
-            ss[i],
+            ss.get(i),
             batch_mean,
             sm[i]
         );

@@ -9,8 +9,6 @@
 //! * byte-identical Gold output for worker counts 1 / 2 / 8, fault-free
 //!   AND under the chaos seeds 11 / 29 / 4242 with a crash/recovery
 //!   supervisor loop;
-//! * the deprecated `StreamingQuery::new` + `with_*` shims produce the
-//!   same output as the builder (they are thin wrappers, kept one PR);
 //! * `EpochMeta` reaches the sink with correct epoch/partition/record
 //!   counts and a replay-stable watermark.
 
@@ -179,41 +177,6 @@ fn gold_is_byte_identical_across_worker_counts_under_chaos() {
         let clean = run_with_workers(8, None);
         assert_identical(&baseline, &clean, &format!("seed={seed} vs clean"));
     }
-}
-
-#[test]
-#[allow(deprecated)]
-fn builder_and_legacy_constructor_are_equivalent() {
-    let (broker, catalog) = seeded_broker();
-    let mut legacy = StreamingQuery::new(
-        Consumer::subscribe(broker.clone(), "legacy", TOPIC).unwrap(),
-        observation_decoder(catalog.clone()),
-        streaming_silver_transform(15_000, 0),
-        CheckpointStore::new(),
-    )
-    .unwrap()
-    .with_max_records(MAX_RECORDS);
-    let mut legacy_sink = MemorySink::new();
-    legacy.run_to_completion(&mut legacy_sink).unwrap();
-
-    let mut built = StreamingQuery::builder()
-        .source(Consumer::subscribe(broker, "built", TOPIC).unwrap())
-        .decoder(observation_decoder(catalog))
-        .transform(streaming_silver_transform(15_000, 0))
-        .checkpoints(CheckpointStore::new())
-        .max_records(MAX_RECORDS)
-        .workers(4)
-        .build()
-        .unwrap();
-    let mut built_sink = MemorySink::new();
-    built.run_to_completion(&mut built_sink).unwrap();
-
-    assert_eq!(legacy_sink.epochs(), built_sink.epochs());
-    assert_eq!(
-        frame_to_colfile(&legacy_sink.concat().unwrap()).unwrap(),
-        frame_to_colfile(&built_sink.concat().unwrap()).unwrap(),
-        "legacy shim and builder must produce identical silver"
-    );
 }
 
 #[test]
