@@ -20,9 +20,11 @@
 //! Components accept any [`FaultPoint`] implementation; production code
 //! paths pay one `Option` check when no plan is armed.
 
+pub mod metrics;
 pub mod plan;
 pub mod retry;
 
+pub use metrics::{FaultMetrics, RetryMetrics};
 pub use plan::{FaultPlan, FaultSpec, InjectedFault};
 pub use retry::{Retry, RetryOutcome, Retryable};
 

@@ -1,8 +1,9 @@
 //! Seed-driven fault plans.
 
+use crate::metrics::FaultMetrics;
 use crate::{splitmix64, unit_f64, FaultKind, FaultPoint, FaultSite};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 /// Static description of what a plan may inject: per-site probabilities
 /// plus the explicit crash schedule.
@@ -73,6 +74,7 @@ pub struct FaultPlan {
     seed: u64,
     spec: FaultSpec,
     inner: Mutex<PlanState>,
+    metrics: RwLock<Option<FaultMetrics>>,
 }
 
 #[derive(Debug, Default)]
@@ -91,7 +93,16 @@ impl FaultPlan {
             seed,
             spec,
             inner: Mutex::new(PlanState::default()),
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Count fired faults in `registry` as
+    /// `faults_injected_total{site=...}`. Purely observational: the
+    /// fault schedule is decided before the counter bumps, so metrics
+    /// can never perturb it.
+    pub fn attach_metrics(&self, registry: &oda_obs::Registry) {
+        *self.metrics.write().expect("plan metrics lock") = Some(FaultMetrics::new(registry));
     }
 
     /// A plan that only crashes after the sink writes of the given
@@ -200,6 +211,10 @@ impl FaultPoint for FaultPlan {
                 ctx,
                 kind: kind.clone(),
             });
+            drop(state);
+            if let Some(m) = self.metrics.read().expect("plan metrics lock").as_ref() {
+                m.record(site);
+            }
         }
         kind
     }
@@ -389,6 +404,37 @@ mod tests {
         assert_eq!(a.spec().crash_after_sink.len(), 2);
         assert!(a.spec().crash_after_sink[0] < a.spec().crash_after_sink[1]);
         assert_eq!(a.spec().sensor_dropout, 0.0);
+    }
+
+    #[test]
+    fn attached_metrics_match_injection_log() {
+        let reg = oda_obs::Registry::new();
+        let plan = FaultPlan::new(
+            5,
+            FaultSpec {
+                fetch_error: 0.5,
+                produce_timeout: 0.3,
+                ..FaultSpec::default()
+            },
+        );
+        plan.attach_metrics(&reg);
+        for i in 0..200 {
+            plan.check(FaultSite::Fetch, i % 4);
+            plan.check(FaultSite::Produce, 0);
+            let _ = i;
+        }
+        if oda_obs::enabled() {
+            let by_site = plan.injected_by_site();
+            for site in [FaultSite::Fetch, FaultSite::Produce] {
+                assert_eq!(
+                    reg.counter_value("faults_injected_total", &[("site", site.label())]),
+                    by_site.get(&site).copied().unwrap_or(0),
+                    "site {}",
+                    site.label()
+                );
+            }
+            assert!(by_site[&FaultSite::Fetch] > 0, "expected some fetch trips");
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Fixed-bucket histograms with deterministic, order-independent merge.
+//!
+//! Bucket bounds are fixed at construction (ascending `u64` upper
+//! bounds, Prometheus `le` semantics, implicit `+Inf` overflow bucket).
+//! Observations and sums are `u64`; merging two snapshots is wrapping
+//! integer addition bucket-by-bucket, which is exactly associative and
+//! commutative — the property the obs test suite pins with proptests —
+//! so per-worker histograms merged in any order are bit-identical.
+
+#[cfg(feature = "collect")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent fixed-bucket histogram of `u64` observations.
+///
+/// One relaxed atomic add on the matching bucket plus one on the sum
+/// per observation; no locks. Bounds are upper-inclusive (`value <=
+/// bound` lands in that bucket) with a final implicit `+Inf` bucket, so
+/// `counts` has `bounds.len() + 1` slots.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    #[cfg(feature = "collect")]
+    counts: Vec<AtomicU64>,
+    #[cfg(feature = "collect")]
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Build a histogram over ascending `bounds`.
+    ///
+    /// # Panics
+    /// If `bounds` is not strictly ascending (registration-time misuse,
+    /// not a data-plane path).
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            #[cfg(feature = "collect")]
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            #[cfg(feature = "collect")]
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        #[cfg(feature = "collect")]
+        {
+            let idx = self.bounds.partition_point(|&b| b < value);
+            self.counts[idx].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "collect"))]
+        let _ = value;
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    ///
+    /// With collection compiled out this is all-zero but keeps the
+    /// configured bounds, so exposition still renders a valid shape.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            #[cfg(feature = "collect")]
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            #[cfg(not(feature = "collect"))]
+            counts: vec![0; self.bounds.len() + 1],
+            #[cfg(feature = "collect")]
+            sum: self.sum.load(Ordering::Relaxed),
+            #[cfg(not(feature = "collect"))]
+            sum: 0,
+        }
+    }
+}
+
+/// An owned, mergeable copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending upper bounds (without the implicit `+Inf`).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over `bounds`.
+    pub fn empty(bounds: &[u64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().fold(0u64, |a, &c| a.wrapping_add(c))
+    }
+
+    /// Merge with another snapshot over the *same* bounds.
+    ///
+    /// Returns `None` when the bucket layouts differ — merging
+    /// incompatible histograms is a caller bug, surfaced as a value
+    /// rather than a panic. Wrapping adds keep the operation exactly
+    /// associative and commutative.
+    pub fn merge(&self, other: &Self) -> Option<Self> {
+        if self.bounds != other.bounds {
+            return None;
+        }
+        Some(Self {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a.wrapping_add(b))
+                .collect(),
+            sum: self.sum.wrapping_add(other.sum),
+        })
+    }
+}
+
+/// `count` strictly ascending bounds starting at `start`, each
+/// multiplied by `factor` — e.g. `exponential_bounds(1_000, 4, 8)` for
+/// latency buckets from 1 µs to ~16 ms in nanoseconds.
+///
+/// # Panics
+/// If `start == 0`, `factor < 2`, or `count == 0` (the bounds would not
+/// be strictly ascending).
+pub fn exponential_bounds(start: u64, factor: u64, count: usize) -> Vec<u64> {
+    assert!(start > 0 && factor >= 2 && count > 0, "degenerate bounds");
+    let mut bounds = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        bounds.push(b);
+        b = b.saturating_mul(factor);
+    }
+    bounds.dedup(); // saturation can repeat u64::MAX at extreme counts
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_lands_in_le_bucket() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.observe(5); // <= 10
+        h.observe(10); // <= 10 (upper-inclusive)
+        h.observe(11); // <= 100
+        h.observe(5000); // +Inf
+        let s = h.snapshot();
+        if crate::enabled() {
+            assert_eq!(s.counts, vec![2, 1, 0, 1]);
+            assert_eq!(s.sum, 5 + 10 + 11 + 5000);
+            assert_eq!(s.count(), 4);
+        } else {
+            assert_eq!(s.counts, vec![0, 0, 0, 0]);
+            assert_eq!(s.sum, 0);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_rejects_mismatched_bounds() {
+        let a = HistogramSnapshot {
+            bounds: vec![1, 2],
+            counts: vec![1, 2, 3],
+            sum: 9,
+        };
+        let b = HistogramSnapshot {
+            bounds: vec![1, 2],
+            counts: vec![4, 0, 1],
+            sum: 6,
+        };
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).unwrap().sum, 15);
+        assert_eq!(a.merge(&b).unwrap().counts, vec![5, 2, 4]);
+        let c = HistogramSnapshot::empty(&[1, 2, 3]);
+        assert!(a.merge(&c).is_none());
+    }
+
+    #[test]
+    fn exponential_bounds_ascend() {
+        let b = exponential_bounds(1_000, 4, 8);
+        assert_eq!(b[0], 1_000);
+        assert_eq!(b[1], 4_000);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        // Saturating tails dedup instead of violating monotonicity.
+        let sat = exponential_bounds(u64::MAX / 2, 4, 4);
+        assert!(sat.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[10, 5]);
+    }
+}

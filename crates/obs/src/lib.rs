@@ -1,0 +1,64 @@
+//! # oda-obs — self-telemetry for the ODA stack
+//!
+//! An ODA framework must export its own operational metrics before it
+//! can be operated at scale (Netti et al.; DCDB Wintermute): per-stream
+//! lag and volume accounting, pipeline stage latencies, and tier health
+//! are what let operators trust a 4+ TB/day pipeline. This crate is
+//! that layer for the reproduction: a lock-cheap metric registry
+//! ([`Registry`]) holding monotonic [`Counter`]s, [`Gauge`]s, and
+//! fixed-bucket [`Histogram`]s, plus lightweight span timing
+//! ([`span`]) with stable IDs, and a Prometheus-style text exposition
+//! ([`Registry::render_prometheus`]).
+//!
+//! # Determinism rules
+//!
+//! The stack's chaos suite asserts *byte-identical* Gold output under
+//! seeded fault schedules, so observability must never perturb the data
+//! plane. The rules that keep it safe:
+//!
+//! * **Integer-valued everywhere.** Counters and histogram observations
+//!   are `u64` (counts, bytes, nanoseconds); gauges are `i64`. Merges
+//!   and accumulation are wrapping integer addition — exactly
+//!   associative and commutative, unlike floating-point sums — so a
+//!   histogram merged in any order is bit-identical.
+//! * **Read-only taps.** Instrumentation only observes values the data
+//!   plane already computed; it never draws randomness, never branches
+//!   the payload path, and never feeds back into scheduling.
+//! * **Wall-clock stays in timings.** Span durations are the one
+//!   nondeterministic quantity; they live in timing histograms and the
+//!   `timings` field of pipeline epoch metadata, which is excluded from
+//!   equality/replay comparisons by construction.
+//!
+//! # Compile-out
+//!
+//! The `collect` feature (default on) gates every atomic. With
+//! `--no-default-features` the recording methods become inlined no-ops
+//! and [`enabled`] returns `false`; call sites need no `cfg` of their
+//! own. Tests that assert metric *values* guard on [`enabled`].
+
+pub mod histogram;
+pub mod metric;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{exponential_bounds, Histogram, HistogramSnapshot};
+pub use metric::{Counter, Gauge};
+pub use registry::Registry;
+pub use span::{span_id, Span, SpanId, Stopwatch};
+
+/// True when the `collect` feature is on and metrics actually record.
+///
+/// With collection compiled out, every recording call is a no-op and
+/// every read returns zero; tests that assert observed values should
+/// return early when this is `false`.
+pub const fn enabled() -> bool {
+    cfg!(feature = "collect")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_matches_feature() {
+        assert_eq!(super::enabled(), cfg!(feature = "collect"));
+    }
+}

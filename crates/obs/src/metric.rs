@@ -1,0 +1,163 @@
+//! Scalar metrics: monotonic [`Counter`]s and signed [`Gauge`]s.
+//!
+//! Both are a single atomic with relaxed ordering — the data plane pays
+//! one uncontended atomic add per observation, no locks. With the
+//! `collect` feature off the atomic disappears and every method is an
+//! inlined no-op returning zero.
+
+#[cfg(feature = "collect")]
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing `u64` counter (events, records, bytes).
+///
+/// Counters only go up; wrapping on overflow keeps addition exactly
+/// associative, though at u64 width overflow is not a practical
+/// concern. Cheap to clone behind an `Arc` from the registry.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "collect")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "collect")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "collect")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "collect"))]
+        let _ = n;
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (zero when collection is compiled out).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "collect")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "collect"))]
+        {
+            0
+        }
+    }
+}
+
+/// A signed `i64` gauge (lag, occupancy, in-flight counts).
+///
+/// Gauges move both ways: `set` for absolute readings, `add`/`sub` for
+/// deltas maintained at the call site.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "collect")]
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "collect")]
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Set the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(feature = "collect")]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "collect"))]
+        let _ = v;
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        #[cfg(feature = "collect")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "collect"))]
+        let _ = n;
+    }
+
+    /// Subtract a delta.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value (zero when collection is compiled out).
+    #[inline]
+    pub fn get(&self) -> i64 {
+        #[cfg(feature = "collect")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "collect"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        if crate::enabled() {
+            assert_eq!(c.get(), 42);
+        } else {
+            assert_eq!(c.get(), 0);
+        }
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        if crate::enabled() {
+            assert_eq!(g.get(), 12);
+        } else {
+            assert_eq!(g.get(), 0);
+        }
+    }
+
+    #[test]
+    fn counter_is_exact_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        if crate::enabled() {
+            assert_eq!(c.get(), 8000);
+        }
+    }
+}

@@ -38,9 +38,33 @@ use crate::frame::Frame;
 use crate::streaming::{Decoder, PartitionMap};
 use oda_stream::Consumer;
 
+/// Wall-clock stage timings of one epoch, in nanoseconds.
+///
+/// Timings are the one nondeterministic part of an epoch's metadata, so
+/// they are **excluded from [`EpochMeta`] equality**: replay-stability
+/// assertions compare data fields only, and two byte-identical runs may
+/// legitimately differ here. All zero when `oda-obs` collection is
+/// compiled out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochTimings {
+    /// Broker fetch time summed across partition workers.
+    pub fetch_ns: u64,
+    /// Decode + partition-map time summed across partition workers.
+    pub decode_ns: u64,
+    /// Serial stateful transform time.
+    pub transform_ns: u64,
+    /// Sink write time. Zero in the meta a [`crate::streaming::Sink`]
+    /// receives (its own write is still in progress); complete in
+    /// [`crate::streaming::StreamingQuery::last_meta`].
+    pub sink_ns: u64,
+    /// Checkpoint commit + offset commit time. Zero in the sink's view,
+    /// like `sink_ns`.
+    pub checkpoint_ns: u64,
+}
+
 /// Per-epoch metadata handed to [`crate::streaming::Sink::write`], so
 /// sinks stop re-deriving epoch state from the frames they receive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 pub struct EpochMeta {
     /// The batch epoch (also the idempotency key for the sink).
     pub epoch: u64,
@@ -52,7 +76,23 @@ pub struct EpochMeta {
     /// event-time high water mark. A pure function of the epoch's
     /// record set, so a replayed epoch reproduces it exactly.
     pub watermark_ms: i64,
+    /// Stage timings (operator view; never part of equality).
+    pub timings: EpochTimings,
 }
+
+/// Equality covers the deterministic data fields only; `timings` is
+/// wall-clock and intentionally ignored so replay-stability tests can
+/// compare metas across runs.
+impl PartialEq for EpochMeta {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch == other.epoch
+            && self.partitions == other.partitions
+            && self.records == other.records
+            && self.watermark_ms == other.watermark_ms
+    }
+}
+
+impl Eq for EpochMeta {}
 
 /// One partition's slice of an epoch after the parallel stage.
 #[derive(Debug)]
@@ -67,6 +107,10 @@ pub struct PartitionOutput {
     pub next_offset: u64,
     /// Max record timestamp in this slice (`i64::MIN` when empty).
     pub watermark_ms: i64,
+    /// Broker fetch time for this slice, ns (0 with collection off).
+    pub fetch_ns: u64,
+    /// Decode + partition-map time for this slice, ns.
+    pub decode_ns: u64,
 }
 
 /// Fetch + decode + partition-map one partition from `from`.
@@ -81,8 +125,11 @@ fn run_partition(
     decode: &Decoder,
     partition_map: Option<&PartitionMap>,
 ) -> Result<PartitionOutput, PipelineError> {
+    let fetch_watch = oda_obs::Stopwatch::start();
     let (records, next_offset) = consumer.fetch_partition(partition, from, budget)?;
+    let fetch_ns = fetch_watch.elapsed_ns();
     let watermark_ms = records.iter().map(|r| r.ts_ms).max().unwrap_or(i64::MIN);
+    let decode_watch = oda_obs::Stopwatch::start();
     let mut frame = decode(&records)?;
     if let Some(map) = partition_map {
         frame = map(frame)?;
@@ -93,6 +140,8 @@ fn run_partition(
         records: records.len(),
         next_offset,
         watermark_ms,
+        fetch_ns,
+        decode_ns: decode_watch.elapsed_ns(),
     })
 }
 
@@ -187,7 +236,9 @@ pub fn merge_partition_outputs(outputs: &[PartitionOutput]) -> Result<Frame, Pip
     Frame::concat(&frames)
 }
 
-/// Aggregate an epoch's metadata from its partition outputs.
+/// Aggregate an epoch's metadata from its partition outputs. Fetch and
+/// decode timings sum across partitions (total work, not wall-clock);
+/// the serial-tail timings are filled in by the streaming engine.
 pub fn epoch_meta(epoch: u64, outputs: &[PartitionOutput]) -> EpochMeta {
     EpochMeta {
         epoch,
@@ -198,6 +249,11 @@ pub fn epoch_meta(epoch: u64, outputs: &[PartitionOutput]) -> EpochMeta {
             .map(|o| o.watermark_ms)
             .max()
             .unwrap_or(i64::MIN),
+        timings: EpochTimings {
+            fetch_ns: outputs.iter().map(|o| o.fetch_ns).sum(),
+            decode_ns: outputs.iter().map(|o| o.decode_ns).sum(),
+            ..EpochTimings::default()
+        },
     }
 }
 
@@ -293,6 +349,22 @@ mod tests {
         let empty = epoch_meta(0, &[]);
         assert_eq!(empty.records, 0);
         assert_eq!(empty.watermark_ms, i64::MIN);
+    }
+
+    #[test]
+    fn meta_equality_ignores_wall_clock_timings() {
+        let (outs, _) = stage_with(2);
+        let mut a = epoch_meta(3, &outs);
+        let b = epoch_meta(3, &outs);
+        a.timings.transform_ns = 1_234_567;
+        assert_eq!(a, b, "timings must not participate in equality");
+        if oda_obs::enabled() {
+            assert!(b.timings.fetch_ns > 0, "fetch was timed");
+            assert!(b.timings.decode_ns > 0, "decode was timed");
+        } else {
+            assert_eq!(b.timings.fetch_ns, 0);
+        }
+        assert_eq!(b.timings.sink_ns, 0, "serial tail not run here");
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod expr;
 pub mod frame;
 pub mod frame_io;
 pub mod medallion;
+pub mod metrics;
 pub mod ops;
 pub mod plan;
 pub(crate) mod rowkey;
@@ -28,8 +29,9 @@ pub mod window;
 
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use error::PipelineError;
-pub use executor::EpochMeta;
+pub use executor::{EpochMeta, EpochTimings};
 pub use expr::Expr;
 pub use frame::{Frame, StrColumn};
+pub use metrics::PipelineMetrics;
 pub use plan::{PipelinePlan, Stage, StageTiming};
 pub use streaming::{MemorySink, Sink, StreamingQuery, StreamingQueryBuilder};

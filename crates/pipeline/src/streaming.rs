@@ -19,8 +19,10 @@ use crate::error::PipelineError;
 pub use crate::executor::EpochMeta;
 use crate::executor::{epoch_meta, merge_partition_outputs, partition_stage};
 use crate::frame::Frame;
+use crate::metrics::PipelineMetrics;
 use crate::state::StateStore;
 use oda_faults::{FaultKind, FaultPoint, FaultSite};
+use oda_obs::Registry;
 use oda_stream::{Consumer, Record};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -131,6 +133,7 @@ pub struct StreamingQueryBuilder {
     max_records: Option<usize>,
     workers: Option<usize>,
     faults: Vec<Arc<dyn FaultPoint>>,
+    metrics: Option<PipelineMetrics>,
 }
 
 impl StreamingQueryBuilder {
@@ -192,6 +195,14 @@ impl StreamingQueryBuilder {
         self
     }
 
+    /// Register engine metrics (epoch/record counters, per-stage latency
+    /// histograms) in `registry`. Metrics are a read-only tap: they never
+    /// change what the query computes.
+    pub fn metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(PipelineMetrics::new(registry));
+        self
+    }
+
     /// Validate the configuration and build the query, recovering from
     /// the latest checkpoint if one exists.
     pub fn build(self) -> Result<StreamingQuery, PipelineError> {
@@ -234,6 +245,8 @@ impl StreamingQueryBuilder {
             max_records,
             workers,
             faults: self.faults,
+            metrics: self.metrics,
+            last_meta: None,
         })
     }
 }
@@ -254,6 +267,8 @@ pub struct StreamingQuery {
     /// in the sink→checkpoint window come from here (simulating the
     /// exactly-once vulnerable window).
     faults: Vec<Arc<dyn FaultPoint>>,
+    metrics: Option<PipelineMetrics>,
+    last_meta: Option<EpochMeta>,
 }
 
 impl std::fmt::Debug for StreamingQuery {
@@ -291,6 +306,13 @@ impl StreamingQuery {
         &self.state
     }
 
+    /// Metadata (with complete stage timings) of the last committed
+    /// epoch, if any. Unlike the meta the sink sees mid-epoch, this one
+    /// includes `sink_ns` and `checkpoint_ns`.
+    pub fn last_meta(&self) -> Option<&EpochMeta> {
+        self.last_meta.as_ref()
+    }
+
     /// Process one micro-batch. Returns records consumed (0 = caught up).
     ///
     /// The per-partition fetch/decode/map stage runs on the configured
@@ -299,6 +321,18 @@ impl StreamingQuery {
     /// consumer's positions advance only after every partition's stage
     /// succeeded, so a failed epoch re-reads the identical record set.
     pub fn run_once(&mut self, sink: &mut dyn Sink) -> Result<usize, PipelineError> {
+        match self.run_epoch(sink) {
+            Ok(records) => Ok(records),
+            Err(e) => {
+                if let Some(m) = &self.metrics {
+                    m.failed_epochs.inc();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn run_epoch(&mut self, sink: &mut dyn Sink) -> Result<usize, PipelineError> {
         let budget = self.consumer.per_partition_budget(self.max_records);
         let partitions: Vec<(u32, u64)> = self
             .consumer
@@ -319,23 +353,33 @@ impl StreamingQuery {
         for o in &outputs {
             self.consumer.seek(o.partition, o.next_offset)?;
         }
-        let meta = epoch_meta(self.epoch, &outputs);
+        let mut meta = epoch_meta(self.epoch, &outputs);
         if meta.records == 0 {
             return Ok(0);
         }
         let input = merge_partition_outputs(&outputs)?;
+        let sw = oda_obs::Stopwatch::start();
         let output = (self.transform)(input, &mut self.state)?;
+        meta.timings.transform_ns = sw.elapsed_ns();
+        let sw = oda_obs::Stopwatch::start();
         sink.write(&meta, &output)?;
+        meta.timings.sink_ns = sw.elapsed_ns();
         if let Some(kind) = self.fault(FaultSite::SinkWrite, self.epoch) {
             return Err(PipelineError::Injected(kind));
         }
+        let sw = oda_obs::Stopwatch::start();
         self.checkpoints.try_commit(Checkpoint {
             epoch: self.epoch,
             offsets: self.consumer.positions(),
             state: self.state.snapshot(),
         })?;
         self.consumer.commit();
+        meta.timings.checkpoint_ns = sw.elapsed_ns();
         self.epoch += 1;
+        if let Some(m) = &self.metrics {
+            m.record_epoch(meta.records, &meta.timings);
+        }
+        self.last_meta = Some(meta);
         Ok(meta.records)
     }
 
@@ -494,6 +538,39 @@ mod tests {
             sink.write_calls > sink.epochs(),
             "a duplicate write was deduplicated"
         );
+    }
+
+    #[test]
+    fn metrics_count_epochs_records_and_failures() {
+        let b = broker_with(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let cps = CheckpointStore::new();
+        let reg = oda_obs::Registry::new();
+        let c = Consumer::subscribe(b.clone(), "q", "vals").unwrap();
+        let mut q = StreamingQuery::builder()
+            .source(c)
+            .decoder(decoder())
+            .transform(summing_transform())
+            .checkpoints(cps.clone())
+            .max_records(2)
+            .metrics(&reg)
+            .faults(Arc::new(FaultPlan::crash_after_sink([2])))
+            .build()
+            .unwrap();
+        let mut sink = MemorySink::new();
+        q.run_once(&mut sink).unwrap(); // epoch 0: [1,2]
+        q.run_once(&mut sink).unwrap(); // epoch 1: [3,4]
+        assert!(q.run_once(&mut sink).is_err()); // epoch 2 crashes post-sink
+        if oda_obs::enabled() {
+            assert_eq!(reg.counter_value("pipeline_epochs_total", &[]), 2);
+            assert_eq!(reg.counter_value("pipeline_records_total", &[]), 4);
+            assert_eq!(reg.counter_value("pipeline_failed_epochs_total", &[]), 1);
+            let render = reg.render_prometheus();
+            assert!(render.contains("pipeline_stage_duration_ns_bucket"));
+        }
+        // last_meta reflects the last *committed* epoch only.
+        let meta = q.last_meta().unwrap();
+        assert_eq!(meta.epoch, 1);
+        assert_eq!(meta.records, 2);
     }
 
     #[test]

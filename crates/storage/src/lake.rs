@@ -6,6 +6,8 @@
 //! keyed by series name, so range queries touch only the covered
 //! segments and retention drops whole segments.
 
+use crate::metrics::LakeMetrics;
+use oda_obs::Registry;
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 
@@ -31,6 +33,7 @@ pub struct Lake {
     segments: RwLock<BTreeMap<i64, SegmentData>>,
     segment_ms: i64,
     retention_ms: i64,
+    metrics: RwLock<Option<LakeMetrics>>,
 }
 
 impl Lake {
@@ -47,7 +50,15 @@ impl Lake {
             segments: RwLock::new(BTreeMap::new()),
             segment_ms,
             retention_ms,
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Count inserted/retained points and retention drops in `registry`.
+    pub fn attach_metrics(&self, registry: &Registry) {
+        let m = LakeMetrics::new(registry);
+        m.points.set(self.len() as i64);
+        *self.metrics.write() = Some(m);
     }
 
     fn segment_start(&self, ts_ms: i64) -> i64 {
@@ -64,6 +75,11 @@ impl Lake {
             .or_default()
             .push(Point { ts_ms, value });
         seg.points += 1;
+        drop(segs);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.inserted.inc();
+            m.points.add(1);
+        }
     }
 
     /// Insert many points for one series.
@@ -74,6 +90,11 @@ impl Lake {
             let seg = segs.entry(start).or_default();
             seg.series.entry(series.to_string()).or_default().push(*p);
             seg.points += 1;
+        }
+        drop(segs);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.inserted.add(points.len() as u64);
+            m.points.add(points.len() as i64);
         }
     }
 
@@ -182,6 +203,11 @@ impl Lake {
                 dropped += seg.points;
             }
         }
+        drop(segs);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.retention_dropped.add(dropped as u64);
+            m.points.sub(dropped as i64);
+        }
         dropped
     }
 }
@@ -276,6 +302,40 @@ mod tests {
         assert!(dropped > 0);
         assert!(lake.query("s", 0, 10_000).is_empty());
         assert!(!lake.query("s", 15_000, 20_000).is_empty());
+    }
+
+    #[test]
+    fn attached_metrics_track_points_and_compaction() {
+        let lake = Lake::with_layout(1_000, 5_000);
+        lake.insert("pre", 0, 1.0);
+        let reg = Registry::new();
+        lake.attach_metrics(&reg); // baseline picks up the existing point
+        for i in 0..10 {
+            lake.insert("s", i * 1_000, 0.0);
+        }
+        lake.insert_batch(
+            "s",
+            &[
+                Point {
+                    ts_ms: 500,
+                    value: 1.0,
+                },
+                Point {
+                    ts_ms: 9_500,
+                    value: 2.0,
+                },
+            ],
+        );
+        let dropped = lake.enforce_retention(12_000);
+        assert!(dropped > 0);
+        if oda_obs::enabled() {
+            assert_eq!(reg.counter_value("lake_inserted_points_total", &[]), 12);
+            assert_eq!(
+                reg.counter_value("lake_retention_dropped_points_total", &[]),
+                dropped as u64
+            );
+            assert_eq!(reg.gauge_value("lake_points", &[]), lake.len() as i64);
+        }
     }
 
     #[test]

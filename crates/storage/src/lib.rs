@@ -29,6 +29,7 @@ pub mod error;
 pub mod glacier;
 pub mod intern;
 pub mod lake;
+pub mod metrics;
 pub mod ocean;
 pub mod tiering;
 
@@ -37,5 +38,6 @@ pub use error::StorageError;
 pub use glacier::Glacier;
 pub use intern::StringInterner;
 pub use lake::Lake;
+pub use metrics::{LakeMetrics, OceanMetrics, TierMetrics};
 pub use ocean::Ocean;
 pub use tiering::{DataClass, LifecycleAction, Tier, TierManager};

@@ -8,7 +8,9 @@
 
 use crate::colfile::{ColumnData, TableFile, TableSchema};
 use crate::error::StorageError;
+use crate::metrics::OceanMetrics;
 use bytes::Bytes;
+use oda_obs::Registry;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -17,12 +19,26 @@ use std::sync::Arc;
 #[derive(Default)]
 pub struct Ocean {
     buckets: RwLock<BTreeMap<String, BTreeMap<String, Bytes>>>,
+    metrics: RwLock<Option<OceanMetrics>>,
 }
 
 impl Ocean {
     /// Create an empty store.
     pub fn new() -> Arc<Ocean> {
         Arc::new(Ocean::default())
+    }
+
+    /// Count object read/write volume in `registry`.
+    pub fn attach_metrics(&self, registry: &Registry) {
+        let m = OceanMetrics::new(registry);
+        m.objects.set(
+            self.buckets
+                .read()
+                .values()
+                .map(|objs| objs.len() as i64)
+                .sum(),
+        );
+        *self.metrics.write() = Some(m);
     }
 
     /// Create a bucket (idempotent).
@@ -32,30 +48,52 @@ impl Ocean {
 
     /// Store an object.
     pub fn put(&self, bucket: &str, key: &str, value: Bytes) -> Result<(), StorageError> {
+        let size = value.len() as u64;
         let mut b = self.buckets.write();
         let objs = b
             .get_mut(bucket)
             .ok_or_else(|| StorageError::NotFound(format!("bucket {bucket}")))?;
-        objs.insert(key.to_string(), value);
+        let fresh = objs.insert(key.to_string(), value).is_none();
+        drop(b);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.put_objects.inc();
+            m.put_bytes.add(size);
+            if fresh {
+                m.objects.add(1);
+            }
+        }
         Ok(())
     }
 
     /// Fetch an object.
     pub fn get(&self, bucket: &str, key: &str) -> Result<Bytes, StorageError> {
-        self.buckets
+        let out = self
+            .buckets
             .read()
             .get(bucket)
             .and_then(|objs| objs.get(key).cloned())
-            .ok_or_else(|| StorageError::NotFound(format!("{bucket}/{key}")))
+            .ok_or_else(|| StorageError::NotFound(format!("{bucket}/{key}")))?;
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.get_objects.inc();
+            m.get_bytes.add(out.len() as u64);
+        }
+        Ok(out)
     }
 
     /// Delete an object; returns whether it existed.
     pub fn delete(&self, bucket: &str, key: &str) -> bool {
-        self.buckets
+        let existed = self
+            .buckets
             .write()
             .get_mut(bucket)
             .map(|objs| objs.remove(key).is_some())
-            .unwrap_or(false)
+            .unwrap_or(false);
+        if existed {
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.objects.sub(1);
+            }
+        }
+        existed
     }
 
     /// Keys under a prefix, sorted.
@@ -228,6 +266,30 @@ mod tests {
         assert!(o.put("nope", "k", Bytes::new()).is_err());
         assert!(o.delete("b", "k1"));
         assert!(!o.delete("b", "k1"));
+    }
+
+    #[test]
+    fn attached_metrics_count_object_traffic() {
+        let o = Ocean::new();
+        let reg = Registry::new();
+        o.create_bucket("b");
+        o.put("b", "pre-existing", Bytes::from_static(b"xyz"))
+            .unwrap();
+        o.attach_metrics(&reg);
+        o.put("b", "k1", Bytes::from_static(b"hello")).unwrap();
+        o.put("b", "k1", Bytes::from_static(b"hello2")).unwrap(); // overwrite
+        let got = o.get("b", "k1").unwrap();
+        assert_eq!(got.len(), 6);
+        o.delete("b", "k1");
+        if oda_obs::enabled() {
+            assert_eq!(reg.counter_value("ocean_put_objects_total", &[]), 2);
+            assert_eq!(reg.counter_value("ocean_put_bytes_total", &[]), 5 + 6);
+            assert_eq!(reg.counter_value("ocean_get_objects_total", &[]), 1);
+            assert_eq!(reg.counter_value("ocean_get_bytes_total", &[]), 6);
+            // Baseline object seen at attach time; overwrite and delete
+            // net out to the surviving count.
+            assert_eq!(reg.gauge_value("ocean_objects", &[]), 1);
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! registered artifacts and applies transitions as simulated time
 //! advances — the accounting behind the tier-retention experiment.
 
+use crate::metrics::TierMetrics;
 use oda_faults::{FaultPoint, FaultSite};
+use oda_obs::Registry;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -133,6 +135,9 @@ pub struct TierManager {
     archive_ratio: f64,
     /// Armed fault plan, consulted on each OCEAN→GLACIER migration.
     faults: Option<Arc<dyn FaultPoint>>,
+    /// Attached metrics: occupancy gauges refreshed after `register` and
+    /// `advance`, lifecycle counters fed from each pass's actions.
+    metrics: Option<TierMetrics>,
 }
 
 impl TierManager {
@@ -142,7 +147,15 @@ impl TierManager {
             artifacts: BTreeMap::new(),
             archive_ratio: 0.5,
             faults: None,
+            metrics: None,
         }
+    }
+
+    /// Track tier occupancy and lifecycle activity in `registry`.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let m = TierMetrics::new(registry);
+        m.record_occupancy(self);
+        self.metrics = Some(m);
     }
 
     /// Arm a fault plan: migrations in `advance` consult it. A failed
@@ -163,6 +176,9 @@ impl TierManager {
                 created_ms: now_ms,
             },
         );
+        if let Some(m) = &self.metrics {
+            m.record_occupancy(self);
+        }
     }
 
     /// Number of live artifacts.
@@ -220,6 +236,10 @@ impl TierManager {
                 }
                 Tier::Glacier => unreachable!("glacier retention is None"),
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.record_actions(&actions);
+            m.record_occupancy(self);
         }
         actions
     }

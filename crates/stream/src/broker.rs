@@ -1,11 +1,13 @@
 //! The broker: topic registry plus consumer-group offset store.
 
 use crate::error::StreamError;
+use crate::metrics::StreamMetrics;
 use crate::record::Record;
 use crate::retention::RetentionPolicy;
 use crate::topic::Topic;
 use bytes::Bytes;
 use oda_faults::{FaultKind, FaultPoint, FaultSite, Retry};
+use oda_obs::Registry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,6 +21,7 @@ pub struct Broker {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
     offsets: RwLock<HashMap<GroupKey, u64>>,
     faults: RwLock<Option<Arc<dyn FaultPoint>>>,
+    metrics: RwLock<Option<Arc<StreamMetrics>>>,
 }
 
 impl Broker {
@@ -35,6 +38,18 @@ impl Broker {
     /// Remove any armed fault plan.
     pub fn disarm_faults(&self) {
         *self.faults.write() = None;
+    }
+
+    /// Count produce/fetch volume, retention drops, and consumer lag in
+    /// `registry`. Observational only — armed metrics never change what
+    /// the broker returns.
+    pub fn attach_metrics(&self, registry: &Registry) {
+        *self.metrics.write() = Some(Arc::new(StreamMetrics::new(registry)));
+    }
+
+    /// The attached metrics, if any (consumers record lag through this).
+    pub fn metrics(&self) -> Option<Arc<StreamMetrics>> {
+        self.metrics.read().clone()
     }
 
     fn fault(&self, site: FaultSite, ctx: u64) -> Option<FaultKind> {
@@ -89,7 +104,14 @@ impl Broker {
                 topic: topic.to_string(),
             });
         }
-        Ok(t.produce(ts_ms, key, value))
+        let size = 16 + key.as_ref().map_or(0, |k| k.len()) + value.len();
+        let out = t.produce(ts_ms, key, value);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.produce_records.inc();
+            m.produce_bytes.add(size as u64);
+            m.retained_bytes.add(size as i64);
+        }
+        Ok(out)
     }
 
     /// Fetch records from an explicit (topic, partition, offset).
@@ -107,7 +129,13 @@ impl Broker {
                 partition,
             });
         }
-        t.fetch(partition, from, max)
+        let recs = t.fetch(partition, from, max)?;
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.fetch_records.add(recs.len() as u64);
+            m.fetch_bytes
+                .add(recs.iter().map(|r| r.byte_size() as u64).sum());
+        }
+        Ok(recs)
     }
 
     /// Committed offset for a group (records below it are consumed).
@@ -129,7 +157,15 @@ impl Broker {
     /// Enforce retention across all topics; returns records dropped.
     pub fn enforce_retention(&self, now_ms: i64) -> u64 {
         let topics: Vec<Arc<Topic>> = self.topics.read().values().cloned().collect();
-        topics.iter().map(|t| t.enforce_retention(now_ms)).sum()
+        let dropped = topics.iter().map(|t| t.enforce_retention(now_ms)).sum();
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.retention_dropped.add(dropped);
+            // Re-baseline from the source of truth: retention drops
+            // whole segments, so the produce-side running gauge can't
+            // track it incrementally.
+            m.retained_bytes.set(self.bytes() as i64);
+        }
+        dropped
     }
 
     /// Total retained bytes across all topics.
@@ -176,12 +212,14 @@ impl Producer {
         key: Option<Bytes>,
         value: Bytes,
     ) -> Result<(u32, u64), StreamError> {
-        policy
-            .run(|_| {
-                self.broker
-                    .produce(&self.topic, ts_ms, key.clone(), value.clone())
-            })
-            .0
+        let (res, outcome) = policy.run(|_| {
+            self.broker
+                .produce(&self.topic, ts_ms, key.clone(), value.clone())
+        });
+        if let Some(m) = self.broker.metrics() {
+            m.produce_retry.observe(&outcome, res.is_ok());
+        }
+        res
     }
 }
 
@@ -306,6 +344,94 @@ mod tests {
             policy.run(|_| b.produce("missing", 0, None, Bytes::from_static(b"v")));
         assert!(matches!(res, Err(StreamError::UnknownTopic(_))));
         assert_eq!(outcome.attempts, 1, "fatal error must short-circuit");
+    }
+
+    #[test]
+    fn attached_metrics_count_produce_fetch_and_retention() {
+        let b = Broker::new();
+        let reg = oda_obs::Registry::new();
+        b.attach_metrics(&reg);
+        b.create_topic("t", 1, RetentionPolicy::max_bytes(3_000))
+            .unwrap();
+        for i in 0..10 {
+            b.produce(
+                "t",
+                i,
+                Some(Bytes::from_static(b"key!")),
+                Bytes::from(vec![0u8; 80]),
+            )
+            .unwrap();
+        }
+        let fetched = b.fetch("t", 0, 0, 4).unwrap();
+        assert_eq!(fetched.len(), 4);
+        if oda_obs::enabled() {
+            assert_eq!(reg.counter_value("stream_produce_records_total", &[]), 10);
+            assert_eq!(
+                reg.counter_value("stream_produce_bytes_total", &[]),
+                10 * (16 + 4 + 80)
+            );
+            assert_eq!(reg.counter_value("stream_fetch_records_total", &[]), 4);
+            assert_eq!(
+                reg.counter_value("stream_fetch_bytes_total", &[]),
+                4 * (16 + 4 + 80)
+            );
+            assert_eq!(
+                reg.gauge_value("stream_retained_bytes", &[]),
+                b.bytes() as i64
+            );
+        }
+        // Force retention to bite, then the gauge re-baselines exactly.
+        for i in 0..100 {
+            b.produce("t", i, None, Bytes::from(vec![0u8; 50_000]))
+                .unwrap();
+        }
+        let dropped = b.enforce_retention(i64::MAX / 2);
+        assert!(dropped > 0);
+        if oda_obs::enabled() {
+            assert_eq!(
+                reg.counter_value("stream_retention_dropped_records_total", &[]),
+                dropped
+            );
+            assert_eq!(
+                reg.gauge_value("stream_retained_bytes", &[]),
+                b.bytes() as i64
+            );
+        }
+    }
+
+    #[test]
+    fn retry_metrics_count_produce_attempts() {
+        use oda_faults::{FaultPlan, FaultSpec, Retry};
+        let b = Broker::new();
+        let reg = oda_obs::Registry::new();
+        b.attach_metrics(&reg);
+        b.create_topic("t", 1, RetentionPolicy::unbounded())
+            .unwrap();
+        let plan = Arc::new(FaultPlan::new(
+            21,
+            FaultSpec {
+                produce_timeout: 0.5,
+                ..FaultSpec::default()
+            },
+        ));
+        b.arm_faults(plan.clone());
+        let p = Producer::new(b.clone(), "t").unwrap();
+        let policy = Retry::with_attempts(12);
+        for i in 0..100 {
+            p.send_retrying(&policy, i, None, Bytes::from(format!("v{i}")))
+                .unwrap();
+        }
+        if oda_obs::enabled() {
+            // Every injected timeout forced exactly one extra attempt.
+            assert_eq!(
+                reg.counter_value("retry_attempts_retried_total", &[("op", "produce")]),
+                plan.injected().len() as u64
+            );
+            assert_eq!(
+                reg.counter_value("retry_exhausted_total", &[("op", "produce")]),
+                0
+            );
+        }
     }
 
     #[test]

@@ -101,9 +101,14 @@ impl Consumer {
     fn fetch(&self, partition: u32, from: u64, max: usize) -> Result<Vec<Record>, StreamError> {
         match &self.retry {
             Some(policy) => {
-                policy
-                    .run(|_| self.broker.fetch(&self.topic, partition, from, max))
-                    .0
+                let (res, outcome) =
+                    policy.run(|_| self.broker.fetch(&self.topic, partition, from, max));
+                if outcome.attempts > 1 || res.is_err() {
+                    if let Some(m) = self.broker.metrics() {
+                        m.fetch_retry.observe(&outcome, res.is_ok());
+                    }
+                }
+                res
             }
             None => self.broker.fetch(&self.topic, partition, from, max),
         }
@@ -192,7 +197,25 @@ impl Consumer {
             self.position.insert(b.partition, b.next_offset);
         }
         out.sort_by_key(|b| b.partition);
+        self.record_lag();
         Ok(out)
+    }
+
+    /// Publish per-partition lag gauges if the broker carries metrics.
+    fn record_lag(&self) {
+        let Some(m) = self.broker.metrics() else {
+            return;
+        };
+        let Ok(t) = self.broker.topic(&self.topic) else {
+            return;
+        };
+        for &p in &self.assignment {
+            let pos = *self.position.get(&p).expect("assigned partition");
+            if let Ok(latest) = t.latest_offset(p) {
+                m.lag_gauge(&self.group, &self.topic, p)
+                    .set(latest.saturating_sub(pos) as i64);
+            }
+        }
     }
 
     /// Durably commit the current position of every owned partition.
@@ -472,6 +495,42 @@ mod tests {
         )));
         assert!(c.poll(16).is_err());
         assert_eq!(c.positions(), before);
+    }
+
+    #[test]
+    fn lag_gauges_track_partition_positions() {
+        let b = setup(2, 100);
+        let reg = oda_obs::Registry::new();
+        b.attach_metrics(&reg);
+        let mut c = Consumer::subscribe(b.clone(), "g", "t").unwrap();
+        c.poll(20).unwrap();
+        if oda_obs::enabled() {
+            let t = b.topic("t").unwrap();
+            for p in 0..2u32 {
+                let part = p.to_string();
+                let want = t.latest_offset(p).unwrap() - c.position(p).unwrap();
+                assert_eq!(
+                    reg.gauge_value(
+                        "stream_consumer_lag",
+                        &[("group", "g"), ("topic", "t"), ("partition", &part)]
+                    ),
+                    want as i64
+                );
+            }
+        }
+        // Drain fully: lag gauges settle at zero.
+        while !c.poll(64).unwrap().is_empty() {}
+        if oda_obs::enabled() {
+            for p in ["0", "1"] {
+                assert_eq!(
+                    reg.gauge_value(
+                        "stream_consumer_lag",
+                        &[("group", "g"), ("topic", "t"), ("partition", p)]
+                    ),
+                    0
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod broker;
 pub mod consumer;
 pub mod error;
+pub mod metrics;
 pub mod partition;
 pub mod record;
 pub mod retention;
@@ -29,5 +30,6 @@ pub mod topic;
 pub use broker::{Broker, Producer};
 pub use consumer::{Consumer, PartitionBatch};
 pub use error::StreamError;
+pub use metrics::StreamMetrics;
 pub use record::Record;
 pub use retention::RetentionPolicy;

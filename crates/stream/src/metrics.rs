@@ -1,0 +1,123 @@
+//! Broker and consumer metrics: append/fetch volume, retained bytes,
+//! retention drops, and per-partition consumer lag.
+//!
+//! Attached once via [`crate::Broker::attach_metrics`]; the hot paths
+//! then bump pre-resolved counters. Lag gauges are labeled
+//! `{group, topic, partition}` and created on first touch, cached in a
+//! small map so steady-state polls don't hit the registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use oda_faults::RetryMetrics;
+use oda_obs::{Counter, Gauge, Registry};
+use parking_lot::Mutex;
+
+/// Cached instruments for the STREAM tier.
+#[derive(Debug)]
+pub struct StreamMetrics {
+    registry: Registry,
+    /// Records appended via `Broker::produce`.
+    pub produce_records: Arc<Counter>,
+    /// Bytes appended (record framing + key + value).
+    pub produce_bytes: Arc<Counter>,
+    /// Records returned by `Broker::fetch`.
+    pub fetch_records: Arc<Counter>,
+    /// Bytes returned by `Broker::fetch`.
+    pub fetch_bytes: Arc<Counter>,
+    /// Records dropped by retention enforcement.
+    pub retention_dropped: Arc<Counter>,
+    /// Bytes currently retained across all topics.
+    pub retained_bytes: Arc<Gauge>,
+    /// Retry accounting for `Producer::send_retrying`.
+    pub produce_retry: RetryMetrics,
+    /// Retry accounting for `Consumer` fetches under a retry policy.
+    pub fetch_retry: RetryMetrics,
+    lag: Mutex<HashMap<(String, String, u32), Arc<Gauge>>>,
+}
+
+impl StreamMetrics {
+    /// Register the broker metric families in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            produce_records: registry.counter(
+                "stream_produce_records_total",
+                "Records appended to the broker",
+                &[],
+            ),
+            produce_bytes: registry.counter(
+                "stream_produce_bytes_total",
+                "Bytes appended to the broker (framing + key + value)",
+                &[],
+            ),
+            fetch_records: registry.counter(
+                "stream_fetch_records_total",
+                "Records served by broker fetches",
+                &[],
+            ),
+            fetch_bytes: registry.counter(
+                "stream_fetch_bytes_total",
+                "Bytes served by broker fetches",
+                &[],
+            ),
+            retention_dropped: registry.counter(
+                "stream_retention_dropped_records_total",
+                "Records expired by retention enforcement",
+                &[],
+            ),
+            retained_bytes: registry.gauge(
+                "stream_retained_bytes",
+                "Bytes currently retained across all topics",
+                &[],
+            ),
+            produce_retry: RetryMetrics::new(registry, "produce"),
+            fetch_retry: RetryMetrics::new(registry, "fetch"),
+            lag: Mutex::new(HashMap::new()),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The lag gauge for `(group, topic, partition)`, creating and
+    /// caching it on first use.
+    pub fn lag_gauge(&self, group: &str, topic: &str, partition: u32) -> Arc<Gauge> {
+        let key = (group.to_string(), topic.to_string(), partition);
+        let mut cache = self.lag.lock();
+        if let Some(g) = cache.get(&key) {
+            return Arc::clone(g);
+        }
+        let part = partition.to_string();
+        let g = self.registry.gauge(
+            "stream_consumer_lag",
+            "Records between a consumer's position and the log end",
+            &[("group", group), ("topic", topic), ("partition", &part)],
+        );
+        cache.insert(key, Arc::clone(&g));
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_gauges_are_cached_per_series() {
+        let reg = Registry::new();
+        let m = StreamMetrics::new(&reg);
+        let a = m.lag_gauge("g", "t", 0);
+        let b = m.lag_gauge("g", "t", 0);
+        a.set(7);
+        if oda_obs::enabled() {
+            assert_eq!(b.get(), 7);
+            assert_eq!(
+                reg.gauge_value(
+                    "stream_consumer_lag",
+                    &[("group", "g"), ("topic", "t"), ("partition", "0")]
+                ),
+                7
+            );
+        }
+        let other = m.lag_gauge("g", "t", 1);
+        assert_eq!(other.get(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Telemetry error type.
+
+/// Errors from telemetry catalog and generator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// A sensor name was looked up that the catalog does not define.
+    /// Carries the requested name so operators can spot typos vs.
+    /// genuinely absent instrumentation.
+    UnknownSensor(String),
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::UnknownSensor(name) => {
+                write!(f, "unknown sensor {name:?}: not in this system's catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_sensor() {
+        let e = TelemetryError::UnknownSensor("node_powr_w".into());
+        assert!(e.to_string().contains("node_powr_w"));
+    }
+}

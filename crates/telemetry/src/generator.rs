@@ -394,22 +394,35 @@ mod tests {
     }
 
     #[test]
-    fn per_second_sensors_fire_every_tick() {
+    fn per_second_sensors_fire_every_tick() -> Result<(), crate::TelemetryError> {
         let mut g = tiny_gen(7);
         let batch = g.next_batch();
-        let node_power_id = g.catalog().by_name("node_power_w").unwrap().id;
+        let node_power_id = g.catalog().sensor_id("node_power_w")?;
         let count = batch
             .observations
             .iter()
             .filter(|o| o.sensor == node_power_id)
             .count();
         assert_eq!(count, g.system().node_count() as usize);
+        Ok(())
     }
 
     #[test]
-    fn slow_sensors_fire_at_their_period() {
+    fn unknown_sensor_lookup_is_an_error_not_a_panic() {
+        let g = tiny_gen(7);
+        let err = g.catalog().require("node_powr_w").unwrap_err();
+        assert_eq!(
+            err,
+            crate::TelemetryError::UnknownSensor("node_powr_w".into())
+        );
+        assert!(err.to_string().contains("node_powr_w"));
+        assert!(g.catalog().sensor_id("nope").is_err());
+    }
+
+    #[test]
+    fn slow_sensors_fire_at_their_period() -> Result<(), crate::TelemetryError> {
         let mut g = tiny_gen(7);
-        let fs_id = g.catalog().by_name("fs_read_bytes").unwrap().id;
+        let fs_id = g.catalog().sensor_id("fs_read_bytes")?;
         let mut firing_ticks = Vec::new();
         for tick in 1..=120 {
             let batch = g.next_batch();
@@ -418,12 +431,13 @@ mod tests {
             }
         }
         assert_eq!(firing_ticks, vec![60, 120]);
+        Ok(())
     }
 
     #[test]
-    fn counters_monotonic() {
+    fn counters_monotonic() -> Result<(), crate::TelemetryError> {
         let mut g = tiny_gen(3);
-        let fs_id = g.catalog().by_name("fs_write_bytes").unwrap().id;
+        let fs_id = g.catalog().sensor_id("fs_write_bytes")?;
         let mut last: Option<f64> = None;
         for _ in 0..240 {
             let batch = g.next_batch();
@@ -437,6 +451,7 @@ mod tests {
             }
         }
         assert!(last.is_some(), "no counter samples seen");
+        Ok(())
     }
 
     #[test]
@@ -468,9 +483,9 @@ mod tests {
     }
 
     #[test]
-    fn node_power_within_physical_bounds() {
+    fn node_power_within_physical_bounds() -> Result<(), crate::TelemetryError> {
         let mut g = tiny_gen(5);
-        let node_power_id = g.catalog().by_name("node_power_w").unwrap().id;
+        let node_power_id = g.catalog().sensor_id("node_power_w")?;
         let sys = g.system().clone();
         for _ in 0..120 {
             for o in g.next_batch().observations {
@@ -483,6 +498,7 @@ mod tests {
                 }
             }
         }
+        Ok(())
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!
 //! Everything is deterministic under an explicit seed.
 
+pub mod error;
 pub mod events;
 pub mod generator;
 pub mod jobs;
@@ -36,6 +37,7 @@ pub mod sensors;
 pub mod system;
 pub mod thermal;
 
+pub use error::TelemetryError;
 pub use generator::{TelemetryBatch, TelemetryGenerator};
 pub use jobs::{ApplicationArchetype, Job, JobEvent, Scheduler};
 pub use record::{Component, Device, Observation, Quality};

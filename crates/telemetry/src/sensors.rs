@@ -6,6 +6,7 @@
 //! that volume accounting (Fig. 4-a) and maturity tracking line up with
 //! the paper's taxonomy.
 
+use crate::error::TelemetryError;
 use crate::record::Device;
 use crate::system::SystemModel;
 use serde::{Deserialize, Serialize};
@@ -426,6 +427,19 @@ impl SensorCatalog {
     /// Look up a spec by name.
     pub fn by_name(&self, name: &str) -> Option<&SensorSpec> {
         self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a spec by name, failing with
+    /// [`TelemetryError::UnknownSensor`] (naming the missing sensor)
+    /// instead of forcing an `unwrap()` at the call site.
+    pub fn require(&self, name: &str) -> Result<&SensorSpec, TelemetryError> {
+        self.by_name(name)
+            .ok_or_else(|| TelemetryError::UnknownSensor(name.to_string()))
+    }
+
+    /// The id of the named sensor, or [`TelemetryError::UnknownSensor`].
+    pub fn sensor_id(&self, name: &str) -> Result<u16, TelemetryError> {
+        self.require(name).map(|s| s.id)
     }
 
     /// Specs reporting under `source`.

@@ -1,0 +1,189 @@
+//! Self-telemetry dashboard: the ODA stack observing itself.
+//!
+//! Runs the end-to-end medallion flow — synthetic telemetry → STREAM
+//! broker → checkpointed Silver pipeline → OCEAN/LAKE/tiering — with
+//! every subsystem attached to one `oda-obs` registry, under a seeded
+//! chaos fault plan. Prints the per-epoch operator view (records,
+//! watermark, stage timings) as the stream drains, then the full
+//! Prometheus exposition an operations team would scrape.
+//!
+//! Run with: `cargo run --release --example obs_dashboard`
+
+use bytes::Bytes;
+use oda::faults::{FaultClass, FaultPlan, FaultPoint, Retry, Retryable};
+use oda::obs::Registry;
+use oda::pipeline::checkpoint::CheckpointStore;
+use oda::pipeline::frame_io::frame_to_colfile;
+use oda::pipeline::medallion::{observation_decoder, streaming_silver_transform};
+use oda::pipeline::streaming::MemorySink;
+use oda::pipeline::StreamingQuery;
+use oda::storage::colfile::{ColumnType, TableSchema};
+use oda::storage::lake::Lake;
+use oda::storage::ocean::{Ocean, OceanDataset};
+use oda::storage::tiering::{DataClass, Tier, TierManager};
+use oda::stream::{Broker, Consumer, RetentionPolicy};
+use oda::telemetry::record::Observation;
+use oda::telemetry::system::SystemModel;
+use oda::telemetry::TelemetryGenerator;
+use std::sync::Arc;
+
+const TOPIC: &str = "bronze";
+const BATCHES: usize = 60;
+
+fn main() {
+    let registry = Registry::new();
+    println!(
+        "self-telemetry collection: {}",
+        if oda::obs::enabled() {
+            "on"
+        } else {
+            "compiled out"
+        }
+    );
+
+    // --- Telemetry → STREAM, instrumented, with a chaos fault plan. ---
+    let mut generator = TelemetryGenerator::new(SystemModel::tiny(), 7);
+    let broker = Broker::new();
+    broker.attach_metrics(&registry);
+    broker
+        .create_topic(TOPIC, 2, RetentionPolicy::unbounded())
+        .unwrap();
+    for _ in 0..BATCHES {
+        let batch = generator.next_batch();
+        let payload = Observation::encode_batch(&batch.observations);
+        broker
+            .produce(
+                TOPIC,
+                batch.ts_ms,
+                Some(Bytes::from("all")),
+                Bytes::from(payload),
+            )
+            .unwrap();
+    }
+    let catalog = generator.catalog().clone();
+    let plan = Arc::new(FaultPlan::chaos(11));
+    plan.attach_metrics(&registry);
+    broker.arm_faults(plan.clone() as Arc<dyn FaultPoint>);
+
+    // --- Checkpointed Silver pipeline with the crash/recovery loop. ---
+    let checkpoints = CheckpointStore::new();
+    checkpoints.arm_faults(plan.clone() as Arc<dyn FaultPoint>);
+    let mut sink = MemorySink::new();
+    let mut restarts = 0;
+    println!("\n=== per-epoch operator view ===");
+    println!(
+        "{:>5} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "epoch", "records", "watermark", "fetch", "decode", "transform", "sink", "ckpt"
+    );
+    'supervise: loop {
+        let consumer = Consumer::subscribe(broker.clone(), "dash", TOPIC)
+            .unwrap()
+            .with_retry(Retry::with_attempts(25));
+        let mut query = StreamingQuery::builder()
+            .source(consumer)
+            .decoder(observation_decoder(catalog.clone()))
+            .transform(streaming_silver_transform(15_000, 0))
+            .checkpoints(checkpoints.clone())
+            .max_records(5)
+            .workers(2)
+            .metrics(&registry)
+            .faults(plan.clone() as Arc<dyn FaultPoint>)
+            .build()
+            .unwrap();
+        loop {
+            match query.run_once(&mut sink) {
+                Ok(0) => break 'supervise,
+                Ok(_) => {
+                    let m = query.last_meta().expect("committed epoch");
+                    let t = m.timings;
+                    println!(
+                        "{:>5} {:>8} {:>12} {:>9}µ {:>9}µ {:>9}µ {:>9}µ {:>9}µ",
+                        m.epoch,
+                        m.records,
+                        m.watermark_ms,
+                        t.fetch_ns / 1_000,
+                        t.decode_ns / 1_000,
+                        t.transform_ns / 1_000,
+                        t.sink_ns / 1_000,
+                        t.checkpoint_ns / 1_000,
+                    );
+                }
+                Err(e) => {
+                    assert_eq!(e.fault_class(), FaultClass::Fatal, "unexpected: {e}");
+                    restarts += 1;
+                    println!("   -- injected crash ({e}); restarting from checkpoint --");
+                    // A crashed query must be rebuilt from the
+                    // checkpoint store: its consumer's in-memory
+                    // positions already ran ahead of the failed epoch.
+                    continue 'supervise;
+                }
+            }
+        }
+    }
+    println!(
+        "stream drained: {} epochs, {} silver rows, {} crash recoveries",
+        sink.epochs(),
+        sink.total_rows(),
+        restarts
+    );
+
+    // --- Silver → OCEAN parts, LAKE points, tier occupancy. ---
+    let ocean = Ocean::new();
+    ocean.attach_metrics(&registry);
+    let silver = sink.concat().unwrap();
+    let schema = TableSchema::new(&[
+        ("window", ColumnType::I64),
+        ("node", ColumnType::I64),
+        ("mean", ColumnType::F64),
+    ]);
+    let dataset = OceanDataset::create(ocean.clone(), "warm", "silver-power", schema).unwrap();
+    let bytes = frame_to_colfile(&silver).unwrap();
+    for frame in sink.frames() {
+        let cols = vec![
+            oda::storage::colfile::ColumnData::I64(frame.i64s("window").unwrap().to_vec()),
+            oda::storage::colfile::ColumnData::I64(frame.i64s("node").unwrap().to_vec()),
+            oda::storage::colfile::ColumnData::F64(frame.f64s("mean").unwrap().to_vec()),
+        ];
+        dataset.append(&cols).unwrap();
+    }
+
+    let lake = Lake::new();
+    lake.attach_metrics(&registry);
+    let windows = silver.i64s("window").unwrap();
+    let nodes = silver.i64s("node").unwrap();
+    let means = silver.f64s("mean").unwrap();
+    for ((&w, &n), &v) in windows.iter().zip(nodes).zip(means) {
+        lake.insert(&format!("node{n}/power"), w, v);
+    }
+
+    let mut tiers = TierManager::new();
+    tiers.attach_metrics(&registry);
+    tiers.register(
+        "bronze-day0",
+        DataClass::Bronze,
+        Tier::Stream,
+        broker.bytes() as u64,
+        0,
+    );
+    tiers.register(
+        "silver-day0",
+        DataClass::Silver,
+        Tier::Ocean,
+        bytes.len() as u64,
+        0,
+    );
+    const DAY: i64 = 86_400_000;
+    tiers.advance(10 * DAY);
+
+    println!(
+        "storage: {} ocean parts ({} B), {} lake points, tiers {:?}",
+        dataset.parts().len(),
+        dataset.byte_size(),
+        lake.len(),
+        tiers.bytes_by_tier()
+    );
+
+    // --- The scrape an operations dashboard would ingest. ---
+    println!("\n=== /metrics ===");
+    print!("{}", registry.render_prometheus());
+}

@@ -17,6 +17,7 @@ pub use oda_core as core;
 pub use oda_faults as faults;
 pub use oda_govern as govern;
 pub use oda_ml as ml;
+pub use oda_obs as obs;
 pub use oda_pipeline as pipeline;
 pub use oda_storage as storage;
 pub use oda_stream as stream;

@@ -60,13 +60,25 @@ struct RunReport {
 /// Drive the query to completion under an optional fault plan,
 /// rebuilding it from the checkpoint store after every fatal fault —
 /// the crash/recovery loop a supervisor would run. `workers` sizes the
-/// partition-stage pool; output must not depend on it.
-fn run_pipeline_with_workers(plan: Option<Arc<FaultPlan>>, workers: usize) -> RunReport {
+/// partition-stage pool; output must not depend on it. With `metrics`,
+/// the whole path is instrumented (broker, fault plan, query) — which
+/// must not change a single output byte.
+fn run_instrumented(
+    plan: Option<Arc<FaultPlan>>,
+    workers: usize,
+    metrics: Option<&oda::obs::Registry>,
+) -> RunReport {
     let (broker, catalog) = seeded_broker();
     let checkpoints = CheckpointStore::new();
     if let Some(p) = &plan {
         broker.arm_faults(p.clone() as Arc<dyn FaultPoint>);
         checkpoints.arm_faults(p.clone() as Arc<dyn FaultPoint>);
+    }
+    if let Some(reg) = metrics {
+        broker.attach_metrics(reg);
+        if let Some(p) = &plan {
+            p.attach_metrics(reg);
+        }
     }
     let mut sink = MemorySink::new();
     let mut restarts = 0;
@@ -82,6 +94,9 @@ fn run_pipeline_with_workers(plan: Option<Arc<FaultPlan>>, workers: usize) -> Ru
             .checkpoints(checkpoints.clone())
             .max_records(MAX_RECORDS)
             .workers(workers);
+        if let Some(reg) = metrics {
+            builder = builder.metrics(reg);
+        }
         if let Some(p) = &plan {
             builder = builder.faults(p.clone() as Arc<dyn FaultPoint>);
         }
@@ -121,6 +136,10 @@ fn run_pipeline_with_workers(plan: Option<Arc<FaultPlan>>, workers: usize) -> Ru
         checkpoints,
         restarts,
     }
+}
+
+fn run_pipeline_with_workers(plan: Option<Arc<FaultPlan>>, workers: usize) -> RunReport {
+    run_instrumented(plan, workers, None)
 }
 
 fn run_pipeline(plan: Option<Arc<FaultPlan>>) -> RunReport {
@@ -207,6 +226,62 @@ fn chaos_runs_are_byte_identical_to_fault_free_run() {
         crashes_seen >= expected_crashes,
         "chaos seeds must force at least their scheduled crashes ({crashes_seen} < {expected_crashes})"
     );
+}
+
+#[test]
+fn metrics_do_not_perturb_chaos_byte_identity() {
+    // The observability layer is a read-only tap: running the full
+    // chaos crash/recovery loop with every subsystem instrumented must
+    // leave Gold byte-identical to the uninstrumented fault-free run.
+    let baseline = run_pipeline(None);
+    let baseline_gold = frame_to_colfile(&gold_reduction(&baseline.sink)).unwrap();
+    for seed in [11u64, 29, 4242] {
+        let plan = Arc::new(FaultPlan::chaos(seed));
+        let reg = oda::obs::Registry::new();
+        let report = run_instrumented(Some(plan.clone()), 2, Some(&reg));
+        assert_eq!(report.sink.epochs(), baseline.sink.epochs(), "seed {seed}");
+        for (ours, theirs) in report.sink.frames().iter().zip(baseline.sink.frames()) {
+            assert_eq!(
+                frame_to_colfile(ours).unwrap(),
+                frame_to_colfile(theirs).unwrap(),
+                "seed {seed}: epoch frame diverged with metrics enabled"
+            );
+        }
+        assert_eq!(
+            frame_to_colfile(&gold_reduction(&report.sink)).unwrap(),
+            baseline_gold,
+            "seed {seed}: gold diverged with metrics enabled"
+        );
+        if oda::obs::enabled() {
+            // The registry's fault-trip counters must agree with the
+            // plan's own injection log, site for site.
+            let by_site = plan.injected_by_site();
+            assert!(!by_site.is_empty(), "seed {seed}: chaos plan never fired");
+            for site in [
+                FaultSite::Produce,
+                FaultSite::Fetch,
+                FaultSite::SinkWrite,
+                FaultSite::CheckpointCommit,
+                FaultSite::TierMigrate,
+                FaultSite::SensorRead,
+            ] {
+                assert_eq!(
+                    reg.counter_value("faults_injected_total", &[("site", site.label())]),
+                    by_site.get(&site).copied().unwrap_or(0),
+                    "seed {seed}: {} counter diverged from the injection log",
+                    site.label()
+                );
+            }
+            // The engine committed every broker record exactly once
+            // despite crashes and retries.
+            let consumed: usize = baseline.sink.metas().iter().map(|m| m.records).sum();
+            assert_eq!(
+                reg.counter_value("pipeline_records_total", &[]),
+                consumed as u64,
+                "seed {seed}"
+            );
+        }
+    }
 }
 
 #[test]

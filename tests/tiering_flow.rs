@@ -109,7 +109,9 @@ fn twin_validates_against_facility_telemetry() {
     let (facility, observations) = collect(67, 480);
     let system = facility.systems()[0].clone();
     let catalog = oda::telemetry::SensorCatalog::for_system(&system);
-    let substation_id = catalog.by_name("substation_power_w").unwrap().id;
+    let substation_id = catalog
+        .sensor_id("substation_power_w")
+        .expect("catalog defines substation power");
     let measured: Vec<(i64, f64)> = observations
         .iter()
         .filter(|o| o.sensor == substation_id && !o.value.is_nan())
