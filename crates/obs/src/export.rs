@@ -1,0 +1,1009 @@
+//! Trace exporters: Chrome `trace_event` JSON and self-describing JSONL.
+//!
+//! Two formats, two contracts:
+//!
+//! * [`export_chrome_trace`] is **byte-pinned**: it serializes the
+//!   canonical event order with *logical* timestamps (a deterministic
+//!   depth-first layout of the span tree — every leaf span is
+//!   [`TICK`] µs wide, parents cover their children, instants sit at
+//!   their parent's start), so two replays of the same seed produce
+//!   byte-identical files regardless of worker count or wall-clock
+//!   jitter. Load it in `chrome://tracing` / Perfetto to see the shape
+//!   of an epoch; read real durations from the JSONL export.
+//! * [`export_jsonl`] is **self-describing**: one JSON object per
+//!   event, every field of [`TraceEvent`] including `dur_ns`. The
+//!   serialization of a given journal is deterministic (fixed field
+//!   order, integer-only values, stable escaping) and round-trips
+//!   losslessly through [`parse_jsonl`]; the wall-clock durations make
+//!   it per-run, not byte-pinned across runs.
+//!
+//! Both exporters consume events in canonical order (they re-sort
+//! defensively), and neither allocates from the data plane: export is a
+//! pull-time operation over a journal snapshot.
+//!
+//! This module also builds the hierarchy view: [`span_tree`] nests
+//! span-shaped events by their parent links, [`critical_path`] walks
+//! the slowest chain, and [`render_span_tree`] pretty-prints a tree for
+//! operator consumption.
+
+use std::fmt;
+
+use crate::trace::{trace_id, TraceEvent, TraceEventKind, TraceId, TraceSpanId, Tracer};
+
+/// Logical width of a leaf span in the Chrome layout, in microseconds.
+pub const TICK: u64 = 1_000;
+
+// ---------------------------------------------------------------------------
+// JSON writing primitives (the crate is dependency-free by design).
+// ---------------------------------------------------------------------------
+
+fn esc_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn w_str(out: &mut String, key: &str, v: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    esc_into(v, out);
+    out.push('"');
+}
+
+fn w_u64(out: &mut String, key: &str, v: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+fn w_i64(out: &mut String, key: &str, v: i64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+fn w_bool(out: &mut String, key: &str, v: bool) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if v { "true" } else { "false" });
+}
+
+/// Write the kind's discriminator and args object (fixed field order).
+fn w_kind(out: &mut String, kind: &TraceEventKind) {
+    w_str(out, "kind", kind.name());
+    out.push_str(",\"args\":{");
+    match kind {
+        TraceEventKind::Produce {
+            topic,
+            partition,
+            offset,
+            bytes,
+        } => {
+            w_str(out, "topic", topic);
+            out.push(',');
+            w_u64(out, "partition", *partition);
+            out.push(',');
+            w_u64(out, "offset", *offset);
+            out.push(',');
+            w_u64(out, "bytes", *bytes);
+        }
+        TraceEventKind::RetentionSweep { topic, dropped } => {
+            w_str(out, "topic", topic);
+            out.push(',');
+            w_u64(out, "dropped", *dropped);
+        }
+        TraceEventKind::Epoch {
+            records,
+            partitions,
+            watermark_ms,
+        } => {
+            w_u64(out, "records", *records);
+            out.push(',');
+            w_u64(out, "partitions", *partitions);
+            out.push(',');
+            w_i64(out, "watermark_ms", *watermark_ms);
+        }
+        TraceEventKind::Partition { partition, records } => {
+            w_u64(out, "partition", *partition);
+            out.push(',');
+            w_u64(out, "records", *records);
+        }
+        TraceEventKind::PartitionFetch {
+            topic,
+            partition,
+            from,
+            to,
+            records,
+        } => {
+            w_str(out, "topic", topic);
+            out.push(',');
+            w_u64(out, "partition", *partition);
+            out.push(',');
+            w_u64(out, "from", *from);
+            out.push(',');
+            w_u64(out, "to", *to);
+            out.push(',');
+            w_u64(out, "records", *records);
+        }
+        TraceEventKind::PartitionDecode { partition, rows } => {
+            w_u64(out, "partition", *partition);
+            out.push(',');
+            w_u64(out, "rows", *rows);
+        }
+        TraceEventKind::Transform { rows_in, rows_out } => {
+            w_u64(out, "rows_in", *rows_in);
+            out.push(',');
+            w_u64(out, "rows_out", *rows_out);
+        }
+        TraceEventKind::SinkWrite { rows } => {
+            w_u64(out, "rows", *rows);
+        }
+        TraceEventKind::Checkpoint { epoch } => {
+            w_u64(out, "epoch", *epoch);
+        }
+        TraceEventKind::OceanPut { bucket, key, bytes }
+        | TraceEventKind::OceanGet { bucket, key, bytes } => {
+            w_str(out, "bucket", bucket);
+            out.push(',');
+            w_str(out, "key", key);
+            out.push(',');
+            w_u64(out, "bytes", *bytes);
+        }
+        TraceEventKind::LakeInsert { series, points } => {
+            w_str(out, "series", series);
+            out.push(',');
+            w_u64(out, "points", *points);
+        }
+        TraceEventKind::Lifecycle {
+            artifact,
+            action,
+            tier,
+            bytes,
+        } => {
+            w_str(out, "artifact", artifact);
+            out.push(',');
+            w_str(out, "action", action);
+            out.push(',');
+            w_str(out, "tier", tier);
+            out.push(',');
+            w_u64(out, "bytes", *bytes);
+        }
+        TraceEventKind::FaultInjected { site, kind } => {
+            w_str(out, "site", site);
+            out.push(',');
+            w_str(out, "kind", kind);
+        }
+        TraceEventKind::Retry {
+            op,
+            attempts,
+            gave_up,
+        } => {
+            w_str(out, "op", op);
+            out.push(',');
+            w_u64(out, "attempts", *attempts);
+            out.push(',');
+            w_bool(out, "gave_up", *gave_up);
+        }
+    }
+    out.push('}');
+}
+
+/// Category label for the Chrome export's `cat` field.
+fn category(kind: &TraceEventKind) -> &'static str {
+    match kind.lane() {
+        0 | 1 | 14 => "stream",
+        2..=8 => "pipeline",
+        9..=12 => "storage",
+        _ => "faults",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export + parse (lossless round trip).
+// ---------------------------------------------------------------------------
+
+/// Serialize events as self-describing JSONL: one canonical JSON object
+/// per line, fixed field order, all [`TraceEvent`] fields including
+/// `dur_ns`. Round-trips losslessly through [`parse_jsonl`].
+pub fn export_jsonl(events: &[TraceEvent]) -> String {
+    let mut events = events.to_vec();
+    events.sort_by_key(TraceEvent::sort_key);
+    let mut out = String::new();
+    for e in &events {
+        out.push('{');
+        w_str(&mut out, "trace", &format!("{:016x}", e.trace.0));
+        out.push(',');
+        w_str(&mut out, "span", &format!("{:016x}", e.span.0));
+        out.push(',');
+        match e.parent {
+            Some(p) => w_str(&mut out, "parent", &format!("{:016x}", p.0)),
+            None => out.push_str("\"parent\":null"),
+        }
+        out.push(',');
+        w_u64(&mut out, "scope", e.scope);
+        out.push(',');
+        w_u64(&mut out, "ctx", e.ctx);
+        out.push(',');
+        w_u64(&mut out, "seq", e.seq);
+        out.push(',');
+        w_u64(&mut out, "dur_ns", e.dur_ns);
+        out.push(',');
+        w_kind(&mut out, &e.kind);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// An export/parse failure (malformed JSONL, unknown kind, bad field).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportError(String);
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace export: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ExportError> {
+    Err(ExportError(msg.into()))
+}
+
+/// A parsed JSON value — just enough of the grammar for trace lines.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Null,
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(s: &str) -> Self {
+        Self {
+            chars: s.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, ExportError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| ExportError("unexpected end".into()))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), ExportError> {
+        let got = self.bump()?;
+        if got != want {
+            return err(format!("expected {want:?}, got {got:?}"));
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, ExportError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => err(format!("unexpected {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ExportError> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Value, ExportError> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Value::Obj(fields)),
+                c => return err(format!("expected ',' or '}}', got {c:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ExportError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{0008}'),
+                    'f' => out.push('\u{000C}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return err("bad low surrogate");
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| ExportError("bad \\u".into()))?,
+                        );
+                    }
+                    c => return err(format!("bad escape {c:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ExportError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump()?;
+            v = v * 16
+                + c.to_digit(16)
+                    .ok_or_else(|| ExportError(format!("bad hex digit {c:?}")))?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ExportError> {
+        let neg = self.peek() == Some('-');
+        if neg {
+            self.pos += 1;
+        }
+        let mut mag: u128 = 0;
+        let mut digits = 0;
+        while let Some(c) = self.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            mag = mag
+                .checked_mul(10)
+                .and_then(|m| m.checked_add(u128::from(d)))
+                .ok_or_else(|| ExportError("number overflow".into()))?;
+            digits += 1;
+            self.pos += 1;
+        }
+        if digits == 0 {
+            return err("empty number");
+        }
+        if neg {
+            if mag > i64::MAX as u128 + 1 {
+                return err("i64 underflow");
+            }
+            Ok(Value::I64((mag as i128).wrapping_neg() as i64))
+        } else if mag <= u64::MAX as u128 {
+            Ok(Value::U64(mag as u64))
+        } else {
+            err("u64 overflow")
+        }
+    }
+}
+
+fn get<'v>(obj: &'v [(String, Value)], key: &str) -> Result<&'v Value, ExportError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ExportError(format!("missing field {key:?}")))
+}
+
+fn get_u64(obj: &[(String, Value)], key: &str) -> Result<u64, ExportError> {
+    match get(obj, key)? {
+        Value::U64(v) => Ok(*v),
+        other => err(format!("field {key:?}: expected u64, got {other:?}")),
+    }
+}
+
+fn get_i64(obj: &[(String, Value)], key: &str) -> Result<i64, ExportError> {
+    match get(obj, key)? {
+        Value::I64(v) => Ok(*v),
+        Value::U64(v) if *v <= i64::MAX as u64 => Ok(*v as i64),
+        other => err(format!("field {key:?}: expected i64, got {other:?}")),
+    }
+}
+
+fn get_str(obj: &[(String, Value)], key: &str) -> Result<String, ExportError> {
+    match get(obj, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => err(format!("field {key:?}: expected string, got {other:?}")),
+    }
+}
+
+fn get_bool(obj: &[(String, Value)], key: &str) -> Result<bool, ExportError> {
+    match get(obj, key)? {
+        Value::Bool(b) => Ok(*b),
+        other => err(format!("field {key:?}: expected bool, got {other:?}")),
+    }
+}
+
+fn get_id(obj: &[(String, Value)], key: &str) -> Result<u64, ExportError> {
+    let s = get_str(obj, key)?;
+    u64::from_str_radix(&s, 16).map_err(|_| ExportError(format!("field {key:?}: bad hex id")))
+}
+
+fn kind_from(name: &str, args: &[(String, Value)]) -> Result<TraceEventKind, ExportError> {
+    Ok(match name {
+        "produce" => TraceEventKind::Produce {
+            topic: get_str(args, "topic")?,
+            partition: get_u64(args, "partition")?,
+            offset: get_u64(args, "offset")?,
+            bytes: get_u64(args, "bytes")?,
+        },
+        "retention_sweep" => TraceEventKind::RetentionSweep {
+            topic: get_str(args, "topic")?,
+            dropped: get_u64(args, "dropped")?,
+        },
+        "epoch" => TraceEventKind::Epoch {
+            records: get_u64(args, "records")?,
+            partitions: get_u64(args, "partitions")?,
+            watermark_ms: get_i64(args, "watermark_ms")?,
+        },
+        "partition" => TraceEventKind::Partition {
+            partition: get_u64(args, "partition")?,
+            records: get_u64(args, "records")?,
+        },
+        "fetch" => TraceEventKind::PartitionFetch {
+            topic: get_str(args, "topic")?,
+            partition: get_u64(args, "partition")?,
+            from: get_u64(args, "from")?,
+            to: get_u64(args, "to")?,
+            records: get_u64(args, "records")?,
+        },
+        "decode" => TraceEventKind::PartitionDecode {
+            partition: get_u64(args, "partition")?,
+            rows: get_u64(args, "rows")?,
+        },
+        "transform" => TraceEventKind::Transform {
+            rows_in: get_u64(args, "rows_in")?,
+            rows_out: get_u64(args, "rows_out")?,
+        },
+        "sink" => TraceEventKind::SinkWrite {
+            rows: get_u64(args, "rows")?,
+        },
+        "checkpoint" => TraceEventKind::Checkpoint {
+            epoch: get_u64(args, "epoch")?,
+        },
+        "ocean_put" => TraceEventKind::OceanPut {
+            bucket: get_str(args, "bucket")?,
+            key: get_str(args, "key")?,
+            bytes: get_u64(args, "bytes")?,
+        },
+        "ocean_get" => TraceEventKind::OceanGet {
+            bucket: get_str(args, "bucket")?,
+            key: get_str(args, "key")?,
+            bytes: get_u64(args, "bytes")?,
+        },
+        "lake_insert" => TraceEventKind::LakeInsert {
+            series: get_str(args, "series")?,
+            points: get_u64(args, "points")?,
+        },
+        "lifecycle" => TraceEventKind::Lifecycle {
+            artifact: get_str(args, "artifact")?,
+            action: get_str(args, "action")?,
+            tier: get_str(args, "tier")?,
+            bytes: get_u64(args, "bytes")?,
+        },
+        "fault_injected" => TraceEventKind::FaultInjected {
+            site: get_str(args, "site")?,
+            kind: get_str(args, "kind")?,
+        },
+        "retry" => TraceEventKind::Retry {
+            op: get_str(args, "op")?,
+            attempts: get_u64(args, "attempts")?,
+            gave_up: get_bool(args, "gave_up")?,
+        },
+        other => return err(format!("unknown event kind {other:?}")),
+    })
+}
+
+/// Parse [`export_jsonl`] output back into events. Lossless: for any
+/// journal `j`, `parse_jsonl(&export_jsonl(&j)) == Ok(j)` (in canonical
+/// order). Blank lines are skipped.
+pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, ExportError> {
+    let mut out = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut p = Parser::new(line);
+        let Value::Obj(obj) = p
+            .value()
+            .map_err(|e| ExportError(format!("line {}: {e}", lineno + 1)))?
+        else {
+            return err(format!("line {}: not an object", lineno + 1));
+        };
+        let parent = match get(&obj, "parent")? {
+            Value::Null => None,
+            Value::Str(s) => Some(TraceSpanId(
+                u64::from_str_radix(s, 16).map_err(|_| ExportError("bad parent id".into()))?,
+            )),
+            other => return err(format!("parent: expected hex id or null, got {other:?}")),
+        };
+        let Value::Obj(args) = get(&obj, "args")? else {
+            return err(format!("line {}: args is not an object", lineno + 1));
+        };
+        out.push(TraceEvent {
+            trace: TraceId(get_id(&obj, "trace")?),
+            span: TraceSpanId(get_id(&obj, "span")?),
+            parent,
+            scope: get_u64(&obj, "scope")?,
+            ctx: get_u64(&obj, "ctx")?,
+            seq: get_u64(&obj, "seq")?,
+            dur_ns: get_u64(&obj, "dur_ns")?,
+            kind: kind_from(&get_str(&obj, "kind")?, args)?,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Span trees and the Chrome trace_event export.
+// ---------------------------------------------------------------------------
+
+/// One node of a span tree: a span-shaped event plus its child spans,
+/// in canonical order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The span's event.
+    pub event: TraceEvent,
+    /// Nested child spans.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total wall-clock nanoseconds attributed to this span.
+    pub fn dur_ns(&self) -> u64 {
+        self.event.dur_ns
+    }
+}
+
+/// Build the span forest for every trace present in `events`, in
+/// canonical order. Instant events are ignored; spans whose parent is
+/// absent (or is themselves) become roots.
+fn forest(events: &[TraceEvent]) -> Vec<SpanNode> {
+    let spans: Vec<&TraceEvent> = {
+        let mut s: Vec<&TraceEvent> = events.iter().filter(|e| e.kind.is_span()).collect();
+        s.sort_by_key(|a| (a.trace.0, a.sort_key()));
+        s
+    };
+    let mut index = std::collections::HashMap::new();
+    for (i, e) in spans.iter().enumerate() {
+        index.entry((e.trace.0, e.span.0)).or_insert(i);
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut is_child = vec![false; spans.len()];
+    for (i, e) in spans.iter().enumerate() {
+        if let Some(parent) = e.parent {
+            if let Some(&pi) = index.get(&(e.trace.0, parent.0)) {
+                if pi != i {
+                    children[pi].push(i);
+                    is_child[i] = true;
+                }
+            }
+        }
+    }
+    fn build(i: usize, spans: &[&TraceEvent], children: &[Vec<usize>]) -> SpanNode {
+        SpanNode {
+            event: spans[i].clone(),
+            children: children[i]
+                .iter()
+                .map(|&c| build(c, spans, children))
+                .collect(),
+        }
+    }
+    // Group roots by trace in order of first (canonical) appearance so
+    // each trace's tree stays contiguous.
+    (0..spans.len())
+        .filter(|&i| !is_child[i])
+        .map(|i| build(i, &spans, &children))
+        .collect()
+}
+
+/// The span tree(s) of one trace, in canonical order.
+pub fn span_tree(events: &[TraceEvent], trace: TraceId) -> Vec<SpanNode> {
+    let filtered: Vec<TraceEvent> = events
+        .iter()
+        .filter(|e| e.trace == trace)
+        .cloned()
+        .collect();
+    forest(&filtered)
+}
+
+impl Tracer {
+    /// The span tree of `query`'s committed epoch `epoch` — the
+    /// `trace_tree(epoch)` entry point of the lineage/trace API.
+    pub fn trace_tree(&self, query: &str, epoch: u64) -> Vec<SpanNode> {
+        span_tree(&self.events(), trace_id(query, epoch))
+    }
+}
+
+/// The critical path from `root` downward: at each level, descend into
+/// the child with the largest `dur_ns` (canonical order breaks ties).
+/// Returns the chain of events including `root`.
+pub fn critical_path(root: &SpanNode) -> Vec<&TraceEvent> {
+    let mut path = vec![&root.event];
+    let mut node = root;
+    while let Some(next) = node.children.iter().max_by(|a, b| {
+        a.dur_ns()
+            .cmp(&b.dur_ns())
+            .then_with(|| b.event.sort_key().cmp(&a.event.sort_key()))
+    }) {
+        path.push(&next.event);
+        node = next;
+    }
+    path
+}
+
+/// Pretty-print a span forest: one line per span, indented by depth,
+/// with duration and payload summary. For operator display (durations
+/// are wall-clock, so the output is not byte-pinned).
+pub fn render_span_tree(nodes: &[SpanNode]) -> String {
+    fn describe(kind: &TraceEventKind) -> String {
+        match kind {
+            TraceEventKind::Epoch {
+                records,
+                partitions,
+                watermark_ms,
+            } => {
+                format!("{records} records over {partitions} partitions, watermark {watermark_ms}")
+            }
+            TraceEventKind::Partition { partition, records } => {
+                format!("p{partition}: {records} records")
+            }
+            TraceEventKind::PartitionFetch {
+                topic,
+                partition,
+                from,
+                to,
+                records,
+            } => format!("{topic}/{partition} offsets [{from},{to}) -> {records} records"),
+            TraceEventKind::PartitionDecode { partition, rows } => {
+                format!("p{partition}: {rows} rows")
+            }
+            TraceEventKind::Transform { rows_in, rows_out } => {
+                format!("{rows_in} rows -> {rows_out} rows")
+            }
+            TraceEventKind::SinkWrite { rows } => format!("{rows} rows"),
+            TraceEventKind::Checkpoint { epoch } => format!("epoch {epoch} committed"),
+            other => other.name().to_string(),
+        }
+    }
+    fn walk(node: &SpanNode, depth: usize, out: &mut String) {
+        out.push_str(&format!(
+            "{:indent$}{:<10} {:>9.3}ms  {}\n",
+            "",
+            node.event.name(),
+            node.event.dur_ns as f64 / 1e6,
+            describe(&node.event.kind),
+            indent = depth * 2
+        ));
+        for child in &node.children {
+            walk(child, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    for node in nodes {
+        walk(node, 0, &mut out);
+    }
+    out
+}
+
+/// Logical layout of one span: start tick and width in microseconds.
+struct Layout {
+    ts: u64,
+    dur: u64,
+}
+
+fn layout_width(node: &SpanNode) -> u64 {
+    let child_sum: u64 = node.children.iter().map(layout_width).sum();
+    child_sum.max(TICK)
+}
+
+fn layout_assign(
+    node: &SpanNode,
+    start: u64,
+    out: &mut std::collections::HashMap<(u64, u64), Layout>,
+) -> u64 {
+    let width = layout_width(node);
+    out.insert(
+        (node.event.trace.0, node.event.span.0),
+        Layout {
+            ts: start,
+            dur: width,
+        },
+    );
+    let mut cursor = start;
+    for child in &node.children {
+        cursor = layout_assign(child, cursor, out);
+    }
+    start + width
+}
+
+/// Thread id for the Chrome export: partition-scoped spans get their
+/// own row, everything else shares row 0.
+fn chrome_tid(kind: &TraceEventKind) -> u64 {
+    match kind {
+        TraceEventKind::Partition { partition, .. }
+        | TraceEventKind::PartitionFetch { partition, .. }
+        | TraceEventKind::PartitionDecode { partition, .. } => partition + 1,
+        _ => 0,
+    }
+}
+
+/// Serialize events as a Chrome `trace_event` JSON array with the
+/// deterministic logical layout described in the module docs. The
+/// output is **byte-identical** across runs and worker counts for the
+/// same recorded event set: every serialized field — order, ids,
+/// logical timestamps — derives only from replay-stable values
+/// (`dur_ns` is deliberately not serialized).
+pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut events = events.to_vec();
+    events.sort_by_key(TraceEvent::sort_key);
+    let roots = forest(&events);
+    let mut layout = std::collections::HashMap::new();
+    let mut cursor = 0u64;
+    for root in &roots {
+        cursor = layout_assign(root, cursor, &mut layout);
+    }
+    let mut tail = cursor; // instants with no laid-out parent append here
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for e in &events {
+        let (ts, dur) = if e.kind.is_span() {
+            let l = &layout[&(e.trace.0, e.span.0)];
+            (l.ts, Some(l.dur))
+        } else {
+            let ts = e
+                .parent
+                .and_then(|p| layout.get(&(e.trace.0, p.0)))
+                .map(|l| l.ts)
+                .unwrap_or_else(|| {
+                    let t = tail;
+                    tail += TICK;
+                    t
+                });
+            (ts, None)
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push('{');
+        w_str(&mut out, "name", e.name());
+        out.push(',');
+        w_str(&mut out, "cat", category(&e.kind));
+        out.push(',');
+        match dur {
+            Some(d) => {
+                w_str(&mut out, "ph", "X");
+                out.push(',');
+                w_u64(&mut out, "ts", ts);
+                out.push(',');
+                w_u64(&mut out, "dur", d);
+            }
+            None => {
+                w_str(&mut out, "ph", "i");
+                out.push(',');
+                w_str(&mut out, "s", "t");
+                out.push(',');
+                w_u64(&mut out, "ts", ts);
+            }
+        }
+        out.push(',');
+        w_u64(&mut out, "pid", 1);
+        out.push(',');
+        w_u64(&mut out, "tid", chrome_tid(&e.kind));
+        out.push_str(",\"args\":{");
+        w_str(&mut out, "trace", &format!("{:016x}", e.trace.0));
+        out.push(',');
+        w_str(&mut out, "span", &format!("{:016x}", e.span.0));
+        out.push(',');
+        w_u64(&mut out, "scope", e.scope);
+        out.push(',');
+        w_u64(&mut out, "seq", e.seq);
+        out.push(',');
+        let mut kind_buf = String::new();
+        w_kind(&mut kind_buf, &e.kind);
+        // Reuse the kind writer's args object as a nested "detail".
+        let args_start = kind_buf.find("\"args\":").expect("kind writer emits args") + 7;
+        out.push_str("\"detail\":");
+        out.push_str(&kind_buf[args_start..]);
+        out.push_str("}}");
+    }
+    if !first {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{trace_span, DEFAULT_JOURNAL_CAPACITY};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let t = trace_id("q", 0);
+        let epoch = trace_span(t, "epoch", 0);
+        let part = trace_span(t, "partition", 1);
+        vec![
+            TraceEvent {
+                trace: t,
+                span: epoch,
+                parent: None,
+                scope: 0,
+                ctx: 0,
+                seq: 0,
+                dur_ns: 900,
+                kind: TraceEventKind::Epoch {
+                    records: 5,
+                    partitions: 1,
+                    watermark_ms: -3,
+                },
+            },
+            TraceEvent {
+                trace: t,
+                span: part,
+                parent: Some(epoch),
+                scope: 0,
+                ctx: 1,
+                seq: 0,
+                dur_ns: 400,
+                kind: TraceEventKind::Partition {
+                    partition: 1,
+                    records: 5,
+                },
+            },
+            TraceEvent {
+                trace: t,
+                span: trace_span(t, "fetch", 1),
+                parent: Some(part),
+                scope: 0,
+                ctx: 1,
+                seq: 0,
+                dur_ns: 300,
+                kind: TraceEventKind::PartitionFetch {
+                    topic: "bronze".into(),
+                    partition: 1,
+                    from: 0,
+                    to: 5,
+                    records: 5,
+                },
+            },
+            TraceEvent {
+                trace: t,
+                span: trace_span(t, "retry\n\"x\"", 1),
+                parent: Some(epoch),
+                scope: 0,
+                ctx: 1,
+                seq: 0,
+                dur_ns: 0,
+                kind: TraceEventKind::Retry {
+                    op: "fetch \"quoted\" \\ control:\u{0001}".into(),
+                    attempts: 3,
+                    gave_up: false,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample_events();
+        let text = export_jsonl(&events);
+        let parsed = parse_jsonl(&text).expect("parse back");
+        let mut canonical = events;
+        canonical.sort_by_key(TraceEvent::sort_key);
+        assert_eq!(parsed, canonical);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"trace\":\"zz\"}").is_err());
+        assert!(parse_jsonl("{}").is_err());
+    }
+
+    #[test]
+    fn span_tree_nests_by_parent() {
+        let events = sample_events();
+        let roots = span_tree(&events, trace_id("q", 0));
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].event.name(), "epoch");
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].event.name(), "partition");
+        assert_eq!(roots[0].children[0].children[0].event.name(), "fetch");
+        let path = critical_path(&roots[0]);
+        let names: Vec<&str> = path.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["epoch", "partition", "fetch"]);
+        assert!(render_span_tree(&roots).contains("offsets [0,5)"));
+    }
+
+    #[test]
+    fn chrome_layout_is_logical_and_stable() {
+        let events = sample_events();
+        let a = export_chrome_trace(&events);
+        // Same events in reversed arrival order export identical bytes.
+        let mut reversed = events.clone();
+        reversed.reverse();
+        let b = export_chrome_trace(&reversed);
+        assert_eq!(a, b);
+        // Logical time, not wall clock: dur_ns never appears.
+        assert!(!a.contains("dur_ns"));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        // The lone leaf chain means every span is TICK wide at ts 0.
+        assert!(a.contains("\"ts\":0,\"dur\":1000"));
+    }
+
+    #[test]
+    fn default_capacity_holds_a_chaos_run() {
+        // Deterministic-export runs rely on never evicting: the chaos
+        // suite records a few thousand events, well under the default.
+        let j = crate::trace::TraceJournal::default();
+        assert_eq!(j.capacity(), DEFAULT_JOURNAL_CAPACITY);
+        assert_eq!(j.evicted(), 0);
+    }
+}

@@ -10,6 +10,14 @@
 //! ([`span`]) with stable IDs, and a Prometheus-style text exposition
 //! ([`Registry::render_prometheus`]).
 //!
+//! Aggregates alone cannot reconstruct a single epoch's causal path, so
+//! the crate also carries the *per-unit* half of observability: a
+//! structured trace journal ([`trace`]) with deterministic IDs and
+//! hierarchical spans, an end-to-end lineage graph ([`lineage`]) from
+//! topic/partition/offset ranges through medallion frame digests to
+//! tier placements, and byte-stable exporters ([`export`]) for Chrome
+//! `trace_event` JSON and self-describing JSONL.
+//!
 //! # Determinism rules
 //!
 //! The stack's chaos suite asserts *byte-identical* Gold output under
@@ -36,15 +44,27 @@
 //! and [`enabled`] returns `false`; call sites need no `cfg` of their
 //! own. Tests that assert metric *values* guard on [`enabled`].
 
+pub mod export;
 pub mod histogram;
+pub mod lineage;
 pub mod metric;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use export::{
+    critical_path, export_chrome_trace, export_jsonl, parse_jsonl, render_span_tree, span_tree,
+    ExportError, SpanNode,
+};
 pub use histogram::{exponential_bounds, Histogram, HistogramSnapshot};
+pub use lineage::{Lineage, LineageNode, LineageNodeId, LineageQuery};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
 pub use span::{span_id, Span, SpanId, Stopwatch};
+pub use trace::{
+    fnv1a, trace_id, trace_span, TraceEvent, TraceEventKind, TraceId, TraceJournal, TraceSpanId,
+    Tracer, DEFAULT_JOURNAL_CAPACITY, SERVICE_TRACE,
+};
 
 /// True when the `collect` feature is on and metrics actually record.
 ///

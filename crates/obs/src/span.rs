@@ -16,17 +16,10 @@ use crate::histogram::Histogram;
 pub struct SpanId(pub u64);
 
 /// FNV-1a hash of `name` — deterministic across processes, unlike
-/// `DefaultHasher` which is seeded per-process.
+/// `DefaultHasher` which is seeded per-process. Shares the one pinned
+/// hash ([`crate::trace::fnv1a`]) with trace IDs and frame digests.
 pub const fn span_id(name: &str) -> SpanId {
-    let bytes = name.as_bytes();
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut i = 0;
-    while i < bytes.len() {
-        hash ^= bytes[i] as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        i += 1;
-    }
-    SpanId(hash)
+    SpanId(crate::trace::fnv1a(name.as_bytes()))
 }
 
 /// A monotonic timer that compiles down to nothing without `collect`.

@@ -64,6 +64,12 @@ pub struct EpochTimings {
 
 /// Per-epoch metadata handed to [`crate::streaming::Sink::write`], so
 /// sinks stop re-deriving epoch state from the frames they receive.
+///
+/// The `timings` field is part of the struct's `Debug` output — an
+/// operator dumping a meta sees the full [`EpochTimings`] — but it is
+/// deliberately **not** part of equality: `Eq` compares the
+/// deterministic data fields only, so replay-stability assertions can
+/// compare metas across runs whose wall-clock timings differ.
 #[derive(Debug, Clone, Copy)]
 pub struct EpochMeta {
     /// The batch epoch (also the idempotency key for the sink).
@@ -365,6 +371,23 @@ mod tests {
             assert_eq!(b.timings.fetch_ns, 0);
         }
         assert_eq!(b.timings.sink_ns, 0, "serial tail not run here");
+    }
+
+    #[test]
+    fn meta_debug_shows_timings_eq_stays_blind() {
+        let (outs, _) = stage_with(1);
+        let mut a = epoch_meta(5, &outs);
+        a.timings.transform_ns = 42;
+        a.timings.sink_ns = 7;
+        let dbg = format!("{a:?}");
+        assert!(
+            dbg.contains("timings")
+                && dbg.contains("transform_ns: 42")
+                && dbg.contains("sink_ns: 7"),
+            "Debug must surface EpochTimings: {dbg}"
+        );
+        let b = epoch_meta(5, &outs);
+        assert_eq!(a, b, "Eq must stay timing-blind");
     }
 
     #[test]

@@ -15,6 +15,15 @@ pub fn frame_to_colfile(frame: &Frame) -> Result<Vec<u8>, PipelineError> {
     Ok(writer.finish())
 }
 
+/// Deterministic content digest of a frame: FNV-1a over its colfile
+/// serialization. The colfile encoding is canonical (no timestamps,
+/// no padding entropy), so two byte-identical frames always share a
+/// digest, across runs and worker counts — which is what lets lineage
+/// nodes name Bronze/Silver/Gold frames by content.
+pub fn frame_digest(frame: &Frame) -> Result<u64, PipelineError> {
+    Ok(oda_obs::fnv1a(&frame_to_colfile(frame)?))
+}
+
 /// Parse a colfile back into a frame (all row groups concatenated).
 pub fn colfile_to_frame(bytes: Vec<u8>) -> Result<Frame, PipelineError> {
     let file = TableFile::open(bytes)?;
@@ -91,6 +100,20 @@ mod tests {
         let bytes = frame_to_colfile(&f).unwrap();
         let back = colfile_to_frame(bytes).unwrap();
         assert_eq!(back, f);
+    }
+
+    #[test]
+    fn frame_digest_is_content_addressed() {
+        let f = sample();
+        assert_eq!(frame_digest(&f).unwrap(), frame_digest(&f.clone()).unwrap());
+        let mut mask = vec![true; 1_000];
+        mask[999] = false;
+        let other = f.filter_mask(&mask);
+        assert_ne!(
+            frame_digest(&f).unwrap(),
+            frame_digest(&other).unwrap(),
+            "dropping a row must change the digest"
+        );
     }
 
     #[test]

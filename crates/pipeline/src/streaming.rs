@@ -17,12 +17,13 @@
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::error::PipelineError;
 pub use crate::executor::EpochMeta;
-use crate::executor::{epoch_meta, merge_partition_outputs, partition_stage};
+use crate::executor::{epoch_meta, merge_partition_outputs, partition_stage, PartitionOutput};
 use crate::frame::Frame;
+use crate::frame_io::frame_digest;
 use crate::metrics::PipelineMetrics;
 use crate::state::StateStore;
 use oda_faults::{FaultKind, FaultPoint, FaultSite};
-use oda_obs::Registry;
+use oda_obs::{trace_id, trace_span, LineageNode, Registry, TraceEventKind, Tracer};
 use oda_stream::{Consumer, Record};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -134,6 +135,8 @@ pub struct StreamingQueryBuilder {
     workers: Option<usize>,
     faults: Vec<Arc<dyn FaultPoint>>,
     metrics: Option<PipelineMetrics>,
+    tracer: Option<Tracer>,
+    trace_name: Option<String>,
 }
 
 impl StreamingQueryBuilder {
@@ -203,6 +206,26 @@ impl StreamingQueryBuilder {
         self
     }
 
+    /// Record structured trace spans (epoch → partition → stage tail)
+    /// and Bronze→Silver lineage edges in `tracer`. Like metrics,
+    /// tracing is a read-only tap: events are emitted serially after
+    /// the checkpoint commits, from the same stopwatch reads the
+    /// `pipeline_stage_duration_ns` histogram observes, so traces and
+    /// metrics never disagree on a stage's duration — and they never
+    /// change what the query computes.
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Logical query name used to derive this query's trace ids
+    /// (default `"query"`). Give two queries tracing into one journal
+    /// distinct names so their epochs land in distinct traces.
+    pub fn trace_name(mut self, name: &str) -> Self {
+        self.trace_name = Some(name.to_string());
+        self
+    }
+
     /// Validate the configuration and build the query, recovering from
     /// the latest checkpoint if one exists.
     pub fn build(self) -> Result<StreamingQuery, PipelineError> {
@@ -246,6 +269,8 @@ impl StreamingQueryBuilder {
             workers,
             faults: self.faults,
             metrics: self.metrics,
+            tracer: self.tracer,
+            trace_name: self.trace_name.unwrap_or_else(|| "query".into()),
             last_meta: None,
         })
     }
@@ -268,6 +293,8 @@ pub struct StreamingQuery {
     /// exactly-once vulnerable window).
     faults: Vec<Arc<dyn FaultPoint>>,
     metrics: Option<PipelineMetrics>,
+    tracer: Option<Tracer>,
+    trace_name: String,
     last_meta: Option<EpochMeta>,
 }
 
@@ -358,9 +385,14 @@ impl StreamingQuery {
             return Ok(0);
         }
         let input = merge_partition_outputs(&outputs)?;
+        let rows_in = input.rows();
+        let tracing = self.tracer.is_some() && oda_obs::enabled();
+        let bronze_digest = if tracing { frame_digest(&input)? } else { 0 };
         let sw = oda_obs::Stopwatch::start();
         let output = (self.transform)(input, &mut self.state)?;
         meta.timings.transform_ns = sw.elapsed_ns();
+        let rows_out = output.rows();
+        let silver_digest = if tracing { frame_digest(&output)? } else { 0 };
         let sw = oda_obs::Stopwatch::start();
         sink.write(&meta, &output)?;
         meta.timings.sink_ns = sw.elapsed_ns();
@@ -379,8 +411,165 @@ impl StreamingQuery {
         if let Some(m) = &self.metrics {
             m.record_epoch(meta.records, &meta.timings);
         }
+        if tracing {
+            self.record_epoch_trace(
+                &meta,
+                &partitions,
+                &outputs,
+                rows_in,
+                rows_out,
+                bronze_digest,
+                silver_digest,
+            );
+        }
         self.last_meta = Some(meta);
         Ok(meta.records)
+    }
+
+    /// Emit the committed epoch's span tree and lineage edges.
+    ///
+    /// Runs serially after the checkpoint commit — a crashed epoch
+    /// leaves no events; a replayed epoch emits exactly once — and
+    /// reads the same stopwatch values `pipeline_stage_duration_ns`
+    /// observed, so traces and metrics cannot disagree on a stage's
+    /// duration. Every partition gets a span (even an empty fetch), so
+    /// the fetch/decode span durations sum exactly to the epoch's
+    /// [`crate::executor::EpochTimings`].
+    #[allow(clippy::too_many_arguments)]
+    fn record_epoch_trace(
+        &self,
+        meta: &EpochMeta,
+        partitions: &[(u32, u64)],
+        outputs: &[PartitionOutput],
+        rows_in: usize,
+        rows_out: usize,
+        bronze_digest: u64,
+        silver_digest: u64,
+    ) {
+        let Some(tr) = &self.tracer else { return };
+        let epoch = meta.epoch;
+        let trace = trace_id(&self.trace_name, epoch);
+        let t = &meta.timings;
+        let root = trace_span(trace, "epoch", epoch);
+        tr.record(
+            trace,
+            root,
+            None,
+            epoch,
+            epoch,
+            t.fetch_ns + t.decode_ns + t.transform_ns + t.sink_ns + t.checkpoint_ns,
+            TraceEventKind::Epoch {
+                records: meta.records as u64,
+                partitions: meta.partitions as u64,
+                watermark_ms: meta.watermark_ms,
+            },
+        );
+        let topic = self.consumer.topic().to_string();
+        let starts: BTreeMap<u32, u64> = partitions.iter().copied().collect();
+        let bronze = LineageNode::Frame {
+            stage: "bronze".into(),
+            epoch,
+            digest: bronze_digest,
+            rows: rows_in as u64,
+        };
+        for o in outputs {
+            let pctx = o.partition as u64;
+            let pspan = trace_span(trace, "partition", pctx);
+            tr.record(
+                trace,
+                pspan,
+                Some(root),
+                epoch,
+                pctx,
+                o.fetch_ns + o.decode_ns,
+                TraceEventKind::Partition {
+                    partition: pctx,
+                    records: o.records as u64,
+                },
+            );
+            let from = starts.get(&o.partition).copied().unwrap_or(0);
+            tr.record(
+                trace,
+                trace_span(trace, "fetch", pctx),
+                Some(pspan),
+                epoch,
+                pctx,
+                o.fetch_ns,
+                TraceEventKind::PartitionFetch {
+                    topic: topic.clone(),
+                    partition: pctx,
+                    from,
+                    to: o.next_offset,
+                    records: o.records as u64,
+                },
+            );
+            tr.record(
+                trace,
+                trace_span(trace, "decode", pctx),
+                Some(pspan),
+                epoch,
+                pctx,
+                o.decode_ns,
+                TraceEventKind::PartitionDecode {
+                    partition: pctx,
+                    rows: o.frame.rows() as u64,
+                },
+            );
+            if o.records > 0 {
+                tr.lineage().link(
+                    LineageNode::OffsetRange {
+                        topic: topic.clone(),
+                        partition: pctx,
+                        start: from,
+                        end: o.next_offset,
+                    },
+                    bronze.clone(),
+                    "decode",
+                );
+            }
+        }
+        tr.record(
+            trace,
+            trace_span(trace, "transform", epoch),
+            Some(root),
+            epoch,
+            epoch,
+            t.transform_ns,
+            TraceEventKind::Transform {
+                rows_in: rows_in as u64,
+                rows_out: rows_out as u64,
+            },
+        );
+        tr.record(
+            trace,
+            trace_span(trace, "sink", epoch),
+            Some(root),
+            epoch,
+            epoch,
+            t.sink_ns,
+            TraceEventKind::SinkWrite {
+                rows: rows_out as u64,
+            },
+        );
+        tr.record(
+            trace,
+            trace_span(trace, "checkpoint", epoch),
+            Some(root),
+            epoch,
+            epoch,
+            t.checkpoint_ns,
+            TraceEventKind::Checkpoint { epoch },
+        );
+        tr.lineage().link(
+            bronze,
+            LineageNode::Frame {
+                stage: "silver".into(),
+                epoch,
+                digest: silver_digest,
+                rows: rows_out as u64,
+            },
+            "transform",
+        );
     }
 
     /// Run until the consumer is caught up; returns batches processed.

@@ -7,7 +7,7 @@
 //! segments and retention drops whole segments.
 
 use crate::metrics::LakeMetrics;
-use oda_obs::Registry;
+use oda_obs::{trace_id, trace_span, Registry, TraceEventKind, Tracer, SERVICE_TRACE};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 
@@ -34,6 +34,7 @@ pub struct Lake {
     segment_ms: i64,
     retention_ms: i64,
     metrics: RwLock<Option<LakeMetrics>>,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl Lake {
@@ -51,6 +52,7 @@ impl Lake {
             segment_ms,
             retention_ms,
             metrics: RwLock::new(None),
+            tracer: RwLock::new(None),
         }
     }
 
@@ -59,6 +61,31 @@ impl Lake {
         let m = LakeMetrics::new(registry);
         m.points.set(self.len() as i64);
         *self.metrics.write() = Some(m);
+    }
+
+    /// Record `lake_insert` trace events (series, point count) into
+    /// `tracer`'s journal. Observational only.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        *self.tracer.write() = Some(tracer.clone());
+    }
+
+    fn record_insert(&self, series: &str, points: u64) {
+        if let Some(tr) = self.tracer.read().as_ref() {
+            let trace = trace_id("lake", SERVICE_TRACE);
+            let ctx = oda_obs::fnv1a(series.as_bytes());
+            tr.record(
+                trace,
+                trace_span(trace, "insert", ctx),
+                None,
+                0,
+                ctx,
+                0,
+                TraceEventKind::LakeInsert {
+                    series: series.to_string(),
+                    points,
+                },
+            );
+        }
     }
 
     fn segment_start(&self, ts_ms: i64) -> i64 {
@@ -80,6 +107,7 @@ impl Lake {
             m.inserted.inc();
             m.points.add(1);
         }
+        self.record_insert(series, 1);
     }
 
     /// Insert many points for one series.
@@ -96,6 +124,7 @@ impl Lake {
             m.inserted.add(points.len() as u64);
             m.points.add(points.len() as i64);
         }
+        self.record_insert(series, points.len() as u64);
     }
 
     /// Points of `series` with `t0 <= ts < t1`, sorted by time.

@@ -10,7 +10,7 @@ use crate::colfile::{ColumnData, TableFile, TableSchema};
 use crate::error::StorageError;
 use crate::metrics::OceanMetrics;
 use bytes::Bytes;
-use oda_obs::Registry;
+use oda_obs::{trace_id, trace_span, Registry, TraceEventKind, Tracer, SERVICE_TRACE};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -20,6 +20,7 @@ use std::sync::Arc;
 pub struct Ocean {
     buckets: RwLock<BTreeMap<String, BTreeMap<String, Bytes>>>,
     metrics: RwLock<Option<OceanMetrics>>,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl Ocean {
@@ -39,6 +40,33 @@ impl Ocean {
                 .sum(),
         );
         *self.metrics.write() = Some(m);
+    }
+
+    /// Record `ocean_put`/`ocean_get` trace events (bucket, key, bytes)
+    /// into `tracer`'s journal. Observational only.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        *self.tracer.write() = Some(tracer.clone());
+    }
+
+    fn record_io(&self, op: &str, bucket: &str, key: &str, bytes: u64) {
+        if let Some(tr) = self.tracer.read().as_ref() {
+            let trace = trace_id("ocean", SERVICE_TRACE);
+            let ctx = oda_obs::fnv1a(format!("{bucket}/{key}").as_bytes());
+            let kind = if op == "put" {
+                TraceEventKind::OceanPut {
+                    bucket: bucket.to_string(),
+                    key: key.to_string(),
+                    bytes,
+                }
+            } else {
+                TraceEventKind::OceanGet {
+                    bucket: bucket.to_string(),
+                    key: key.to_string(),
+                    bytes,
+                }
+            };
+            tr.record(trace, trace_span(trace, op, ctx), None, 0, ctx, 0, kind);
+        }
     }
 
     /// Create a bucket (idempotent).
@@ -62,6 +90,7 @@ impl Ocean {
                 m.objects.add(1);
             }
         }
+        self.record_io("put", bucket, key, size);
         Ok(())
     }
 
@@ -77,6 +106,7 @@ impl Ocean {
             m.get_objects.inc();
             m.get_bytes.add(out.len() as u64);
         }
+        self.record_io("get", bucket, key, out.len() as u64);
         Ok(out)
     }
 

@@ -9,7 +9,7 @@
 
 use crate::metrics::TierMetrics;
 use oda_faults::{FaultPoint, FaultSite};
-use oda_obs::Registry;
+use oda_obs::{trace_id, trace_span, LineageNode, Registry, TraceEventKind, Tracer, SERVICE_TRACE};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -138,6 +138,8 @@ pub struct TierManager {
     /// Attached metrics: occupancy gauges refreshed after `register` and
     /// `advance`, lifecycle counters fed from each pass's actions.
     metrics: Option<TierMetrics>,
+    /// Attached tracer: lifecycle trace events plus placement lineage.
+    tracer: Option<Tracer>,
 }
 
 impl TierManager {
@@ -148,6 +150,7 @@ impl TierManager {
             archive_ratio: 0.5,
             faults: None,
             metrics: None,
+            tracer: None,
         }
     }
 
@@ -165,6 +168,13 @@ impl TierManager {
         self.faults = Some(faults);
     }
 
+    /// Record `lifecycle` trace events for every action `advance` takes
+    /// and placement nodes/edges (artifact@tier, OCEAN→GLACIER archive
+    /// hops) in `tracer`'s lineage graph. Observational only.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
+    }
+
     /// Register an artifact.
     pub fn register(&mut self, name: &str, class: DataClass, tier: Tier, bytes: u64, now_ms: i64) {
         self.artifacts.insert(
@@ -178,6 +188,12 @@ impl TierManager {
         );
         if let Some(m) = &self.metrics {
             m.record_occupancy(self);
+        }
+        if let Some(tr) = &self.tracer {
+            tr.lineage().touch(LineageNode::Placement {
+                artifact: name.to_string(),
+                tier: tier.label().to_string(),
+            });
         }
     }
 
@@ -241,7 +257,58 @@ impl TierManager {
             m.record_actions(&actions);
             m.record_occupancy(self);
         }
+        if let Some(tr) = &self.tracer {
+            self.trace_actions(tr, &actions);
+        }
         actions
+    }
+
+    /// Emit one `lifecycle` trace event per action, plus archive edges
+    /// in the lineage graph. Iterates `actions` in the order `advance`
+    /// produced them (artifact-name order, so deterministic).
+    fn trace_actions(&self, tr: &Tracer, actions: &[LifecycleAction]) {
+        let trace = trace_id("tiering", SERVICE_TRACE);
+        for action in actions {
+            let (name, verb, tier, bytes) = match action {
+                LifecycleAction::Expired { name, tier, bytes } => {
+                    (name, "expire", tier.label(), *bytes)
+                }
+                LifecycleAction::Archived { name, bytes } => {
+                    (name, "archive", Tier::Glacier.label(), *bytes)
+                }
+                LifecycleAction::MigrateFailed { name, bytes } => {
+                    (name, "migrate-failed", Tier::Ocean.label(), *bytes)
+                }
+            };
+            let ctx = oda_obs::fnv1a(name.as_bytes());
+            tr.record(
+                trace,
+                trace_span(trace, verb, ctx),
+                None,
+                0,
+                ctx,
+                0,
+                TraceEventKind::Lifecycle {
+                    artifact: name.clone(),
+                    action: verb.to_string(),
+                    tier: tier.to_string(),
+                    bytes,
+                },
+            );
+            if let LifecycleAction::Archived { name, .. } = action {
+                tr.lineage().link(
+                    LineageNode::Placement {
+                        artifact: name.clone(),
+                        tier: Tier::Ocean.label().to_string(),
+                    },
+                    LineageNode::Placement {
+                        artifact: name.clone(),
+                        tier: Tier::Glacier.label().to_string(),
+                    },
+                    "archive",
+                );
+            }
+        }
     }
 
     /// Bytes held per tier.

@@ -7,7 +7,7 @@ use crate::retention::RetentionPolicy;
 use crate::topic::Topic;
 use bytes::Bytes;
 use oda_faults::{FaultKind, FaultPoint, FaultSite, Retry};
-use oda_obs::Registry;
+use oda_obs::{trace_id, trace_span, Registry, TraceEventKind, Tracer, SERVICE_TRACE};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -22,6 +22,7 @@ pub struct Broker {
     offsets: RwLock<HashMap<GroupKey, u64>>,
     faults: RwLock<Option<Arc<dyn FaultPoint>>>,
     metrics: RwLock<Option<Arc<StreamMetrics>>>,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl Broker {
@@ -50,6 +51,18 @@ impl Broker {
     /// The attached metrics, if any (consumers record lag through this).
     pub fn metrics(&self) -> Option<Arc<StreamMetrics>> {
         self.metrics.read().clone()
+    }
+
+    /// Record structured trace events (produce, retention sweeps, retry
+    /// outcomes) into `tracer`'s journal. Observational only, like
+    /// [`Broker::attach_metrics`].
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        *self.tracer.write() = Some(tracer.clone());
+    }
+
+    /// The attached tracer, if any (consumers record retries through it).
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.tracer.read().clone()
     }
 
     fn fault(&self, site: FaultSite, ctx: u64) -> Option<FaultKind> {
@@ -111,6 +124,24 @@ impl Broker {
             m.produce_bytes.add(size as u64);
             m.retained_bytes.add(size as i64);
         }
+        if let Some(tr) = self.tracer.read().as_ref() {
+            let trace = trace_id(topic, SERVICE_TRACE);
+            let (partition, offset) = out;
+            tr.record(
+                trace,
+                trace_span(trace, "produce", u64::from(partition)),
+                None,
+                0,
+                u64::from(partition),
+                0,
+                TraceEventKind::Produce {
+                    topic: topic.to_string(),
+                    partition: u64::from(partition),
+                    offset,
+                    bytes: size as u64,
+                },
+            );
+        }
         Ok(out)
     }
 
@@ -156,14 +187,36 @@ impl Broker {
 
     /// Enforce retention across all topics; returns records dropped.
     pub fn enforce_retention(&self, now_ms: i64) -> u64 {
-        let topics: Vec<Arc<Topic>> = self.topics.read().values().cloned().collect();
-        let dropped = topics.iter().map(|t| t.enforce_retention(now_ms)).sum();
+        let mut topics: Vec<Arc<Topic>> = self.topics.read().values().cloned().collect();
+        topics.sort_by(|a, b| a.name().cmp(b.name()));
+        let per_topic: Vec<(String, u64)> = topics
+            .iter()
+            .map(|t| (t.name().to_string(), t.enforce_retention(now_ms)))
+            .collect();
+        let dropped = per_topic.iter().map(|(_, d)| d).sum();
         if let Some(m) = self.metrics.read().as_ref() {
             m.retention_dropped.add(dropped);
             // Re-baseline from the source of truth: retention drops
             // whole segments, so the produce-side running gauge can't
             // track it incrementally.
             m.retained_bytes.set(self.bytes() as i64);
+        }
+        if let Some(tr) = self.tracer.read().as_ref() {
+            for (topic, dropped) in &per_topic {
+                let trace = trace_id(topic, SERVICE_TRACE);
+                tr.record(
+                    trace,
+                    trace_span(trace, "retention", 0),
+                    None,
+                    0,
+                    0,
+                    0,
+                    TraceEventKind::RetentionSweep {
+                        topic: topic.clone(),
+                        dropped: *dropped,
+                    },
+                );
+            }
         }
         dropped
     }
@@ -218,6 +271,24 @@ impl Producer {
         });
         if let Some(m) = self.broker.metrics() {
             m.produce_retry.observe(&outcome, res.is_ok());
+        }
+        if outcome.attempts > 1 || res.is_err() {
+            if let Some(tr) = self.broker.tracer() {
+                let trace = trace_id(&self.topic, SERVICE_TRACE);
+                tr.record(
+                    trace,
+                    trace_span(trace, "produce_retry", 0),
+                    None,
+                    0,
+                    0,
+                    0,
+                    TraceEventKind::Retry {
+                        op: "produce".to_string(),
+                        attempts: u64::from(outcome.attempts),
+                        gave_up: res.is_err(),
+                    },
+                );
+            }
         }
         res
     }

@@ -60,13 +60,14 @@ struct RunReport {
 /// Drive the query to completion under an optional fault plan,
 /// rebuilding it from the checkpoint store after every fatal fault —
 /// the crash/recovery loop a supervisor would run. `workers` sizes the
-/// partition-stage pool; output must not depend on it. With `metrics`,
-/// the whole path is instrumented (broker, fault plan, query) — which
-/// must not change a single output byte.
+/// partition-stage pool; output must not depend on it. With `metrics`
+/// and/or `tracer`, the whole path is instrumented (broker, fault
+/// plan, query) — which must not change a single output byte.
 fn run_instrumented(
     plan: Option<Arc<FaultPlan>>,
     workers: usize,
     metrics: Option<&oda::obs::Registry>,
+    tracer: Option<&oda::obs::Tracer>,
 ) -> RunReport {
     let (broker, catalog) = seeded_broker();
     let checkpoints = CheckpointStore::new();
@@ -78,6 +79,12 @@ fn run_instrumented(
         broker.attach_metrics(reg);
         if let Some(p) = &plan {
             p.attach_metrics(reg);
+        }
+    }
+    if let Some(tr) = tracer {
+        broker.attach_tracer(tr);
+        if let Some(p) = &plan {
+            p.attach_tracer(tr);
         }
     }
     let mut sink = MemorySink::new();
@@ -96,6 +103,9 @@ fn run_instrumented(
             .workers(workers);
         if let Some(reg) = metrics {
             builder = builder.metrics(reg);
+        }
+        if let Some(tr) = tracer {
+            builder = builder.tracer(tr).trace_name("chaos");
         }
         if let Some(p) = &plan {
             builder = builder.faults(p.clone() as Arc<dyn FaultPoint>);
@@ -139,7 +149,7 @@ fn run_instrumented(
 }
 
 fn run_pipeline_with_workers(plan: Option<Arc<FaultPlan>>, workers: usize) -> RunReport {
-    run_instrumented(plan, workers, None)
+    run_instrumented(plan, workers, None, None)
 }
 
 fn run_pipeline(plan: Option<Arc<FaultPlan>>) -> RunReport {
@@ -238,7 +248,7 @@ fn metrics_do_not_perturb_chaos_byte_identity() {
     for seed in [11u64, 29, 4242] {
         let plan = Arc::new(FaultPlan::chaos(seed));
         let reg = oda::obs::Registry::new();
-        let report = run_instrumented(Some(plan.clone()), 2, Some(&reg));
+        let report = run_instrumented(Some(plan.clone()), 2, Some(&reg), None);
         assert_eq!(report.sink.epochs(), baseline.sink.epochs(), "seed {seed}");
         for (ours, theirs) in report.sink.frames().iter().zip(baseline.sink.frames()) {
             assert_eq!(
@@ -279,6 +289,80 @@ fn metrics_do_not_perturb_chaos_byte_identity() {
                 reg.counter_value("pipeline_records_total", &[]),
                 consumed as u64,
                 "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn traces_do_not_perturb_chaos_byte_identity() {
+    // Tracing is the same kind of read-only tap as metrics: the full
+    // chaos crash/recovery loop with the tracer attached everywhere
+    // (broker, fault plan, query) must leave every epoch frame and the
+    // Gold reduction byte-identical to the untraced fault-free run —
+    // and the journal's fault events must agree with the plan's own
+    // injection log, site for site.
+    let baseline = run_pipeline(None);
+    let baseline_gold = frame_to_colfile(&gold_reduction(&baseline.sink)).unwrap();
+    for seed in [11u64, 29, 4242] {
+        let plan = Arc::new(FaultPlan::chaos(seed));
+        let tracer = oda::obs::Tracer::new();
+        let report = run_instrumented(Some(plan.clone()), 2, None, Some(&tracer));
+        assert_eq!(report.sink.epochs(), baseline.sink.epochs(), "seed {seed}");
+        for (ours, theirs) in report.sink.frames().iter().zip(baseline.sink.frames()) {
+            assert_eq!(
+                frame_to_colfile(ours).unwrap(),
+                frame_to_colfile(theirs).unwrap(),
+                "seed {seed}: epoch frame diverged with tracing enabled"
+            );
+        }
+        assert_eq!(
+            frame_to_colfile(&gold_reduction(&report.sink)).unwrap(),
+            baseline_gold,
+            "seed {seed}: gold diverged with tracing enabled"
+        );
+        if oda::obs::enabled() {
+            assert_eq!(
+                tracer.journal().evicted(),
+                0,
+                "seed {seed}: journal must hold a whole chaos run"
+            );
+            // Journal fault events vs the plan's injection log.
+            let mut by_label: std::collections::BTreeMap<String, u64> =
+                std::collections::BTreeMap::new();
+            for e in tracer.events() {
+                if let oda::obs::TraceEventKind::FaultInjected { site, .. } = &e.kind {
+                    *by_label.entry(site.clone()).or_insert(0) += 1;
+                }
+            }
+            let by_site = plan.injected_by_site();
+            assert!(!by_site.is_empty(), "seed {seed}: chaos plan never fired");
+            for site in [
+                FaultSite::Produce,
+                FaultSite::Fetch,
+                FaultSite::SinkWrite,
+                FaultSite::CheckpointCommit,
+                FaultSite::TierMigrate,
+                FaultSite::SensorRead,
+            ] {
+                assert_eq!(
+                    by_label.get(site.label()).copied().unwrap_or(0),
+                    by_site.get(&site).copied().unwrap_or(0),
+                    "seed {seed}: {} journal count diverged from the injection log",
+                    site.label()
+                );
+            }
+            // Every committed epoch left exactly one checkpoint span.
+            let checkpoint_spans = tracer
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, oda::obs::TraceEventKind::Checkpoint { .. }))
+                .count();
+            assert_eq!(checkpoint_spans, baseline.sink.epochs(), "seed {seed}");
+        } else {
+            assert!(
+                tracer.events().is_empty(),
+                "compiled-out tracing must record nothing"
             );
         }
     }
