@@ -56,6 +56,23 @@ pub enum FaultKind {
         /// Per-observation drop probability in `[0, 1]`.
         rate: f64,
     },
+    /// A broker node crashed. Its durable logs survive; leadership of
+    /// the partitions it led fails over to in-sync followers (or the
+    /// node restarts in place when no follower can take over). Fires at
+    /// most once per node per plan, mirroring the one-shot crash-epoch
+    /// semantics: a node that already crashed is not re-crashed, so
+    /// recovery always converges.
+    NodeCrash {
+        /// Node that crashed (the check's `ctx`).
+        node: u64,
+    },
+    /// A follower replica missed a replicated append and fell behind
+    /// the leader. The cluster shrinks the in-sync replica set instead
+    /// of failing the produce; the follower rejoins once caught up.
+    ReplicaLag {
+        /// Follower node that lagged (the check's `ctx`).
+        node: u64,
+    },
 }
 
 /// Whether a fault is worth retrying or must surface as a failure.
@@ -78,8 +95,10 @@ impl FaultKind {
             FaultKind::ProduceTimeout | FaultKind::FetchError | FaultKind::TierMigrateFail => {
                 FaultClass::Retryable
             }
-            FaultKind::CrashAfterSink { .. } | FaultKind::CheckpointLost => FaultClass::Fatal,
-            FaultKind::SensorDropout { .. } => FaultClass::Degraded,
+            FaultKind::CrashAfterSink { .. }
+            | FaultKind::CheckpointLost
+            | FaultKind::NodeCrash { .. } => FaultClass::Fatal,
+            FaultKind::SensorDropout { .. } | FaultKind::ReplicaLag { .. } => FaultClass::Degraded,
         }
     }
 }
@@ -95,6 +114,8 @@ impl fmt::Display for FaultKind {
             FaultKind::CheckpointLost => write!(f, "checkpoint lost"),
             FaultKind::TierMigrateFail => write!(f, "tier migration failed"),
             FaultKind::SensorDropout { rate } => write!(f, "sensor dropout at rate {rate}"),
+            FaultKind::NodeCrash { node } => write!(f, "node {node} crashed"),
+            FaultKind::ReplicaLag { node } => write!(f, "replica on node {node} lagged"),
         }
     }
 }
@@ -119,17 +140,26 @@ pub enum FaultSite {
     TierMigrate,
     /// Per-observation ingest. `ctx` is the observation index.
     SensorRead,
+    /// Broker node liveness, checked on every cluster produce/fetch that
+    /// routes through a leader. `ctx` is the node id. Fires at most once
+    /// per node (one-shot, like `SinkWrite` crash epochs).
+    NodeCrash,
+    /// Follower replication of a single append. `ctx` is the follower
+    /// node id.
+    ReplicaLag,
 }
 
 impl FaultSite {
     /// All sites, for iteration in reports.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::Produce,
         FaultSite::Fetch,
         FaultSite::SinkWrite,
         FaultSite::CheckpointCommit,
         FaultSite::TierMigrate,
         FaultSite::SensorRead,
+        FaultSite::NodeCrash,
+        FaultSite::ReplicaLag,
     ];
 
     /// Display label.
@@ -141,6 +171,8 @@ impl FaultSite {
             FaultSite::CheckpointCommit => "checkpoint-commit",
             FaultSite::TierMigrate => "tier-migrate",
             FaultSite::SensorRead => "sensor-read",
+            FaultSite::NodeCrash => "node-crash",
+            FaultSite::ReplicaLag => "replica-lag",
         }
     }
 }
@@ -202,6 +234,11 @@ mod tests {
             FaultKind::SensorDropout { rate: 0.1 }.class(),
             FaultClass::Degraded
         );
+        assert_eq!(FaultKind::NodeCrash { node: 2 }.class(), FaultClass::Fatal);
+        assert_eq!(
+            FaultKind::ReplicaLag { node: 1 }.class(),
+            FaultClass::Degraded
+        );
     }
 
     #[test]
@@ -230,6 +267,8 @@ mod tests {
             FaultKind::CheckpointLost,
             FaultKind::TierMigrateFail,
             FaultKind::SensorDropout { rate: 0.5 },
+            FaultKind::NodeCrash { node: 0 },
+            FaultKind::ReplicaLag { node: 3 },
         ] {
             assert!(!kind.to_string().is_empty());
         }

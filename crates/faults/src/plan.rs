@@ -24,6 +24,13 @@ pub struct FaultSpec {
     pub tier_migrate_fail: f64,
     /// Per-observation sensor dropout probability.
     pub sensor_dropout: f64,
+    /// Per-liveness-check probability a broker node crashes. One-shot
+    /// per node: once a node has crashed under a plan it never crashes
+    /// again, so cluster recovery always converges.
+    pub node_crash: f64,
+    /// Per-append probability a follower replica misses the record and
+    /// drops out of the in-sync replica set.
+    pub replica_lag: f64,
 }
 
 impl FaultSpec {
@@ -35,6 +42,8 @@ impl FaultSpec {
             ("checkpoint_lost", self.checkpoint_lost),
             ("tier_migrate_fail", self.tier_migrate_fail),
             ("sensor_dropout", self.sensor_dropout),
+            ("node_crash", self.node_crash),
+            ("replica_lag", self.replica_lag),
         ] {
             assert!(
                 (0.0..=1.0).contains(&p),
@@ -83,6 +92,8 @@ struct PlanState {
     invocations: HashMap<(FaultSite, u64), u64>,
     /// Crash epochs that already fired (one-shot semantics).
     crashed_epochs: BTreeSet<u64>,
+    /// Nodes that already crashed (one-shot semantics).
+    crashed_nodes: BTreeSet<u64>,
     log: Vec<InjectedFault>,
 }
 
@@ -146,8 +157,21 @@ impl FaultPlan {
                 // Dropout stays 0 here: the chaos suite asserts
                 // byte-identical output vs the fault-free run, and
                 // dropout (by design) changes the data.
+                node_crash: 0.0,
+                replica_lag: 0.0,
             },
         )
+    }
+
+    /// The cluster chaos preset: everything [`FaultPlan::chaos`] injects
+    /// plus node crashes and replica lag, for multi-node failover runs.
+    /// Node crashes are one-shot per node, so even an aggressive rate
+    /// yields at most N crashes across a run.
+    pub fn cluster_chaos(seed: u64) -> FaultPlan {
+        let mut spec = FaultPlan::chaos(seed).spec.clone();
+        spec.node_crash = 0.02;
+        spec.replica_lag = 0.10;
+        FaultPlan::new(seed, spec)
     }
 
     /// The plan's seed.
@@ -214,6 +238,15 @@ impl FaultPoint for FaultPlan {
                 .then_some(FaultKind::SensorDropout {
                     rate: self.spec.sensor_dropout,
                 }),
+            FaultSite::NodeCrash => {
+                // ctx is the node id; one shot per node, like crash
+                // epochs — a node that already went down stays a
+                // survivor of its own crash, so recovery converges.
+                (self.draw(site, ctx, n) < self.spec.node_crash && state.crashed_nodes.insert(ctx))
+                    .then_some(FaultKind::NodeCrash { node: ctx })
+            }
+            FaultSite::ReplicaLag => (self.draw(site, ctx, n) < self.spec.replica_lag)
+                .then_some(FaultKind::ReplicaLag { node: ctx }),
         };
         if let Some(kind) = &kind {
             state.log.push(InjectedFault {
@@ -464,6 +497,69 @@ mod tests {
             }
             assert!(by_site[&FaultSite::Fetch] > 0, "expected some fetch trips");
         }
+    }
+
+    #[test]
+    fn node_crash_fires_at_most_once_per_node() {
+        let plan = FaultPlan::new(
+            3,
+            FaultSpec {
+                node_crash: 1.0,
+                ..FaultSpec::default()
+            },
+        );
+        assert_eq!(
+            plan.check(FaultSite::NodeCrash, 2),
+            Some(FaultKind::NodeCrash { node: 2 })
+        );
+        // Node 2 is down; its liveness checks never crash it again.
+        for _ in 0..20 {
+            assert!(plan.check(FaultSite::NodeCrash, 2).is_none());
+        }
+        // Other nodes keep their own one-shot budget.
+        assert_eq!(
+            plan.check(FaultSite::NodeCrash, 0),
+            Some(FaultKind::NodeCrash { node: 0 })
+        );
+        assert_eq!(plan.injected().len(), 2);
+    }
+
+    #[test]
+    fn replica_lag_is_per_follower_deterministic() {
+        let spec = FaultSpec {
+            replica_lag: 0.4,
+            ..FaultSpec::default()
+        };
+        let a = FaultPlan::new(17, spec.clone());
+        let b = FaultPlan::new(17, spec);
+        for node in 0..3u64 {
+            let sa: Vec<bool> = (0..100)
+                .map(|_| a.check(FaultSite::ReplicaLag, node).is_some())
+                .collect();
+            let sb: Vec<bool> = (0..100)
+                .map(|_| b.check(FaultSite::ReplicaLag, node).is_some())
+                .collect();
+            assert_eq!(sa, sb, "node {node} lag schedule diverged");
+            assert!(sa.iter().any(|&f| f), "node {node} never lagged at 0.4");
+            assert!(!sa.iter().all(|&f| f), "node {node} always lagged at 0.4");
+        }
+    }
+
+    #[test]
+    fn cluster_chaos_extends_chaos_preset() {
+        let base = FaultPlan::chaos(11);
+        let cluster = FaultPlan::cluster_chaos(11);
+        assert_eq!(
+            base.spec().crash_after_sink,
+            cluster.spec().crash_after_sink
+        );
+        assert_eq!(base.spec().produce_timeout, cluster.spec().produce_timeout);
+        assert_eq!(base.spec().node_crash, 0.0);
+        assert!(cluster.spec().node_crash > 0.0);
+        assert!(cluster.spec().replica_lag > 0.0);
+        assert_eq!(cluster.spec().sensor_dropout, 0.0);
+        let again = FaultPlan::cluster_chaos(11);
+        assert_eq!(cluster.spec(), again.spec());
     }
 
     #[test]

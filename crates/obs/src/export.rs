@@ -198,6 +198,57 @@ fn w_kind(out: &mut String, kind: &TraceEventKind) {
             out.push(',');
             w_bool(out, "gave_up", *gave_up);
         }
+        TraceEventKind::ReplicaFetch {
+            topic,
+            partition,
+            node,
+            from,
+            to,
+            records,
+            isr,
+        } => {
+            w_str(out, "topic", topic);
+            out.push(',');
+            w_u64(out, "partition", *partition);
+            out.push(',');
+            w_u64(out, "node", *node);
+            out.push(',');
+            w_u64(out, "from", *from);
+            out.push(',');
+            w_u64(out, "to", *to);
+            out.push(',');
+            w_u64(out, "records", *records);
+            out.push(',');
+            w_bool(out, "isr", *isr);
+        }
+        TraceEventKind::LeaderElected {
+            topic,
+            partition,
+            from_node,
+            to_node,
+        } => {
+            w_str(out, "topic", topic);
+            out.push(',');
+            w_u64(out, "partition", *partition);
+            out.push(',');
+            w_u64(out, "from_node", *from_node);
+            out.push(',');
+            w_u64(out, "to_node", *to_node);
+        }
+        TraceEventKind::IsrChange {
+            topic,
+            partition,
+            node,
+            joined,
+        } => {
+            w_str(out, "topic", topic);
+            out.push(',');
+            w_u64(out, "partition", *partition);
+            out.push(',');
+            w_u64(out, "node", *node);
+            out.push(',');
+            w_bool(out, "joined", *joined);
+        }
     }
     out.push('}');
 }
@@ -205,7 +256,7 @@ fn w_kind(out: &mut String, kind: &TraceEventKind) {
 /// Category label for the Chrome export's `cat` field.
 fn category(kind: &TraceEventKind) -> &'static str {
     match kind.lane() {
-        0 | 1 | 14 => "stream",
+        0 | 1 | 14 | 15..=17 => "stream",
         2..=8 => "pipeline",
         9..=12 => "storage",
         _ => "faults",
@@ -552,6 +603,27 @@ fn kind_from(name: &str, args: &[(String, Value)]) -> Result<TraceEventKind, Exp
             op: get_str(args, "op")?,
             attempts: get_u64(args, "attempts")?,
             gave_up: get_bool(args, "gave_up")?,
+        },
+        "replica_fetch" => TraceEventKind::ReplicaFetch {
+            topic: get_str(args, "topic")?,
+            partition: get_u64(args, "partition")?,
+            node: get_u64(args, "node")?,
+            from: get_u64(args, "from")?,
+            to: get_u64(args, "to")?,
+            records: get_u64(args, "records")?,
+            isr: get_bool(args, "isr")?,
+        },
+        "leader_elected" => TraceEventKind::LeaderElected {
+            topic: get_str(args, "topic")?,
+            partition: get_u64(args, "partition")?,
+            from_node: get_u64(args, "from_node")?,
+            to_node: get_u64(args, "to_node")?,
+        },
+        "isr_change" => TraceEventKind::IsrChange {
+            topic: get_str(args, "topic")?,
+            partition: get_u64(args, "partition")?,
+            node: get_u64(args, "node")?,
+            joined: get_bool(args, "joined")?,
         },
         other => return err(format!("unknown event kind {other:?}")),
     })
@@ -953,6 +1025,60 @@ mod tests {
     fn jsonl_round_trips() {
         let events = sample_events();
         let text = export_jsonl(&events);
+        let parsed = parse_jsonl(&text).expect("parse back");
+        let mut canonical = events;
+        canonical.sort_by_key(TraceEvent::sort_key);
+        assert_eq!(parsed, canonical);
+    }
+
+    #[test]
+    fn replication_kinds_round_trip_and_categorize_as_stream() {
+        let t = trace_id("cluster", crate::trace::SERVICE_TRACE);
+        let kinds = [
+            TraceEventKind::ReplicaFetch {
+                topic: "bronze".into(),
+                partition: 1,
+                node: 2,
+                from: 10,
+                to: 15,
+                records: 5,
+                isr: true,
+            },
+            TraceEventKind::LeaderElected {
+                topic: "bronze".into(),
+                partition: 1,
+                from_node: 2,
+                to_node: 0,
+            },
+            TraceEventKind::IsrChange {
+                topic: "bronze".into(),
+                partition: 1,
+                node: 2,
+                joined: false,
+            },
+        ];
+        let events: Vec<TraceEvent> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| TraceEvent {
+                trace: t,
+                span: trace_span(t, k.name(), i as u64),
+                parent: None,
+                scope: 0,
+                ctx: i as u64,
+                seq: 0,
+                dur_ns: 0,
+                kind: k.clone(),
+            })
+            .collect();
+        for k in &kinds {
+            assert_eq!(category(k), "stream", "kind {}", k.name());
+            assert!(!k.is_span(), "replication events are instants");
+        }
+        let text = export_jsonl(&events);
+        assert!(text.contains("\"kind\":\"replica_fetch\""));
+        assert!(text.contains("\"isr\":true"));
+        assert!(text.contains("\"joined\":false"));
         let parsed = parse_jsonl(&text).expect("parse back");
         let mut canonical = events;
         canonical.sort_by_key(TraceEvent::sort_key);

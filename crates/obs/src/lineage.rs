@@ -80,6 +80,18 @@ pub enum LineageNode {
         /// Tier label (`STREAM`, `LAKE`, `OCEAN`, `GLACIER`).
         tier: String,
     },
+    /// One node's replica of a topic partition in a broker cluster.
+    /// Cluster fetches link the serving replica to the offset range they
+    /// produced (`serve-isr` when in-sync, `serve-stale` otherwise), so
+    /// provenance can prove no refined byte came from a stale read.
+    Replica {
+        /// Topic of the partition.
+        topic: String,
+        /// Partition id.
+        partition: u64,
+        /// Node holding the replica.
+        node: u64,
+    },
 }
 
 impl LineageNode {
@@ -107,6 +119,11 @@ impl LineageNode {
             LineageNode::Placement { artifact, tier } => {
                 format!("placement:{artifact}@{tier}")
             }
+            LineageNode::Replica {
+                topic,
+                partition,
+                node,
+            } => format!("replica:{topic}/{partition}@n{node}"),
         }
     }
 
@@ -258,6 +275,34 @@ impl LineageQuery {
         self.walk(id, Direction::Down)
     }
 
+    /// Did every STREAM read feeding the artifact with `digest` come
+    /// from an in-sync replica?
+    ///
+    /// Walks the artifact's ancestry, and for each
+    /// [`LineageNode::OffsetRange`] ancestor inspects the replica edges
+    /// into it: a `serve-stale` edge (a fetch served by a replica that
+    /// was out of the in-sync set) fails the check. Vacuously true when
+    /// no replica served any ancestor (single-node broker provenance),
+    /// and false when the digest was never recorded — absent provenance
+    /// cannot prove cleanliness.
+    pub fn served_only_by_isr(&self, digest: u64) -> bool {
+        let Some(id) = self.find_digest(digest) else {
+            return false;
+        };
+        let mut ranges: Vec<LineageNodeId> = self
+            .ancestors_of(id)
+            .into_iter()
+            .filter(|(_, _, n)| matches!(n, LineageNode::OffsetRange { .. }))
+            .map(|(_, rid, _)| rid)
+            .collect();
+        ranges.push(id);
+        ranges.iter().all(|&rid| {
+            self.edges_into(rid).iter().all(|(from, rel)| {
+                !matches!(from, LineageNode::Replica { .. }) || *rel != "serve-stale"
+            })
+        })
+    }
+
     fn walk(
         &self,
         start: LineageNodeId,
@@ -362,5 +407,33 @@ mod tests {
         // Idempotent links: re-linking adds nothing.
         l.link(offsets(0), frame("bronze", 0xb), "decode");
         assert_eq!(l.query().edges().len(), q.edges().len());
+    }
+
+    fn replica(node: u64) -> LineageNode {
+        LineageNode::Replica {
+            topic: "bronze".into(),
+            partition: 0,
+            node,
+        }
+    }
+
+    #[test]
+    fn served_only_by_isr_flags_stale_reads() {
+        let l = Lineage::new();
+        l.link(replica(0), offsets(0), "serve-isr");
+        l.link(offsets(0), frame("bronze", 0xb), "decode");
+        l.link(frame("bronze", 0xb), frame("gold", 0x601d), "reduce");
+        if !crate::enabled() {
+            assert!(!l.query().served_only_by_isr(0x601d));
+            return;
+        }
+        assert_eq!(replica(2).label(), "replica:bronze/0@n2");
+        let clean = l.query();
+        assert!(clean.served_only_by_isr(0x601d));
+        // Unknown digests can't be proven clean.
+        assert!(!clean.served_only_by_isr(0xdead));
+        // A stale read anywhere in the ancestry poisons the artifact.
+        l.link(replica(2), offsets(0), "serve-stale");
+        assert!(!l.query().served_only_by_isr(0x601d));
     }
 }

@@ -226,6 +226,45 @@ pub enum TraceEventKind {
         /// True when the retry budget was exhausted and the call failed.
         gave_up: bool,
     },
+    /// A cluster fetch served from a specific replica's log.
+    ReplicaFetch {
+        /// Source topic.
+        topic: String,
+        /// Partition id.
+        partition: u64,
+        /// Node whose log served the read.
+        node: u64,
+        /// First offset fetched (inclusive).
+        from: u64,
+        /// Position after the fetch (exclusive end offset).
+        to: u64,
+        /// Records returned.
+        records: u64,
+        /// True when the serving replica was in the in-sync set.
+        isr: bool,
+    },
+    /// A partition leader election after a node crash.
+    LeaderElected {
+        /// Topic of the partition.
+        topic: String,
+        /// Partition id.
+        partition: u64,
+        /// Crashed leader the partition failed over from.
+        from_node: u64,
+        /// New leader (the lowest-id in-sync follower).
+        to_node: u64,
+    },
+    /// A replica joined or left a partition's in-sync set.
+    IsrChange {
+        /// Topic of the partition.
+        topic: String,
+        /// Partition id.
+        partition: u64,
+        /// Replica node whose membership changed.
+        node: u64,
+        /// True when the replica (re)joined; false when it was dropped.
+        joined: bool,
+    },
 }
 
 impl TraceEventKind {
@@ -247,6 +286,9 @@ impl TraceEventKind {
             TraceEventKind::Lifecycle { .. } => "lifecycle",
             TraceEventKind::FaultInjected { .. } => "fault_injected",
             TraceEventKind::Retry { .. } => "retry",
+            TraceEventKind::ReplicaFetch { .. } => "replica_fetch",
+            TraceEventKind::LeaderElected { .. } => "leader_elected",
+            TraceEventKind::IsrChange { .. } => "isr_change",
         }
     }
 
@@ -269,6 +311,9 @@ impl TraceEventKind {
             TraceEventKind::Lifecycle { .. } => 12,
             TraceEventKind::FaultInjected { .. } => 13,
             TraceEventKind::Retry { .. } => 14,
+            TraceEventKind::ReplicaFetch { .. } => 15,
+            TraceEventKind::LeaderElected { .. } => 16,
+            TraceEventKind::IsrChange { .. } => 17,
         }
     }
 

@@ -124,6 +124,9 @@ struct ArtifactRecord {
     tier: Tier,
     bytes: u64,
     created_ms: i64,
+    /// Replica that fed this artifact, when it was materialized from a
+    /// clustered STREAM fetch: (topic, partition, node).
+    source: Option<(String, u32, u32)>,
 }
 
 /// Registry of artifacts and their lifecycle state.
@@ -177,6 +180,46 @@ impl TierManager {
 
     /// Register an artifact.
     pub fn register(&mut self, name: &str, class: DataClass, tier: Tier, bytes: u64, now_ms: i64) {
+        self.register_inner(name, class, tier, bytes, now_ms, None);
+    }
+
+    /// Register an artifact that was materialized from a specific broker
+    /// replica — `(topic, partition, node)` in an `oda_stream::Cluster`
+    /// — so placements record *which node's segment* fed each tier. The
+    /// replica→placement edge lands in the lineage graph as `feeds`,
+    /// and survives the OCEAN→GLACIER archive hop (see
+    /// [`TierManager::advance`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_replica(
+        &mut self,
+        name: &str,
+        class: DataClass,
+        tier: Tier,
+        bytes: u64,
+        now_ms: i64,
+        topic: &str,
+        partition: u32,
+        node: u32,
+    ) {
+        self.register_inner(
+            name,
+            class,
+            tier,
+            bytes,
+            now_ms,
+            Some((topic.to_string(), partition, node)),
+        );
+    }
+
+    fn register_inner(
+        &mut self,
+        name: &str,
+        class: DataClass,
+        tier: Tier,
+        bytes: u64,
+        now_ms: i64,
+        source: Option<(String, u32, u32)>,
+    ) {
         self.artifacts.insert(
             name.to_string(),
             ArtifactRecord {
@@ -184,17 +227,36 @@ impl TierManager {
                 tier,
                 bytes,
                 created_ms: now_ms,
+                source: source.clone(),
             },
         );
         if let Some(m) = &self.metrics {
             m.record_occupancy(self);
         }
         if let Some(tr) = &self.tracer {
-            tr.lineage().touch(LineageNode::Placement {
+            let placement = LineageNode::Placement {
                 artifact: name.to_string(),
                 tier: tier.label().to_string(),
-            });
+            };
+            match source {
+                Some((topic, partition, node)) => tr.lineage().link(
+                    LineageNode::Replica {
+                        topic,
+                        partition: u64::from(partition),
+                        node: u64::from(node),
+                    },
+                    placement,
+                    "feeds",
+                ),
+                None => tr.lineage().touch(placement),
+            }
         }
+    }
+
+    /// The replica that fed `name`, if it was registered through
+    /// [`TierManager::register_replica`].
+    pub fn source_replica(&self, name: &str) -> Option<(String, u32, u32)> {
+        self.artifacts.get(name)?.source.clone()
     }
 
     /// Number of live artifacts.
@@ -296,17 +358,34 @@ impl TierManager {
                 },
             );
             if let LifecycleAction::Archived { name, .. } = action {
+                let frozen = LineageNode::Placement {
+                    artifact: name.clone(),
+                    tier: Tier::Glacier.label().to_string(),
+                };
                 tr.lineage().link(
                     LineageNode::Placement {
                         artifact: name.clone(),
                         tier: Tier::Ocean.label().to_string(),
                     },
-                    LineageNode::Placement {
-                        artifact: name.clone(),
-                        tier: Tier::Glacier.label().to_string(),
-                    },
+                    frozen.clone(),
                     "archive",
                 );
+                // A replica-fed artifact keeps its provenance across the
+                // freeze: the archived placement still knows which
+                // node's segment fed it.
+                if let Some((topic, partition, node)) =
+                    self.artifacts.get(name).and_then(|r| r.source.clone())
+                {
+                    tr.lineage().link(
+                        LineageNode::Replica {
+                            topic,
+                            partition: u64::from(partition),
+                            node: u64::from(node),
+                        },
+                        frozen,
+                        "feeds",
+                    );
+                }
             }
         }
     }
@@ -452,6 +531,73 @@ mod tests {
             LifecycleAction::Archived { bytes: 500, .. }
         ));
         assert_eq!(m.bytes_by_tier()[&Tier::Glacier], 500);
+    }
+
+    #[test]
+    fn replica_fed_artifacts_remember_their_source() {
+        let mut m = TierManager::new();
+        m.register_replica(
+            "gold-w1",
+            DataClass::Gold,
+            Tier::Ocean,
+            900,
+            0,
+            "bronze",
+            1,
+            2,
+        );
+        m.register("gold-w2", DataClass::Gold, Tier::Ocean, 900, 0);
+        assert_eq!(
+            m.source_replica("gold-w1"),
+            Some(("bronze".to_string(), 1, 2))
+        );
+        assert_eq!(m.source_replica("gold-w2"), None);
+        assert_eq!(m.source_replica("missing"), None);
+    }
+
+    #[test]
+    fn replica_provenance_survives_the_archive_hop() {
+        use oda_obs::Tracer;
+        let mut m = TierManager::new();
+        let tracer = Tracer::new();
+        m.attach_tracer(&tracer);
+        m.register_replica(
+            "raw-d0",
+            DataClass::Bronze,
+            Tier::Ocean,
+            1_000,
+            0,
+            "bronze",
+            0,
+            1,
+        );
+        let actions = m.advance(31 * DAY);
+        assert!(matches!(&actions[0], LifecycleAction::Archived { .. }));
+        assert_eq!(
+            m.source_replica("raw-d0"),
+            Some(("bronze".to_string(), 0, 1)),
+            "the frozen record keeps its source"
+        );
+        if !oda_obs::enabled() {
+            return;
+        }
+        let q = tracer.lineage().query();
+        // The replica feeds both the OCEAN registration and the GLACIER
+        // placement it froze into.
+        let feeds: Vec<String> = q
+            .edges()
+            .iter()
+            .filter(|(_, _, rel)| rel == "feeds")
+            .map(|(from, to, _)| {
+                format!(
+                    "{} -> {}",
+                    q.node(*from).unwrap().label(),
+                    q.node(*to).unwrap().label()
+                )
+            })
+            .collect();
+        assert!(feeds.contains(&"replica:bronze/0@n1 -> placement:raw-d0@OCEAN".to_string()));
+        assert!(feeds.contains(&"replica:bronze/0@n1 -> placement:raw-d0@GLACIER".to_string()));
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! The bus abstraction consumers read through.
+//!
+//! [`Consumer`](crate::Consumer) logic — offset tracking, retry
+//! absorption, partition budgeting, lag gauges — is identical whether
+//! records come from the single-process [`Broker`](crate::Broker) or the
+//! replicated [`Cluster`](crate::Cluster). [`MessageBus`] is that shared
+//! surface: the read/commit protocol plus the observability handles the
+//! consumer records through. It is object-safe so a consumer can hold
+//! `Arc<dyn MessageBus>` and not care which backend serves it.
+
+use crate::error::StreamError;
+use crate::metrics::StreamMetrics;
+use crate::record::Record;
+use std::sync::Arc;
+
+/// What a consumer needs from a record source: partition layout, reads,
+/// durable group offsets, and the attached observability handles.
+///
+/// Implementations must preserve the broker's read semantics: offsets
+/// are dense per partition, a fetch below the retention horizon returns
+/// [`StreamError::OffsetOutOfRange`], and a fetch at or past the log end
+/// returns an empty batch.
+pub trait MessageBus: Send + Sync {
+    /// Number of partitions in `topic`.
+    fn partition_count(&self, topic: &str) -> Result<u32, StreamError>;
+
+    /// Fetch up to `max` records from `(topic, partition)` starting at
+    /// offset `from`.
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        from: u64,
+        max: usize,
+    ) -> Result<Vec<Record>, StreamError>;
+
+    /// One past the last appended offset of `(topic, partition)`. For a
+    /// replicated bus this is the high watermark — the offset up to
+    /// which every in-sync replica holds the log.
+    fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64, StreamError>;
+
+    /// Committed offset for a consumer group.
+    fn committed(&self, group: &str, topic: &str, partition: u32) -> u64;
+
+    /// Durably commit a group's offset (the next offset to read).
+    fn commit(&self, group: &str, topic: &str, partition: u32, offset: u64);
+
+    /// Attached stream metrics, if any (consumers record lag and fetch
+    /// retries through this).
+    fn metrics(&self) -> Option<Arc<StreamMetrics>>;
+
+    /// Attached tracer, if any (consumers record retry events through
+    /// it).
+    fn tracer(&self) -> Option<oda_obs::Tracer>;
+}
+
+impl MessageBus for crate::Broker {
+    fn partition_count(&self, topic: &str) -> Result<u32, StreamError> {
+        Ok(self.topic(topic)?.partition_count())
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        from: u64,
+        max: usize,
+    ) -> Result<Vec<Record>, StreamError> {
+        crate::Broker::fetch(self, topic, partition, from, max)
+    }
+
+    fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64, StreamError> {
+        self.topic(topic)?.latest_offset(partition)
+    }
+
+    fn committed(&self, group: &str, topic: &str, partition: u32) -> u64 {
+        crate::Broker::committed(self, group, topic, partition)
+    }
+
+    fn commit(&self, group: &str, topic: &str, partition: u32, offset: u64) {
+        crate::Broker::commit(self, group, topic, partition, offset)
+    }
+
+    fn metrics(&self) -> Option<Arc<StreamMetrics>> {
+        crate::Broker::metrics(self)
+    }
+
+    fn tracer(&self) -> Option<oda_obs::Tracer> {
+        crate::Broker::tracer(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::RetentionPolicy;
+    use crate::Broker;
+    use bytes::Bytes;
+
+    #[test]
+    fn broker_implements_the_bus_surface() {
+        let b = Broker::new();
+        b.create_topic("t", 2, RetentionPolicy::unbounded())
+            .unwrap();
+        for i in 0..10 {
+            b.produce(
+                "t",
+                i,
+                Some(Bytes::from_static(b"k")),
+                Bytes::from_static(b"v"),
+            )
+            .unwrap();
+        }
+        let bus: Arc<dyn MessageBus> = b.clone();
+        assert_eq!(bus.partition_count("t").unwrap(), 2);
+        let total: u64 = (0..2).map(|p| bus.latest_offset("t", p).unwrap()).sum();
+        assert_eq!(total, 10);
+        let p = (0..2)
+            .find(|&p| bus.latest_offset("t", p).unwrap() > 0)
+            .unwrap();
+        let recs = bus.fetch("t", p, 0, 100).unwrap();
+        assert_eq!(recs.len() as u64, bus.latest_offset("t", p).unwrap());
+        bus.commit("g", "t", p, 3);
+        assert_eq!(bus.committed("g", "t", p), 3);
+        assert_eq!(b.committed("g", "t", p), 3, "bus and broker share offsets");
+        assert!(matches!(
+            bus.partition_count("missing"),
+            Err(StreamError::UnknownTopic(_))
+        ));
+    }
+}

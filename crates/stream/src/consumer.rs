@@ -6,7 +6,7 @@
 //! checkpointing (exactly-once sinks) exploits: on crash, an uncommitted
 //! poll is re-delivered.
 
-use crate::broker::Broker;
+use crate::bus::MessageBus;
 use crate::error::StreamError;
 use crate::record::Record;
 use oda_faults::Retry;
@@ -32,12 +32,14 @@ pub struct PartitionBatch {
     pub next_offset: u64,
 }
 
-/// A group member consuming one topic.
+/// A group member consuming one topic, from any [`MessageBus`] backend
+/// (the single-process [`Broker`](crate::Broker) or the replicated
+/// [`Cluster`](crate::Cluster)).
 pub struct Consumer {
-    broker: Arc<Broker>,
+    bus: Arc<dyn MessageBus>,
     group: String,
     topic: String,
-    /// Partitions this member owns.
+    /// Partitions this member owns, sorted ascending and deduplicated.
     assignment: Vec<u32>,
     /// Next offset to read per partition (position, not yet committed).
     position: HashMap<u32, u64>,
@@ -47,38 +49,46 @@ pub struct Consumer {
 
 impl Consumer {
     /// Subscribe to every partition of `topic`.
-    pub fn subscribe(
-        broker: Arc<Broker>,
+    pub fn subscribe<B: MessageBus + 'static>(
+        bus: Arc<B>,
         group: &str,
         topic: &str,
     ) -> Result<Consumer, StreamError> {
-        let n = broker.topic(topic)?.partition_count();
-        Self::with_assignment(broker, group, topic, (0..n).collect())
+        let n = bus.partition_count(topic)?;
+        Self::with_assignment(bus, group, topic, (0..n).collect())
     }
 
     /// Subscribe to an explicit partition subset (static group balancing:
     /// member *i* of *k* takes partitions where `p % k == i`).
-    pub fn with_assignment(
-        broker: Arc<Broker>,
+    ///
+    /// The assignment is sorted and deduplicated defensively: failover
+    /// resume concatenates partition batches in assignment order, so the
+    /// (partition id, offset) merge order must be canonical even when a
+    /// re-subscribe passes partitions in discovery order.
+    pub fn with_assignment<B: MessageBus + 'static>(
+        bus: Arc<B>,
         group: &str,
         topic: &str,
-        assignment: Vec<u32>,
+        mut assignment: Vec<u32>,
     ) -> Result<Consumer, StreamError> {
-        let t = broker.topic(topic)?;
+        let bus: Arc<dyn MessageBus> = bus;
+        let n = bus.partition_count(topic)?;
         for &p in &assignment {
-            if p >= t.partition_count() {
+            if p >= n {
                 return Err(StreamError::UnknownPartition {
                     topic: topic.to_string(),
                     partition: p,
                 });
             }
         }
+        assignment.sort_unstable();
+        assignment.dedup();
         let position = assignment
             .iter()
-            .map(|&p| (p, broker.committed(group, topic, p)))
+            .map(|&p| (p, bus.committed(group, topic, p)))
             .collect();
         Ok(Consumer {
-            broker,
+            bus,
             group: group.to_string(),
             topic: topic.to_string(),
             assignment,
@@ -107,15 +117,15 @@ impl Consumer {
         match &self.retry {
             Some(policy) => {
                 let (res, outcome) =
-                    policy.run(|_| self.broker.fetch(&self.topic, partition, from, max));
+                    policy.run(|_| self.bus.fetch(&self.topic, partition, from, max));
                 if outcome.attempts > 1 || res.is_err() {
-                    if let Some(m) = self.broker.metrics() {
+                    if let Some(m) = self.bus.metrics() {
                         m.fetch_retry.observe(&outcome, res.is_ok());
                     }
                     // Retry content is deterministic (the fault schedule
                     // is keyed by (site, partition, invocation)), so the
                     // event is safe to record from worker threads.
-                    if let Some(tr) = self.broker.tracer() {
+                    if let Some(tr) = self.bus.tracer() {
                         let trace = oda_obs::trace_id(&self.topic, oda_obs::SERVICE_TRACE);
                         tr.record(
                             trace,
@@ -134,7 +144,7 @@ impl Consumer {
                 }
                 res
             }
-            None => self.broker.fetch(&self.topic, partition, from, max),
+            None => self.bus.fetch(&self.topic, partition, from, max),
         }
     }
 
@@ -225,17 +235,14 @@ impl Consumer {
         Ok(out)
     }
 
-    /// Publish per-partition lag gauges if the broker carries metrics.
+    /// Publish per-partition lag gauges if the bus carries metrics.
     fn record_lag(&self) {
-        let Some(m) = self.broker.metrics() else {
-            return;
-        };
-        let Ok(t) = self.broker.topic(&self.topic) else {
+        let Some(m) = self.bus.metrics() else {
             return;
         };
         for &p in &self.assignment {
             let pos = *self.position.get(&p).expect("assigned partition");
-            if let Ok(latest) = t.latest_offset(p) {
+            if let Ok(latest) = self.bus.latest_offset(&self.topic, p) {
                 m.lag_gauge(&self.group, &self.topic, p)
                     .set(latest.saturating_sub(pos) as i64);
             }
@@ -245,14 +252,14 @@ impl Consumer {
     /// Durably commit the current position of every owned partition.
     pub fn commit(&self) {
         for (&p, &pos) in &self.position {
-            self.broker.commit(&self.group, &self.topic, p, pos);
+            self.bus.commit(&self.group, &self.topic, p, pos);
         }
     }
 
     /// Reset local positions to the last committed offsets (crash rewind).
     pub fn seek_to_committed(&mut self) {
         for &p in &self.assignment {
-            let committed = self.broker.committed(&self.group, &self.topic, p);
+            let committed = self.bus.committed(&self.group, &self.topic, p);
             self.position.insert(p, committed);
         }
     }
@@ -277,11 +284,10 @@ impl Consumer {
 
     /// Records remaining between the position and the log end.
     pub fn lag(&self) -> Result<u64, StreamError> {
-        let t = self.broker.topic(&self.topic)?;
         let mut lag = 0;
         for &p in &self.assignment {
             let pos = *self.position.get(&p).expect("assigned partition");
-            lag += t.latest_offset(p)?.saturating_sub(pos);
+            lag += self.bus.latest_offset(&self.topic, p)?.saturating_sub(pos);
         }
         Ok(lag)
     }
@@ -290,6 +296,7 @@ impl Consumer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::broker::Broker;
     use crate::retention::RetentionPolicy;
     use bytes::Bytes;
 
@@ -382,6 +389,29 @@ mod tests {
     fn invalid_assignment_rejected() {
         let b = setup(2, 1);
         assert!(Consumer::with_assignment(b, "g", "t", vec![0, 5]).is_err());
+    }
+
+    #[test]
+    fn unsorted_assignment_is_canonicalized() {
+        // A re-subscribe may discover partitions in arbitrary order;
+        // the merge order of (partition id, offset) pairs must not
+        // depend on it, so the assignment is sorted and deduplicated.
+        let b = setup(4, 200);
+        let mut shuffled =
+            Consumer::with_assignment(b.clone(), "g", "t", vec![3, 1, 2, 0, 1]).unwrap();
+        assert_eq!(shuffled.assignment(), &[0, 1, 2, 3]);
+        let mut sorted = Consumer::with_assignment(b, "g2", "t", vec![0, 1, 2, 3]).unwrap();
+        loop {
+            let a = shuffled.poll_partitioned(32).unwrap();
+            let b = sorted.poll_partitioned(32).unwrap();
+            assert_eq!(a, b, "poll order must be independent of insertion order");
+            if a.iter().all(|batch| batch.records.is_empty()) {
+                break;
+            }
+        }
+        // Duplicate partitions must not double-deliver: exactly every
+        // record arrived once per group.
+        assert_eq!(shuffled.lag().unwrap(), 0);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub enum StreamError {
         /// Partition the fetch was aimed at.
         partition: u32,
     },
+    /// The node id is out of range for the cluster, or the node holds no
+    /// replica of the requested partition.
+    UnknownNode {
+        /// Requested node id.
+        node: u32,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -65,6 +71,9 @@ impl fmt::Display for StreamError {
             StreamError::FetchFailed { topic, partition } => {
                 write!(f, "fetch from {topic:?}/{partition} failed transiently")
             }
+            StreamError::UnknownNode { node } => {
+                write!(f, "no such node or replica on node {node}")
+            }
         }
     }
 }
@@ -82,7 +91,8 @@ impl Retryable for StreamError {
             StreamError::UnknownTopic(_)
             | StreamError::UnknownPartition { .. }
             | StreamError::OffsetOutOfRange { .. }
-            | StreamError::TopicExists(_) => FaultClass::Fatal,
+            | StreamError::TopicExists(_)
+            | StreamError::UnknownNode { .. } => FaultClass::Fatal,
         }
     }
 }

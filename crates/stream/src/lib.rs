@@ -18,6 +18,8 @@
 //! deterministic: offsets are dense and assignment is stable.
 
 pub mod broker;
+pub mod bus;
+pub mod cluster;
 pub mod consumer;
 pub mod error;
 pub mod metrics;
@@ -28,6 +30,8 @@ pub mod segment;
 pub mod topic;
 
 pub use broker::{Broker, Producer};
+pub use bus::MessageBus;
+pub use cluster::{Cluster, LeaderElection};
 pub use consumer::{Consumer, PartitionBatch};
 pub use error::StreamError;
 pub use metrics::StreamMetrics;

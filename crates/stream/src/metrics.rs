@@ -33,7 +33,10 @@ pub struct StreamMetrics {
     pub produce_retry: RetryMetrics,
     /// Retry accounting for `Consumer` fetches under a retry policy.
     pub fetch_retry: RetryMetrics,
+    /// Leader elections performed by a replicated cluster.
+    pub leader_elections: Arc<Counter>,
     lag: Mutex<HashMap<(String, String, u32), Arc<Gauge>>>,
+    replica_lag: Mutex<HashMap<(String, u32, u32), Arc<Gauge>>>,
 }
 
 impl StreamMetrics {
@@ -72,7 +75,13 @@ impl StreamMetrics {
             ),
             produce_retry: RetryMetrics::new(registry, "produce"),
             fetch_retry: RetryMetrics::new(registry, "fetch"),
+            leader_elections: registry.counter(
+                "stream_leader_elections_total",
+                "Partition leader elections after a node crash",
+                &[],
+            ),
             lag: Mutex::new(HashMap::new()),
+            replica_lag: Mutex::new(HashMap::new()),
             registry: registry.clone(),
         }
     }
@@ -90,6 +99,26 @@ impl StreamMetrics {
             "stream_consumer_lag",
             "Records between a consumer's position and the log end",
             &[("group", group), ("topic", topic), ("partition", &part)],
+        );
+        cache.insert(key, Arc::clone(&g));
+        g
+    }
+
+    /// The replica-lag gauge for `(topic, partition, node)`: records
+    /// between a follower's log end and its leader's. Created and cached
+    /// on first use, like [`StreamMetrics::lag_gauge`].
+    pub fn replica_lag_gauge(&self, topic: &str, partition: u32, node: u32) -> Arc<Gauge> {
+        let key = (topic.to_string(), partition, node);
+        let mut cache = self.replica_lag.lock();
+        if let Some(g) = cache.get(&key) {
+            return Arc::clone(g);
+        }
+        let part = partition.to_string();
+        let node_s = node.to_string();
+        let g = self.registry.gauge(
+            "stream_replica_lag",
+            "Records between a follower replica's log end and its leader's",
+            &[("topic", topic), ("partition", &part), ("node", &node_s)],
         );
         cache.insert(key, Arc::clone(&g));
         g
@@ -119,5 +148,26 @@ mod tests {
         }
         let other = m.lag_gauge("g", "t", 1);
         assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn replica_lag_gauges_are_cached_per_series() {
+        let reg = Registry::new();
+        let m = StreamMetrics::new(&reg);
+        let a = m.replica_lag_gauge("t", 0, 2);
+        let b = m.replica_lag_gauge("t", 0, 2);
+        a.set(3);
+        if oda_obs::enabled() {
+            assert_eq!(b.get(), 3);
+            assert_eq!(
+                reg.gauge_value(
+                    "stream_replica_lag",
+                    &[("topic", "t"), ("partition", "0"), ("node", "2")]
+                ),
+                3
+            );
+            assert_eq!(reg.counter_value("stream_leader_elections_total", &[]), 0);
+        }
+        assert_eq!(m.replica_lag_gauge("t", 1, 2).get(), 0);
     }
 }

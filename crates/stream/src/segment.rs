@@ -74,7 +74,7 @@ impl Segment {
             return;
         }
         let start = from.saturating_sub(self.base_offset) as usize;
-        let end = (start + max).min(self.records.len());
+        let end = start.saturating_add(max).min(self.records.len());
         out.extend_from_slice(&self.records[start..end]);
     }
 }
@@ -126,6 +126,22 @@ mod tests {
         // Reading past the end returns nothing.
         s.read_into(20, 5, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unbounded_read_does_not_overflow() {
+        // Regression: `start + usize::MAX` used to overflow when the
+        // read began past the segment base.
+        let mut s = Segment::new(0, usize::MAX);
+        for i in 0..5 {
+            s.push(rec(i));
+        }
+        let mut out = Vec::new();
+        s.read_into(2, usize::MAX, &mut out);
+        assert_eq!(
+            out.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]

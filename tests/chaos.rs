@@ -9,7 +9,7 @@
 //! counts, identical Gold reduction, monotone checkpoint recovery.
 
 use bytes::Bytes;
-use oda::faults::{FaultClass, FaultPlan, FaultPoint, FaultSite, Retry, Retryable};
+use oda::faults::{FaultClass, FaultPlan, FaultPoint, FaultSite, FaultSpec, Retry, Retryable};
 use oda::pipeline::checkpoint::CheckpointStore;
 use oda::pipeline::frame_io::frame_to_colfile;
 use oda::pipeline::medallion::{observation_decoder, streaming_silver_transform};
@@ -17,7 +17,7 @@ use oda::pipeline::ops::{group_by, Agg, AggSpec};
 use oda::pipeline::streaming::MemorySink;
 use oda::pipeline::{Frame, StreamingQuery};
 use oda::storage::tiering::{DataClass, LifecycleAction, Tier, TierManager};
-use oda::stream::{Broker, Consumer, RetentionPolicy};
+use oda::stream::{Broker, Cluster, Consumer, MessageBus, RetentionPolicy};
 use oda::telemetry::record::Observation;
 use oda::telemetry::system::SystemModel;
 use oda::telemetry::{SensorCatalog, TelemetryGenerator};
@@ -87,11 +87,34 @@ fn run_instrumented(
             p.attach_tracer(tr);
         }
     }
+    drive_query(
+        broker,
+        &catalog,
+        checkpoints,
+        plan,
+        workers,
+        metrics,
+        tracer,
+    )
+}
+
+/// The supervisor loop proper, generic over the message bus so the same
+/// crash/recovery harness drives a single [`Broker`] or a replicated
+/// [`Cluster`].
+fn drive_query<B: MessageBus + 'static>(
+    bus: Arc<B>,
+    catalog: &SensorCatalog,
+    checkpoints: CheckpointStore,
+    plan: Option<Arc<FaultPlan>>,
+    workers: usize,
+    metrics: Option<&oda::obs::Registry>,
+    tracer: Option<&oda::obs::Tracer>,
+) -> RunReport {
     let mut sink = MemorySink::new();
     let mut restarts = 0;
     let mut last_recovered_epoch = 0u64;
     loop {
-        let consumer = Consumer::subscribe(broker.clone(), "chaos", TOPIC)
+        let consumer = Consumer::subscribe(bus.clone(), "chaos", TOPIC)
             .unwrap()
             .with_retry(Retry::with_attempts(25));
         let mut builder = StreamingQuery::builder()
@@ -146,6 +169,41 @@ fn run_instrumented(
         checkpoints,
         restarts,
     }
+}
+
+/// Produce the same synthetic telemetry stream into a replicated
+/// cluster of three nodes. The seed-phase `plan` may crash nodes and
+/// lag replicas *while the data is being written* — `acks=all`
+/// replication must keep the acked stream byte-identical regardless.
+fn seeded_cluster(
+    replication: u32,
+    plan: Option<Arc<FaultPlan>>,
+    tracer: Option<&oda::obs::Tracer>,
+) -> (Arc<Cluster>, SensorCatalog) {
+    let mut generator = TelemetryGenerator::new(SystemModel::tiny(), 7);
+    let cluster = Cluster::new(3, replication);
+    cluster
+        .create_topic(TOPIC, 2, RetentionPolicy::unbounded())
+        .unwrap();
+    if let Some(p) = &plan {
+        cluster.arm_faults(p.clone() as Arc<dyn FaultPoint>);
+    }
+    if let Some(tr) = tracer {
+        cluster.attach_tracer(tr);
+    }
+    for _ in 0..BATCHES {
+        let batch = generator.next_batch();
+        let payload = Observation::encode_batch(&batch.observations);
+        cluster
+            .produce(
+                TOPIC,
+                batch.ts_ms,
+                Some(Bytes::from("all")),
+                Bytes::from(payload),
+            )
+            .unwrap();
+    }
+    (cluster, generator.catalog().clone())
 }
 
 fn run_pipeline_with_workers(plan: Option<Arc<FaultPlan>>, workers: usize) -> RunReport {
@@ -267,14 +325,7 @@ fn metrics_do_not_perturb_chaos_byte_identity() {
             // plan's own injection log, site for site.
             let by_site = plan.injected_by_site();
             assert!(!by_site.is_empty(), "seed {seed}: chaos plan never fired");
-            for site in [
-                FaultSite::Produce,
-                FaultSite::Fetch,
-                FaultSite::SinkWrite,
-                FaultSite::CheckpointCommit,
-                FaultSite::TierMigrate,
-                FaultSite::SensorRead,
-            ] {
+            for site in FaultSite::ALL {
                 assert_eq!(
                     reg.counter_value("faults_injected_total", &[("site", site.label())]),
                     by_site.get(&site).copied().unwrap_or(0),
@@ -337,14 +388,7 @@ fn traces_do_not_perturb_chaos_byte_identity() {
             }
             let by_site = plan.injected_by_site();
             assert!(!by_site.is_empty(), "seed {seed}: chaos plan never fired");
-            for site in [
-                FaultSite::Produce,
-                FaultSite::Fetch,
-                FaultSite::SinkWrite,
-                FaultSite::CheckpointCommit,
-                FaultSite::TierMigrate,
-                FaultSite::SensorRead,
-            ] {
+            for site in FaultSite::ALL {
                 assert_eq!(
                     by_label.get(site.label()).copied().unwrap_or(0),
                     by_site.get(&site).copied().unwrap_or(0),
@@ -366,6 +410,124 @@ fn traces_do_not_perturb_chaos_byte_identity() {
             );
         }
     }
+}
+
+#[test]
+fn node_crash_failover_gold_byte_identity() {
+    // The full replication matrix: every chaos seed × replication
+    // factor {1,2,3} × worker pool {1,8}, each run seeded under
+    // crash/lag faults and then driven through the crash/recovery loop
+    // under [`FaultPlan::cluster_chaos`] (which adds `NodeCrash` and
+    // `ReplicaLag` to the classic chaos sites). Gold must stay
+    // byte-identical to the single-node fault-free baseline: failover
+    // may change *which node serves*, never *which bytes flow*.
+    let baseline = run_pipeline(None);
+    let baseline_gold = frame_to_colfile(&gold_reduction(&baseline.sink)).unwrap();
+    let seeds: Vec<u64> = match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => vec![11, 29, 4242],
+    };
+    let mut new_site_injections = 0u64;
+    for &seed in &seeds {
+        for replication in [1u32, 2, 3] {
+            for workers in [1usize, 8] {
+                let label = format!("seed {seed} rf {replication} workers {workers}");
+                let tracer = oda::obs::Tracer::new();
+                // Seed phase: only the replication sites are live, so
+                // the acked record stream itself is never perturbed.
+                let seed_plan = Arc::new(FaultPlan::new(
+                    seed,
+                    FaultSpec {
+                        node_crash: 0.02,
+                        replica_lag: 0.10,
+                        ..FaultSpec::default()
+                    },
+                ));
+                seed_plan.attach_tracer(&tracer);
+                let (cluster, catalog) =
+                    seeded_cluster(replication, Some(seed_plan.clone()), Some(&tracer));
+                // Run phase: the full chaos schedule plus replication
+                // faults drives the supervisor loop.
+                let run_plan = Arc::new(FaultPlan::cluster_chaos(seed));
+                run_plan.attach_tracer(&tracer);
+                cluster.arm_faults(run_plan.clone() as Arc<dyn FaultPoint>);
+                let checkpoints = CheckpointStore::new();
+                checkpoints.arm_faults(run_plan.clone() as Arc<dyn FaultPoint>);
+                let report = drive_query(
+                    cluster.clone(),
+                    &catalog,
+                    checkpoints,
+                    Some(run_plan.clone()),
+                    workers,
+                    None,
+                    Some(&tracer),
+                );
+                // Byte identity against the single-node baseline.
+                assert_eq!(report.sink.epochs(), baseline.sink.epochs(), "{label}");
+                for (ours, theirs) in report.sink.frames().iter().zip(baseline.sink.frames()) {
+                    assert_eq!(
+                        frame_to_colfile(ours).unwrap(),
+                        frame_to_colfile(theirs).unwrap(),
+                        "{label}: epoch frame diverged from single-node baseline"
+                    );
+                }
+                assert_eq!(
+                    frame_to_colfile(&gold_reduction(&report.sink)).unwrap(),
+                    baseline_gold,
+                    "{label}: gold diverged from single-node baseline"
+                );
+                // Every election the cluster performed is on the record,
+                // and the surviving leaders still serve the full log.
+                for e in cluster.elections() {
+                    assert_ne!(e.from_node, e.to_node, "{label}");
+                }
+                let mut acked_total = 0;
+                for p in 0..2 {
+                    let hw = cluster.high_watermark(TOPIC, p).unwrap();
+                    acked_total += hw;
+                    let leader = cluster.leader(TOPIC, p).unwrap();
+                    assert_eq!(cluster.log_end(leader, TOPIC, p).unwrap(), hw, "{label}");
+                }
+                // Every batch keys on "all", so one partition carries
+                // the whole stream — but none of it may be lost.
+                assert_eq!(acked_total, BATCHES as u64, "{label}: acked records lost");
+                // The journal's FaultInjected events for the replication
+                // sites must agree with the two plans' own injection
+                // logs, count for count.
+                let plan_counts: u64 = [&seed_plan, &run_plan]
+                    .iter()
+                    .flat_map(|p| p.injected_by_site())
+                    .filter(|(site, _)| {
+                        matches!(site, FaultSite::NodeCrash | FaultSite::ReplicaLag)
+                    })
+                    .map(|(_, n)| n)
+                    .sum();
+                new_site_injections += plan_counts;
+                if oda::obs::enabled() {
+                    let journal_counts = tracer
+                        .events()
+                        .iter()
+                        .filter(|e| {
+                            matches!(
+                                &e.kind,
+                                oda::obs::TraceEventKind::FaultInjected { site, .. }
+                                    if site == FaultSite::NodeCrash.label()
+                                        || site == FaultSite::ReplicaLag.label()
+                            )
+                        })
+                        .count() as u64;
+                    assert_eq!(
+                        journal_counts, plan_counts,
+                        "{label}: journal disagrees with the injection logs"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        new_site_injections > 0,
+        "the matrix never exercised NodeCrash/ReplicaLag — rates too low"
+    );
 }
 
 #[test]
