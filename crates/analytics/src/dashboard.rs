@@ -112,11 +112,12 @@ impl UaDashboard {
                         }
                     }
                 }
-                if let Some((_, mean, _, _)) = self.lake.aggregate(
-                    &format!("{}node{n}/node_power_w", self.series_prefix),
-                    t0,
-                    t1,
-                ) {
+                if let Some((_, mean, _, _)) = self
+                    .lake
+                    .plan(t0, t1)
+                    .series(&format!("{}node{n}/node_power_w", self.series_prefix))
+                    .aggregate()
+                {
                     power_sum += mean;
                     power_n += 1;
                 }
@@ -180,8 +181,10 @@ pub fn diagnose_manually(
         let mut sum = 0.0;
         let mut n_ok = 0usize;
         for &n in &j.nodes {
-            if let Some((_, mean, _, _)) =
-                lake.aggregate(&format!("{series_prefix}node{n}/node_power_w"), t0, t1)
+            if let Some((_, mean, _, _)) = lake
+                .plan(t0, t1)
+                .series(&format!("{series_prefix}node{n}/node_power_w"))
+                .aggregate()
             {
                 sum += mean;
                 n_ok += 1;

@@ -165,22 +165,25 @@ pub fn scan_bronze_for_summaries(
     t0: i64,
     t1: i64,
 ) -> Result<Vec<ProfileSummary>, PipelineError> {
-    use oda_pipeline::ops::{group_by, Agg, AggSpec};
-    use oda_pipeline::window::assign_window;
+    use oda_pipeline::logical::Query;
+    use oda_pipeline::ops::{Agg, AggSpec};
     use oda_pipeline::Expr;
 
-    // Quality filter + window + aggregate — the Bronze->Silver work.
-    let mask = Expr::col("quality")
-        .eq_(Expr::LitI(0))
-        .and(Expr::col("value").is_nan().not())
-        .eval_mask(bronze)?;
-    let good = bronze.filter_mask(&mask);
-    let windowed = assign_window(&good, "ts_ms", window_ms)?;
-    let silver = group_by(
-        &windowed,
-        &["window", "node", "sensor"],
-        &[AggSpec::new("value", Agg::Mean, "mean")],
-    )?;
+    // Quality filter + window + aggregate — the Bronze->Silver work,
+    // phrased as one planned query (the quality predicate is pushed
+    // into the scan).
+    let silver = Query::scan(bronze.clone())
+        .filter(
+            Expr::col("quality")
+                .eq_(Expr::LitI(0))
+                .and(Expr::col("value").is_nan().not()),
+        )
+        .window("ts_ms", window_ms)
+        .group_by(
+            &["window", "node", "sensor"],
+            &[AggSpec::new("value", Agg::Mean, "mean")],
+        )
+        .execute()?;
     let profiles = extract_profiles(&silver, jobs, window_ms)?;
     Ok(profiles
         .iter()

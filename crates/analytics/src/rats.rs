@@ -4,6 +4,10 @@
 //! resources ... A key feature is its capability to track burn rates for
 //! project allocations" (§VII-B).
 
+use oda_pipeline::logical::Query;
+use oda_pipeline::ops::{Agg, AggSpec};
+use oda_pipeline::Frame;
+use oda_storage::colfile::ColumnData;
 use oda_telemetry::jobs::{Job, PROGRAMS};
 use oda_telemetry::system::SystemModel;
 use serde::{Deserialize, Serialize};
@@ -61,13 +65,43 @@ impl RatsReport {
                 }
             })
             .collect();
-        for job in jobs {
-            let row = &mut rows[usize::from(job.program) % PROGRAMS.len()];
-            row.jobs += 1;
-            let nh = job.node_hours();
-            row.node_hours += nh;
-            row.cpu_hours += nh * f64::from(system.cpus_per_node);
-            row.gpu_hours += nh * f64::from(system.gpus_per_node);
+        // Attribute usage with a planned aggregate over the job log —
+        // the same query surface the rest of the stack uses. Programs
+        // without jobs keep their zeroed default row.
+        let usage = Frame::new(vec![
+            (
+                "program".into(),
+                ColumnData::I64(
+                    jobs.iter()
+                        .map(|j| (usize::from(j.program) % PROGRAMS.len()) as i64)
+                        .collect(),
+                ),
+            ),
+            (
+                "node_hours".into(),
+                ColumnData::F64(jobs.iter().map(Job::node_hours).collect()),
+            ),
+        ])
+        .expect("usage columns are aligned");
+        let per_program = Query::scan(usage)
+            .group_by(
+                &["program"],
+                &[
+                    AggSpec::new("node_hours", Agg::Sum, "node_hours"),
+                    AggSpec::new("node_hours", Agg::Count, "jobs"),
+                ],
+            )
+            .execute()
+            .expect("usage frame is well-typed");
+        let programs = per_program.i64s("program").expect("key column");
+        let node_hours = per_program.f64s("node_hours").expect("sum column");
+        let job_counts = per_program.i64s("jobs").expect("count column");
+        for ((&p, &nh), &n) in programs.iter().zip(node_hours).zip(job_counts) {
+            let row = &mut rows[p as usize];
+            row.jobs = n as u64;
+            row.node_hours = nh;
+            row.cpu_hours = nh * f64::from(system.cpus_per_node);
+            row.gpu_hours = nh * f64::from(system.gpus_per_node);
         }
         for row in &mut rows {
             row.burn_rate = if row.allocation_node_hours > 0.0 {

@@ -211,7 +211,11 @@ mod tests {
         // The LAKE has hot node power series.
         let series = f.lake().series_with_prefix("tiny/", 0, f.now_ms() + 1);
         assert_eq!(series.len(), 8, "one power series per node");
-        let pts = f.lake().query("tiny/node0/node_power_w", 0, f.now_ms() + 1);
+        let pts = f
+            .lake()
+            .plan(0, f.now_ms() + 1)
+            .series("tiny/node0/node_power_w")
+            .points();
         assert!(!pts.is_empty());
     }
 

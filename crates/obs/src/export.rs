@@ -249,6 +249,26 @@ fn w_kind(out: &mut String, kind: &TraceEventKind) {
             out.push(',');
             w_bool(out, "joined", *joined);
         }
+        TraceEventKind::PlanExecuted {
+            query,
+            rows_out,
+            chunks_read,
+            chunks_pruned,
+            index_hits,
+            groups,
+        } => {
+            w_str(out, "query", query);
+            out.push(',');
+            w_u64(out, "rows_out", *rows_out);
+            out.push(',');
+            w_u64(out, "chunks_read", *chunks_read);
+            out.push(',');
+            w_u64(out, "chunks_pruned", *chunks_pruned);
+            out.push(',');
+            w_u64(out, "index_hits", *index_hits);
+            out.push(',');
+            w_str(out, "groups", groups);
+        }
     }
     out.push('}');
 }
@@ -257,7 +277,7 @@ fn w_kind(out: &mut String, kind: &TraceEventKind) {
 fn category(kind: &TraceEventKind) -> &'static str {
     match kind.lane() {
         0 | 1 | 14 | 15..=17 => "stream",
-        2..=8 => "pipeline",
+        2..=8 | 18 => "pipeline",
         9..=12 => "storage",
         _ => "faults",
     }
@@ -624,6 +644,14 @@ fn kind_from(name: &str, args: &[(String, Value)]) -> Result<TraceEventKind, Exp
             partition: get_u64(args, "partition")?,
             node: get_u64(args, "node")?,
             joined: get_bool(args, "joined")?,
+        },
+        "plan_executed" => TraceEventKind::PlanExecuted {
+            query: get_str(args, "query")?,
+            rows_out: get_u64(args, "rows_out")?,
+            chunks_read: get_u64(args, "chunks_read")?,
+            chunks_pruned: get_u64(args, "chunks_pruned")?,
+            index_hits: get_u64(args, "index_hits")?,
+            groups: get_str(args, "groups")?,
         },
         other => return err(format!("unknown event kind {other:?}")),
     })
@@ -1029,6 +1057,36 @@ mod tests {
         let mut canonical = events;
         canonical.sort_by_key(TraceEvent::sort_key);
         assert_eq!(parsed, canonical);
+    }
+
+    #[test]
+    fn plan_executed_round_trips_and_categorizes_as_pipeline() {
+        let t = trace_id("query", crate::trace::SERVICE_TRACE);
+        let kind = TraceEventKind::PlanExecuted {
+            query: "scan(bronze)".into(),
+            rows_out: 42,
+            chunks_read: 6,
+            chunks_pruned: 10,
+            index_hits: 1,
+            groups: "0,2,5".into(),
+        };
+        assert_eq!(category(&kind), "pipeline");
+        assert!(kind.is_span(), "plan execution has a duration");
+        let events = vec![TraceEvent {
+            trace: t,
+            span: trace_span(t, kind.name(), 0),
+            parent: None,
+            scope: 0,
+            ctx: 0,
+            seq: 0,
+            dur_ns: 1234,
+            kind,
+        }];
+        let text = export_jsonl(&events);
+        assert!(text.contains("\"kind\":\"plan_executed\""));
+        assert!(text.contains("\"chunks_pruned\":10"));
+        assert!(text.contains("\"groups\":\"0,2,5\""));
+        assert_eq!(parse_jsonl(&text).expect("parse back"), events);
     }
 
     #[test]

@@ -265,6 +265,24 @@ pub enum TraceEventKind {
         /// True when the replica (re)joined; false when it was dropped.
         joined: bool,
     },
+    /// A logical query plan finished executing: records which colfile
+    /// chunks fed the answer so lineage can walk from a result back to
+    /// the exact row groups scanned.
+    PlanExecuted {
+        /// Query label (explain-tree root or caller-supplied name).
+        query: String,
+        /// Rows in the result frame.
+        rows_out: u64,
+        /// Column chunks actually decoded.
+        chunks_read: u64,
+        /// Column chunks skipped by stats pruning / index lookups.
+        chunks_pruned: u64,
+        /// Pushed predicates answered from a secondary index.
+        index_hits: u64,
+        /// Row groups scanned, comma-joined ascending (`"0,2,5"`; empty
+        /// when the scan touched no groups or read an in-memory frame).
+        groups: String,
+    },
 }
 
 impl TraceEventKind {
@@ -289,6 +307,7 @@ impl TraceEventKind {
             TraceEventKind::ReplicaFetch { .. } => "replica_fetch",
             TraceEventKind::LeaderElected { .. } => "leader_elected",
             TraceEventKind::IsrChange { .. } => "isr_change",
+            TraceEventKind::PlanExecuted { .. } => "plan_executed",
         }
     }
 
@@ -314,6 +333,7 @@ impl TraceEventKind {
             TraceEventKind::ReplicaFetch { .. } => 15,
             TraceEventKind::LeaderElected { .. } => 16,
             TraceEventKind::IsrChange { .. } => 17,
+            TraceEventKind::PlanExecuted { .. } => 18,
         }
     }
 
@@ -329,6 +349,7 @@ impl TraceEventKind {
                 | TraceEventKind::Transform { .. }
                 | TraceEventKind::SinkWrite { .. }
                 | TraceEventKind::Checkpoint { .. }
+                | TraceEventKind::PlanExecuted { .. }
         )
     }
 }

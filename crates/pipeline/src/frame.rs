@@ -312,10 +312,13 @@ impl Frame {
         }
     }
 
-    /// Project to a subset of columns.
-    pub fn select(&self, cols: &[&str]) -> Result<Frame, PipelineError> {
+    /// Project to a subset of columns. Accepts any string-like key list
+    /// (`&["a", "b"]`, a `Vec<String>` slice, …) — the one key-list type
+    /// shared across the query surface.
+    pub fn select<S: AsRef<str>>(&self, cols: &[S]) -> Result<Frame, PipelineError> {
         let mut out = Vec::with_capacity(cols.len());
-        for &c in cols {
+        for c in cols {
+            let c = c.as_ref();
             let idx = self.index_of(c)?;
             out.push((c.to_string(), self.columns[idx].clone()));
         }

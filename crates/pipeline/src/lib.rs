@@ -18,6 +18,7 @@ pub mod executor;
 pub mod expr;
 pub mod frame;
 pub mod frame_io;
+pub mod logical;
 pub mod medallion;
 pub mod metrics;
 pub mod ops;
@@ -32,6 +33,7 @@ pub use error::PipelineError;
 pub use executor::{EpochMeta, EpochTimings};
 pub use expr::Expr;
 pub use frame::{Frame, StrColumn};
-pub use metrics::PipelineMetrics;
+pub use logical::{ExecContext, ExecStats, LogicalPlan, Query, ScanPredicate, ScanSource, SortKey};
+pub use metrics::{PipelineMetrics, PlanMetrics};
 pub use plan::{PipelinePlan, Stage, StageTiming};
 pub use streaming::{MemorySink, Sink, StreamingQuery, StreamingQueryBuilder};

@@ -82,6 +82,58 @@ impl PipelineMetrics {
     }
 }
 
+/// Counters for the logical query planner — how much pushdown saved.
+///
+/// Fed by [`crate::logical::LogicalPlan::execute_with`] through
+/// [`crate::logical::ExecContext`].
+#[derive(Debug, Clone)]
+pub struct PlanMetrics {
+    /// Planned queries executed.
+    pub plans: Arc<Counter>,
+    /// Column chunks decompressed and decoded by planned scans.
+    pub chunks_read: Arc<Counter>,
+    /// Column chunks skipped by stats or index pruning.
+    pub chunks_pruned: Arc<Counter>,
+    /// Pushed predicates answered by a secondary index.
+    pub index_hits: Arc<Counter>,
+}
+
+impl PlanMetrics {
+    /// Register the planner metric families in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            plans: registry.counter(
+                "query_plans_executed_total",
+                "Logical query plans executed",
+                &[],
+            ),
+            chunks_read: registry.counter(
+                "query_chunks_read_total",
+                "Column chunks decoded by planned scans",
+                &[],
+            ),
+            chunks_pruned: registry.counter(
+                "query_chunks_pruned_total",
+                "Column chunks skipped by stats or index pruning",
+                &[],
+            ),
+            index_hits: registry.counter(
+                "query_index_hits_total",
+                "Pushed predicates answered by a secondary index",
+                &[],
+            ),
+        }
+    }
+
+    /// Record one executed plan's pruning statistics.
+    pub fn record(&self, stats: &crate::logical::ExecStats) {
+        self.plans.inc();
+        self.chunks_read.add(stats.chunks_read);
+        self.chunks_pruned.add(stats.chunks_pruned);
+        self.index_hits.add(stats.index_hits);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -138,10 +138,18 @@ fn numeric_at(col: &ColumnData, row: usize) -> Result<f64, PipelineError> {
 /// Output columns: the keys (original types, first-occurrence values)
 /// followed by one F64 column per spec (`Count` yields I64). String
 /// inputs support only `First`/`Last` (type-preserving).
-pub fn group_by(frame: &Frame, keys: &[&str], aggs: &[AggSpec]) -> Result<Frame, PipelineError> {
+///
+/// Key lists are generic over string-like types (`&["a"]` and
+/// `Vec<String>` slices both work) — the unified key-list type of the
+/// query surface.
+pub fn group_by<S: AsRef<str>>(
+    frame: &Frame,
+    keys: &[S],
+    aggs: &[AggSpec],
+) -> Result<Frame, PipelineError> {
     let key_idx: Vec<usize> = keys
         .iter()
-        .map(|k| frame.index_of(k))
+        .map(|k| frame.index_of(k.as_ref()))
         .collect::<Result<_, _>>()?;
     // Validate agg inputs upfront.
     for spec in aggs {
@@ -174,7 +182,8 @@ pub fn group_by(frame: &Frame, keys: &[&str], aggs: &[AggSpec]) -> Result<Frame,
     let key_frame = frame.take(&representative);
     let mut out: Vec<(String, ColumnData)> = keys
         .iter()
-        .map(|&k| {
+        .map(|k| {
+            let k = k.as_ref();
             (
                 k.to_string(),
                 key_frame.column(k).expect("key exists").clone(),
@@ -252,9 +261,9 @@ pub fn group_by(frame: &Frame, keys: &[&str], aggs: &[AggSpec]) -> Result<Frame,
 /// Pivot long-format data into wide format: one output column per
 /// distinct value of `pivot_col` (sorted), aggregating `value_col` with
 /// `agg` per (index, pivot value) cell. Missing cells are NaN.
-pub fn pivot(
+pub fn pivot<S: AsRef<str>>(
     frame: &Frame,
-    index: &[&str],
+    index: &[S],
     pivot_col: &str,
     value_col: &str,
     agg: Agg,
@@ -262,7 +271,7 @@ pub fn pivot(
     let pivots = frame.cat(pivot_col)?;
     let index_idx: Vec<usize> = index
         .iter()
-        .map(|k| frame.index_of(k))
+        .map(|k| frame.index_of(k.as_ref()))
         .collect::<Result<_, _>>()?;
     let values = frame.column(value_col)?;
 
@@ -320,7 +329,8 @@ pub fn pivot(
     let key_frame = frame.take(&representative);
     let mut out: Vec<(String, ColumnData)> = index
         .iter()
-        .map(|&k| {
+        .map(|k| {
+            let k = k.as_ref();
             (
                 k.to_string(),
                 key_frame.column(k).expect("key exists").clone(),
@@ -337,15 +347,15 @@ pub fn pivot(
 /// Melt wide-format data back to long format: the inverse of
 /// [`pivot`]. Every column not in `index` becomes a (name, value) row
 /// pair under `var_col` / `value_col`. Value columns must be numeric.
-pub fn melt(
+pub fn melt<S: AsRef<str>>(
     frame: &Frame,
-    index: &[&str],
+    index: &[S],
     var_col: &str,
     value_col: &str,
 ) -> Result<Frame, PipelineError> {
     let index_idx: Vec<usize> = index
         .iter()
-        .map(|k| frame.index_of(k))
+        .map(|k| frame.index_of(k.as_ref()))
         .collect::<Result<_, _>>()?;
     let value_cols: Vec<usize> = (0..frame.names().len())
         .filter(|i| !index_idx.contains(i))
@@ -397,14 +407,18 @@ pub fn melt(
 
 /// Inner hash join on equality of `on` columns. Right-side non-key
 /// columns are appended; name clashes get an `_r` suffix.
-pub fn join_inner(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, PipelineError> {
+pub fn join_inner<S: AsRef<str>>(
+    left: &Frame,
+    right: &Frame,
+    on: &[S],
+) -> Result<Frame, PipelineError> {
     let l_idx: Vec<usize> = on
         .iter()
-        .map(|k| left.index_of(k))
+        .map(|k| left.index_of(k.as_ref()))
         .collect::<Result<_, _>>()?;
     let r_idx: Vec<usize> = on
         .iter()
-        .map(|k| right.index_of(k))
+        .map(|k| right.index_of(k.as_ref()))
         .collect::<Result<_, _>>()?;
 
     let (l_keys, r_keys) = join_keys(left, &l_idx, right, &r_idx);
@@ -433,7 +447,7 @@ pub fn join_inner(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, Pip
         .map(|(n, c)| (n.clone(), c.clone()))
         .collect();
     for (name, col) in r_out.names().iter().zip(r_out.columns()) {
-        if on.contains(&name.as_str()) {
+        if on.iter().any(|k| k.as_ref() == name) {
             continue;
         }
         let out_name = if left.index_of(name).is_ok() {
@@ -449,14 +463,18 @@ pub fn join_inner(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, Pip
 /// Left hash join: every left row survives; unmatched right numeric
 /// columns fill with NaN, integers with 0 and a `_matched` flag column
 /// (I64 0/1) is appended so consumers can tell absence from zero.
-pub fn join_left(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, PipelineError> {
+pub fn join_left<S: AsRef<str>>(
+    left: &Frame,
+    right: &Frame,
+    on: &[S],
+) -> Result<Frame, PipelineError> {
     let l_idx: Vec<usize> = on
         .iter()
-        .map(|k| left.index_of(k))
+        .map(|k| left.index_of(k.as_ref()))
         .collect::<Result<_, _>>()?;
     let r_idx: Vec<usize> = on
         .iter()
-        .map(|k| right.index_of(k))
+        .map(|k| right.index_of(k.as_ref()))
         .collect::<Result<_, _>>()?;
     let (l_keys, r_keys) = join_keys(left, &l_idx, right, &r_idx);
     let mut right_rows: HashMap<RowKey, Vec<usize>> = HashMap::new();
@@ -487,7 +505,7 @@ pub fn join_left(left: &Frame, right: &Frame, on: &[&str]) -> Result<Frame, Pipe
         .map(|(n, c)| (n.clone(), c.clone()))
         .collect();
     for (ci, name) in right.names().iter().enumerate() {
-        if on.contains(&name.as_str()) {
+        if on.iter().any(|k| k.as_ref() == name) {
             continue;
         }
         let out_name = if left.index_of(name).is_ok() {

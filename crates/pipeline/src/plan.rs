@@ -10,6 +10,7 @@
 use crate::error::PipelineError;
 use crate::expr::Expr;
 use crate::frame::Frame;
+use crate::logical::{LogicalPlan, ScanSource};
 use crate::ops::{self, Agg, AggSpec};
 use crate::window::assign_window;
 use std::time::Instant;
@@ -110,37 +111,75 @@ impl PipelinePlan {
                 Ok(frame.filter_mask(&mask))
             }
             Stage::Window { ts_col, width_ms } => assign_window(&frame, ts_col, *width_ms),
-            Stage::GroupBy { keys, aggs } => {
-                let keys: Vec<&str> = keys.iter().map(String::as_str).collect();
-                ops::group_by(&frame, &keys, aggs)
-            }
+            Stage::GroupBy { keys, aggs } => ops::group_by(&frame, keys, aggs),
             Stage::Pivot {
                 index,
                 pivot_col,
                 value_col,
                 agg,
-            } => {
-                let index: Vec<&str> = index.iter().map(String::as_str).collect();
-                ops::pivot(&frame, &index, pivot_col, value_col, *agg)
-            }
-            Stage::Join { right, on } => {
-                let on: Vec<&str> = on.iter().map(String::as_str).collect();
-                ops::join_inner(&frame, right, &on)
-            }
-            Stage::Select(cols) => {
-                let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
-                frame.select(&cols)
-            }
+            } => ops::pivot(&frame, index, pivot_col, value_col, *agg),
+            Stage::Join { right, on } => ops::join_inner(&frame, right, on),
+            Stage::Select(cols) => frame.select(cols),
         }
     }
 
-    /// Execute against `input`.
-    pub fn execute(&self, input: Frame) -> Result<Frame, PipelineError> {
-        let mut frame = input;
+    /// Lower the clause list onto a [`LogicalPlan`] scanning `input` —
+    /// the SQL-clause anatomy and the planner describe the same
+    /// computation, so the plan executes byte-identically to the
+    /// stage-by-stage path while gaining predicate pushdown.
+    pub fn lower(&self, input: Frame) -> LogicalPlan {
+        let mut plan = LogicalPlan::Scan {
+            source: ScanSource::Frame(input),
+            projection: None,
+            predicates: Vec::new(),
+        };
         for stage in &self.stages {
-            frame = Self::run_stage(stage, frame)?;
+            let input = Box::new(plan);
+            plan = match stage {
+                Stage::Where(expr) => LogicalPlan::Filter {
+                    input,
+                    predicate: expr.clone(),
+                },
+                Stage::Window { ts_col, width_ms } => LogicalPlan::Window {
+                    input,
+                    ts_col: ts_col.clone(),
+                    width_ms: *width_ms,
+                },
+                Stage::GroupBy { keys, aggs } => LogicalPlan::Aggregate {
+                    input,
+                    keys: keys.clone(),
+                    aggs: aggs.clone(),
+                },
+                Stage::Pivot {
+                    index,
+                    pivot_col,
+                    value_col,
+                    agg,
+                } => LogicalPlan::Pivot {
+                    input,
+                    index: index.clone(),
+                    pivot_col: pivot_col.clone(),
+                    value_col: value_col.clone(),
+                    agg: *agg,
+                },
+                Stage::Join { right, on } => LogicalPlan::Join {
+                    input,
+                    right: right.clone(),
+                    on: on.clone(),
+                },
+                Stage::Select(cols) => LogicalPlan::Project {
+                    input,
+                    columns: cols.clone(),
+                },
+            };
         }
-        Ok(frame)
+        plan
+    }
+
+    /// Execute against `input` through the logical planner (pushdown
+    /// included). Output is identical to running the stages one by one.
+    pub fn execute(&self, input: Frame) -> Result<Frame, PipelineError> {
+        self.lower(input).optimize().execute()
     }
 
     /// Execute with per-stage timing (the Fig. 4-b measurement).

@@ -13,6 +13,7 @@ use crate::encoding::{
     encode_str,
 };
 use crate::error::StorageError;
+use crate::index::ColumnIndex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -176,10 +177,53 @@ struct RowGroupMeta {
     chunks: Vec<ChunkMeta>,
 }
 
+/// Location of one serialized [`ColumnIndex`] in the data region.
+///
+/// Absent from files written without indexes — the field is skipped when
+/// empty so index-free output stays byte-identical to the pre-index
+/// format, and old footers parse via the default.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+struct IndexMeta {
+    column: String,
+    offset: usize,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
 struct Footer {
     schema: TableSchema,
     row_groups: Vec<RowGroupMeta>,
+    /// Secondary-index locations; empty for unindexed files.
+    indexes: Vec<IndexMeta>,
+}
+
+// Hand-rolled so `indexes` is optional on both sides: omitted from the
+// serialized footer when empty (index-free output stays byte-identical
+// to the pre-index format) and defaulted when absent (old files parse).
+impl Serialize for Footer {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("row_groups".to_string(), self.row_groups.to_value()),
+        ];
+        if !self.indexes.is_empty() {
+            fields.push(("indexes".to_string(), self.indexes.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Footer {
+    fn from_value(v: &serde::Value) -> Option<Self> {
+        Some(Footer {
+            schema: Deserialize::from_value(serde::obj_get(v, "schema")?)?,
+            row_groups: Deserialize::from_value(serde::obj_get(v, "row_groups")?)?,
+            indexes: match serde::obj_get(v, "indexes") {
+                Some(raw) => Deserialize::from_value(raw)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Writer accumulating row groups into an in-memory file.
@@ -188,6 +232,8 @@ pub struct TableWriter {
     schema: TableSchema,
     buf: Vec<u8>,
     row_groups: Vec<RowGroupMeta>,
+    /// (column position, name, accumulating index) for opted-in columns.
+    indexes: Vec<(usize, String, ColumnIndex)>,
 }
 
 fn stats_of(data: &ColumnData) -> ChunkStats {
@@ -235,7 +281,41 @@ impl TableWriter {
             schema,
             buf: MAGIC.to_vec(),
             row_groups: Vec::new(),
+            indexes: Vec::new(),
         }
+    }
+
+    /// Opt a categorical (`Str`/`Dict`) column into secondary indexing:
+    /// every row group written afterwards contributes `value → row
+    /// bitmap` postings, serialized beside the footer by [`finish`].
+    /// Must be called before the first `write_row_group`. Indexing is
+    /// opt-in so default output stays byte-identical to unindexed files.
+    ///
+    /// [`finish`]: TableWriter::finish
+    pub fn index_column(&mut self, name: &str) -> Result<(), StorageError> {
+        let pos = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StorageError::NotFound(format!("column {name}")))?;
+        match self.schema.columns[pos].1 {
+            ColumnType::Str | ColumnType::Dict => {}
+            other => {
+                return Err(StorageError::SchemaMismatch {
+                    expected: format!("{name}: Str or Dict"),
+                    got: format!("{name}: {other:?}"),
+                })
+            }
+        }
+        if !self.row_groups.is_empty() {
+            return Err(StorageError::Corrupt(
+                "index_column must precede write_row_group".into(),
+            ));
+        }
+        if self.indexes.iter().all(|(p, _, _)| *p != pos) {
+            self.indexes
+                .push((pos, name.to_string(), ColumnIndex::new()));
+        }
+        Ok(())
     }
 
     /// Append one row group. Columns must match the schema in order,
@@ -286,15 +366,41 @@ impl TableWriter {
                 stats: stats_of(data),
             });
         }
+        let group = self.row_groups.len();
+        for (pos, _, index) in &mut self.indexes {
+            match &columns[*pos] {
+                ColumnData::Str(v) => index.add_group(group, rows, v.iter().map(String::as_str)),
+                ColumnData::Dict { dict, codes } => index.add_group(
+                    group,
+                    rows,
+                    codes.iter().map(|&c| dict[c as usize].as_str()),
+                ),
+                // Unreachable: index_column checked the schema type and
+                // the type check above enforced it for this group.
+                _ => {}
+            }
+        }
         self.row_groups.push(RowGroupMeta { rows, chunks });
         Ok(())
     }
 
     /// Finalize: append the footer and return the file bytes.
     pub fn finish(mut self) -> Vec<u8> {
+        let mut index_meta = Vec::with_capacity(self.indexes.len());
+        for (_, name, index) in &self.indexes {
+            let encoded = serde_json::to_vec(index).expect("index serializes");
+            let compressed = compress(&encoded);
+            index_meta.push(IndexMeta {
+                column: name.clone(),
+                offset: self.buf.len(),
+                len: compressed.len(),
+            });
+            self.buf.extend_from_slice(&compressed);
+        }
         let footer = Footer {
             schema: self.schema,
             row_groups: self.row_groups,
+            indexes: index_meta,
         };
         let footer_json = serde_json::to_vec(&footer).expect("footer serializes");
         self.buf.extend_from_slice(&footer_json);
@@ -350,6 +456,11 @@ impl TableFile {
         self.footer.row_groups.iter().map(|g| g.rows).sum()
     }
 
+    /// Rows in one row group.
+    pub fn row_group_rows(&self, group: usize) -> Option<usize> {
+        self.footer.row_groups.get(group).map(|g| g.rows)
+    }
+
     /// Size of the file in bytes.
     pub fn byte_size(&self) -> usize {
         self.bytes.len()
@@ -397,6 +508,36 @@ impl TableFile {
             .chunks
             .get(column)
             .map(|c| &c.stats)
+    }
+
+    /// Columns carrying a secondary index, in write order.
+    pub fn indexed_columns(&self) -> Vec<&str> {
+        self.footer
+            .indexes
+            .iter()
+            .map(|m| m.column.as_str())
+            .collect()
+    }
+
+    /// True when `column` carries a secondary index.
+    pub fn has_index(&self, column: &str) -> bool {
+        self.footer.indexes.iter().any(|m| m.column == column)
+    }
+
+    /// Decode the secondary index of `column`, if the file carries one.
+    pub fn read_index(&self, column: &str) -> Result<Option<ColumnIndex>, StorageError> {
+        let Some(meta) = self.footer.indexes.iter().find(|m| m.column == column) else {
+            return Ok(None);
+        };
+        if meta.offset + meta.len > self.bytes.len() {
+            return Err(StorageError::Corrupt(format!(
+                "index for {column} exceeds file"
+            )));
+        }
+        let raw = decompress(&self.bytes[meta.offset..meta.offset + meta.len])?;
+        let index: ColumnIndex = serde_json::from_slice(&raw)
+            .map_err(|e| StorageError::Corrupt(format!("index parse: {e}")))?;
+        Ok(Some(index))
     }
 
     /// Row groups whose `column` stats intersect `[lo, hi]` — predicate
@@ -627,6 +768,87 @@ mod tests {
             let r = f.read_row_group(0);
             assert!(r.is_err() || r.is_ok()); // must not panic; often corrupt
         }
+    }
+
+    #[test]
+    fn secondary_index_roundtrips_and_prunes() {
+        let mut w = TableFile::writer(schema());
+        w.index_column("sensor").unwrap();
+        // Idempotent; unknown / non-categorical columns rejected.
+        w.index_column("sensor").unwrap();
+        assert!(w.index_column("value").is_err());
+        assert!(w.index_column("nope").is_err());
+        for g in 0..4 {
+            let rows = 10usize;
+            w.write_row_group(&[
+                ColumnData::I64((0..rows as i64).map(|i| g * 10_000 + i).collect()),
+                ColumnData::F64(vec![1.0; rows]),
+                // Group g holds only sensor "s{g%2}".
+                ColumnData::Str(vec![format!("s{}", g % 2); rows]),
+            ])
+            .unwrap();
+        }
+        let file = TableFile::open(w.finish()).unwrap();
+        assert_eq!(file.indexed_columns(), vec!["sensor"]);
+        assert!(file.has_index("sensor"));
+        assert!(!file.has_index("value"));
+        let ix = file.read_index("sensor").unwrap().unwrap();
+        assert_eq!(ix.groups_with("s0"), vec![0, 2]);
+        assert_eq!(ix.groups_with("s1"), vec![1, 3]);
+        assert!(ix.groups_with("s9").is_empty());
+        assert_eq!(ix.rows_in_group("s0", 0).unwrap().count_ones(), 10);
+        assert!(file.read_index("value").unwrap().is_none());
+        // Data pages still read back untouched.
+        assert_eq!(file.num_rows(), 40);
+        assert!(file.read_row_group(3).is_ok());
+    }
+
+    #[test]
+    fn index_works_on_dict_columns_too() {
+        let s = TableSchema::new(&[("device", ColumnType::Dict)]);
+        let mut w = TableFile::writer(s);
+        w.index_column("device").unwrap();
+        let dict = vec!["cpu0".to_string(), "gpu1".to_string()];
+        w.write_row_group(&[ColumnData::dict(dict.clone(), vec![0, 1, 0, 0])])
+            .unwrap();
+        w.write_row_group(&[ColumnData::dict(dict, vec![1, 1])])
+            .unwrap();
+        let file = TableFile::open(w.finish()).unwrap();
+        let ix = file.read_index("device").unwrap().unwrap();
+        assert_eq!(ix.groups_with("cpu0"), vec![0]);
+        assert_eq!(ix.groups_with("gpu1"), vec![0, 1]);
+        assert_eq!(
+            ix.rows_in_group("cpu0", 0)
+                .unwrap()
+                .ones()
+                .collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+    }
+
+    #[test]
+    fn unindexed_files_are_byte_identical_to_pre_index_format() {
+        // Writing without index_column must not change a single byte:
+        // the footer's `indexes` field is skipped when empty.
+        let build = |index: bool| {
+            let mut w = TableFile::writer(schema());
+            if index {
+                w.index_column("sensor").unwrap();
+            }
+            w.write_row_group(&group(0, 20)).unwrap();
+            w.finish()
+        };
+        let plain = build(false);
+        let indexed = build(true);
+        assert!(!String::from_utf8_lossy(&plain).contains("indexes"));
+        assert!(indexed.len() > plain.len());
+        // An indexed file still opens and reads through the plain path.
+        let file = TableFile::open(indexed).unwrap();
+        assert_eq!(file.read_row_group(0).unwrap(), group(0, 20));
+        // index_column after data is written is rejected.
+        let mut w = TableFile::writer(schema());
+        w.write_row_group(&group(0, 5)).unwrap();
+        assert!(w.index_column("sensor").is_err());
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Secondary (inverted) indexes over categorical colfile columns.
+//!
+//! A [`ColumnIndex`] maps each distinct string value of a categorical
+//! (`Str`/`Dict`) column to its postings: for every row group that
+//! contains the value, a [`RowBitmap`] of the matching rows. Indexes are
+//! built at colfile write time (opt-in via
+//! [`crate::colfile::TableWriter::index_column`]), serialized beside the
+//! footer, and let a query planner answer `col == "value"` lookups by
+//! touching only the row groups — and rows — that can match, without
+//! decoding the column itself.
+//!
+//! Everything here is deterministic: entries are sorted by value,
+//! postings by row group, and bitmaps are fixed-width little-endian
+//! words, so the serialized form is byte-stable for a given input.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bitmap over the rows of one row group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowBitmap {
+    /// Number of rows the bitmap covers (bits beyond `len` are zero).
+    len: usize,
+    /// Bit i of `words[i / 64]` (LSB first) marks row i.
+    words: Vec<u64>,
+}
+
+impl RowBitmap {
+    /// An all-zero bitmap over `len` rows.
+    pub fn new(len: usize) -> RowBitmap {
+        RowBitmap {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mark `row` as set. Rows at or beyond `len` are ignored.
+    pub fn set(&mut self, row: usize) {
+        if row < self.len {
+            self.words[row / 64] |= 1u64 << (row % 64);
+        }
+    }
+
+    /// Whether `row` is set.
+    pub fn contains(&self, row: usize) -> bool {
+        row < self.len && self.words[row / 64] & (1u64 << (row % 64)) != 0
+    }
+
+    /// Number of set rows.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate set row indexes in ascending order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+
+    /// Materialize as a `Vec<bool>` mask of length `len`.
+    pub fn to_mask(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.contains(i)).collect()
+    }
+}
+
+/// Postings for one value within one row group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting {
+    /// Row group index within the file.
+    pub group: u32,
+    /// Rows of that group holding the value.
+    pub rows: RowBitmap,
+}
+
+/// One distinct value and every place it occurs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// The categorical value.
+    pub value: String,
+    /// Postings sorted by row group.
+    pub postings: Vec<Posting>,
+}
+
+/// An inverted index over one categorical column of a colfile:
+/// `value → (row group, row bitmap)` postings.
+///
+/// Entries are kept sorted by value so lookups binary-search and the
+/// serialized form is canonical.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnIndex {
+    /// Distinct values with postings, sorted by value.
+    pub entries: Vec<IndexEntry>,
+}
+
+impl ColumnIndex {
+    /// An empty index.
+    pub fn new() -> ColumnIndex {
+        ColumnIndex::default()
+    }
+
+    /// Number of distinct values indexed.
+    pub fn distinct_values(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no values are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up one value's entry.
+    pub fn get(&self, value: &str) -> Option<&IndexEntry> {
+        self.entries
+            .binary_search_by(|e| e.value.as_str().cmp(value))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Row groups containing `value`, ascending. `None` when the value
+    /// does not occur anywhere in the file (so every group can be
+    /// pruned), as opposed to `Some(vec![..])` listing the survivors.
+    pub fn groups_with(&self, value: &str) -> Vec<usize> {
+        self.get(value)
+            .map(|e| e.postings.iter().map(|p| p.group as usize).collect())
+            .unwrap_or_default()
+    }
+
+    /// The row bitmap for `value` within `group`, if any.
+    pub fn rows_in_group(&self, value: &str, group: usize) -> Option<&RowBitmap> {
+        let entry = self.get(value)?;
+        entry
+            .postings
+            .binary_search_by_key(&group, |p| p.group as usize)
+            .ok()
+            .map(|i| &entry.postings[i].rows)
+    }
+
+    /// Record a full row group's worth of values. `values` yields the
+    /// column's string value for each row of group `group`, in row
+    /// order. Groups must be added in ascending order.
+    pub fn add_group<'a, I>(&mut self, group: usize, rows: usize, values: I)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        for (row, value) in values.into_iter().enumerate() {
+            let idx = match self
+                .entries
+                .binary_search_by(|e| e.value.as_str().cmp(value))
+            {
+                Ok(i) => i,
+                Err(i) => {
+                    self.entries.insert(
+                        i,
+                        IndexEntry {
+                            value: value.to_string(),
+                            postings: Vec::new(),
+                        },
+                    );
+                    i
+                }
+            };
+            let entry = &mut self.entries[idx];
+            match entry.postings.last_mut() {
+                Some(p) if p.group as usize == group => p.rows.set(row),
+                _ => {
+                    let mut rows_bm = RowBitmap::new(rows);
+                    rows_bm.set(row);
+                    entry.postings.push(Posting {
+                        group: group as u32,
+                        rows: rows_bm,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_contains_count() {
+        let mut bm = RowBitmap::new(130);
+        for i in [0usize, 63, 64, 65, 129] {
+            bm.set(i);
+        }
+        bm.set(500); // out of range: ignored
+        assert_eq!(bm.len(), 130);
+        assert_eq!(bm.count_ones(), 5);
+        assert!(bm.contains(0) && bm.contains(63) && bm.contains(64));
+        assert!(!bm.contains(1) && !bm.contains(128) && !bm.contains(500));
+        assert_eq!(bm.ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 129]);
+        let mask = bm.to_mask();
+        assert_eq!(mask.len(), 130);
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 5);
+    }
+
+    #[test]
+    fn index_lookup_and_group_pruning() {
+        let mut ix = ColumnIndex::new();
+        ix.add_group(0, 4, ["a", "b", "a", "c"]);
+        ix.add_group(1, 3, ["b", "b", "b"]);
+        ix.add_group(2, 2, ["c", "a"]);
+
+        assert_eq!(ix.distinct_values(), 3);
+        assert_eq!(ix.groups_with("a"), vec![0, 2]);
+        assert_eq!(ix.groups_with("b"), vec![0, 1]);
+        assert_eq!(ix.groups_with("c"), vec![0, 2]);
+        assert!(ix.groups_with("nope").is_empty());
+
+        let rows = ix.rows_in_group("a", 0).unwrap();
+        assert_eq!(rows.ones().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(ix.rows_in_group("a", 1).is_none());
+        let rows = ix.rows_in_group("b", 1).unwrap();
+        assert_eq!(rows.count_ones(), 3);
+    }
+
+    #[test]
+    fn entries_sorted_for_canonical_serialization() {
+        let mut ix = ColumnIndex::new();
+        ix.add_group(0, 3, ["zeta", "alpha", "mid"]);
+        let values: Vec<&str> = ix.entries.iter().map(|e| e.value.as_str()).collect();
+        assert_eq!(values, vec!["alpha", "mid", "zeta"]);
+        // Serialized form is identical regardless of insertion order.
+        let mut ix2 = ColumnIndex::new();
+        ix2.add_group(0, 3, ["zeta", "alpha", "mid"]);
+        assert_eq!(
+            serde_json::to_vec(&ix).unwrap(),
+            serde_json::to_vec(&ix2).unwrap()
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut ix = ColumnIndex::new();
+        ix.add_group(
+            0,
+            100,
+            (0..100).map(|i| ["x", "y"][i % 2]).collect::<Vec<_>>(),
+        );
+        let json = serde_json::to_vec(&ix).unwrap();
+        let back: ColumnIndex = serde_json::from_slice(&json).unwrap();
+        assert_eq!(ix, back);
+        assert_eq!(back.rows_in_group("x", 0).unwrap().count_ones(), 50);
+    }
+}

@@ -127,23 +127,23 @@ impl Lake {
         self.record_insert(series, points.len() as u64);
     }
 
-    /// Points of `series` with `t0 <= ts < t1`, sorted by time.
-    pub fn query(&self, series: &str, t0: i64, t1: i64) -> Vec<Point> {
-        let mut out = Vec::new();
-        let first_seg = self.segment_start(t0);
-        let segs = self.segments.read();
-        for (_, seg) in segs.range(first_seg..t1) {
-            if let Some(points) = seg.series.get(series) {
-                out.extend(
-                    points
-                        .iter()
-                        .filter(|p| p.ts_ms >= t0 && p.ts_ms < t1)
-                        .copied(),
-                );
-            }
+    /// Plan a read over `[t0, t1)` — the one query surface. Chain
+    /// [`LakePlan::series`], optionally [`LakePlan::downsample`], then
+    /// finish with [`LakePlan::points`] or [`LakePlan::aggregate`].
+    pub fn plan(&self, t0: i64, t1: i64) -> LakePlan<'_> {
+        LakePlan {
+            lake: self,
+            t0,
+            t1,
+            series: None,
+            bucket_ms: None,
         }
-        out.sort_by_key(|p| p.ts_ms);
-        out
+    }
+
+    /// Points of `series` with `t0 <= ts < t1`, sorted by time.
+    #[deprecated(note = "use `lake.plan(t0, t1).series(name).points()`")]
+    pub fn query(&self, series: &str, t0: i64, t1: i64) -> Vec<Point> {
+        self.plan(t0, t1).series(series).points()
     }
 
     /// Series names active in `[t0, t1)` with the given prefix.
@@ -162,52 +162,19 @@ impl Lake {
     }
 
     /// Aggregate `series` over `[t0, t1)`: (count, mean, min, max).
+    #[deprecated(note = "use `lake.plan(t0, t1).series(name).aggregate()`")]
     pub fn aggregate(&self, series: &str, t0: i64, t1: i64) -> Option<(usize, f64, f64, f64)> {
-        let pts = self.query(series, t0, t1);
-        if pts.is_empty() {
-            return None;
-        }
-        let mut sum = 0.0;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        let mut n = 0usize;
-        for p in &pts {
-            if p.value.is_nan() {
-                continue;
-            }
-            sum += p.value;
-            min = min.min(p.value);
-            max = max.max(p.value);
-            n += 1;
-        }
-        if n == 0 {
-            return None;
-        }
-        Some((n, sum / n as f64, min, max))
+        self.plan(t0, t1).series(series).aggregate()
     }
 
     /// Downsampled series: mean per `bucket_ms` bucket over `[t0, t1)`,
-    /// ordered by bucket start — the long-range query path that keeps
-    /// LVA-style dashboards interactive over months of history.
+    /// ordered by bucket start.
+    #[deprecated(note = "use `lake.plan(t0, t1).series(name).downsample(bucket_ms).points()`")]
     pub fn query_downsampled(&self, series: &str, t0: i64, t1: i64, bucket_ms: i64) -> Vec<Point> {
-        assert!(bucket_ms > 0);
-        let mut acc: std::collections::BTreeMap<i64, (f64, usize)> =
-            std::collections::BTreeMap::new();
-        for p in self.query(series, t0, t1) {
-            if p.value.is_nan() {
-                continue;
-            }
-            let bucket = p.ts_ms.div_euclid(bucket_ms) * bucket_ms;
-            let e = acc.entry(bucket).or_insert((0.0, 0));
-            e.0 += p.value;
-            e.1 += 1;
-        }
-        acc.into_iter()
-            .map(|(ts_ms, (sum, n))| Point {
-                ts_ms,
-                value: sum / n as f64,
-            })
-            .collect()
+        self.plan(t0, t1)
+            .series(series)
+            .downsample(bucket_ms)
+            .points()
     }
 
     /// Total retained points.
@@ -247,6 +214,126 @@ impl Default for Lake {
     }
 }
 
+/// A planned read over one time range — LAKE's analogue of the
+/// pipeline's logical plan. Segment pruning is the pushdown: only
+/// segments overlapping `[t0, t1)` are visited, never the whole store.
+#[derive(Clone)]
+pub struct LakePlan<'a> {
+    lake: &'a Lake,
+    t0: i64,
+    t1: i64,
+    series: Option<String>,
+    bucket_ms: Option<i64>,
+}
+
+impl LakePlan<'_> {
+    /// Select the series to read. Plans without a series yield nothing.
+    pub fn series(mut self, name: &str) -> Self {
+        self.series = Some(name.to_string());
+        self
+    }
+
+    /// Downsample to one mean point per `bucket_ms` bucket (NaN points
+    /// are skipped; empty buckets are absent).
+    pub fn downsample(mut self, bucket_ms: i64) -> Self {
+        assert!(bucket_ms > 0);
+        self.bucket_ms = Some(bucket_ms);
+        self
+    }
+
+    /// Raw points in range, sorted by time — segment-pruned scan.
+    fn scan(&self) -> Vec<Point> {
+        let Some(series) = &self.series else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let first_seg = self.lake.segment_start(self.t0);
+        let segs = self.lake.segments.read();
+        for (_, seg) in segs.range(first_seg..self.t1) {
+            if let Some(points) = seg.series.get(series) {
+                out.extend(
+                    points
+                        .iter()
+                        .filter(|p| p.ts_ms >= self.t0 && p.ts_ms < self.t1)
+                        .copied(),
+                );
+            }
+        }
+        out.sort_by_key(|p| p.ts_ms);
+        out
+    }
+
+    /// Execute: the selected series' points, downsampled when
+    /// [`LakePlan::downsample`] was set, ordered by time.
+    pub fn points(&self) -> Vec<Point> {
+        let pts = self.scan();
+        let Some(bucket_ms) = self.bucket_ms else {
+            return pts;
+        };
+        let mut acc: BTreeMap<i64, (f64, usize)> = BTreeMap::new();
+        for p in pts {
+            if p.value.is_nan() {
+                continue;
+            }
+            let bucket = p.ts_ms.div_euclid(bucket_ms) * bucket_ms;
+            let e = acc.entry(bucket).or_insert((0.0, 0));
+            e.0 += p.value;
+            e.1 += 1;
+        }
+        acc.into_iter()
+            .map(|(ts_ms, (sum, n))| Point {
+                ts_ms,
+                value: sum / n as f64,
+            })
+            .collect()
+    }
+
+    /// Execute as an aggregate: (count, mean, min, max) over non-NaN
+    /// points, `None` when nothing qualifies. Downsampling applies
+    /// first when set.
+    pub fn aggregate(&self) -> Option<(usize, f64, f64, f64)> {
+        let pts = self.points();
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut n = 0usize;
+        for p in &pts {
+            if p.value.is_nan() {
+                continue;
+            }
+            sum += p.value;
+            min = min.min(p.value);
+            max = max.max(p.value);
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        Some((n, sum / n as f64, min, max))
+    }
+
+    /// Deterministic one-line plan description: the range, the series,
+    /// and how many retained segments the scan will visit.
+    pub fn explain(&self) -> String {
+        let segs = self.lake.segments.read();
+        let first_seg = self.lake.segment_start(self.t0);
+        let covered = segs.range(first_seg..self.t1).count();
+        let total = segs.len();
+        let series = match &self.series {
+            Some(s) => format!("{s:?}"),
+            None => "<none>".to_string(),
+        };
+        let down = match self.bucket_ms {
+            Some(b) => format!(" downsample={b}"),
+            None => String::new(),
+        };
+        format!(
+            "LakeScan series={series} range=[{}, {}) segments={covered}/{total}{down}",
+            self.t0, self.t1
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,7 +344,7 @@ mod tests {
         for i in 0..100 {
             lake.insert("s", i * 100, i as f64);
         }
-        let pts = lake.query("s", 2_500, 5_000);
+        let pts = lake.plan(2_500, 5_000).series("s").points();
         assert_eq!(pts.first().unwrap().ts_ms, 2_500);
         assert_eq!(pts.last().unwrap().ts_ms, 4_900);
         assert!(pts.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
@@ -268,9 +355,9 @@ mod tests {
         let lake = Lake::new();
         lake.insert("a", 0, 1.0);
         lake.insert("b", 0, 2.0);
-        assert_eq!(lake.query("a", 0, 10)[0].value, 1.0);
-        assert_eq!(lake.query("b", 0, 10)[0].value, 2.0);
-        assert!(lake.query("c", 0, 10).is_empty());
+        assert_eq!(lake.plan(0, 10).series("a").points()[0].value, 1.0);
+        assert_eq!(lake.plan(0, 10).series("b").points()[0].value, 2.0);
+        assert!(lake.plan(0, 10).series("c").points().is_empty());
     }
 
     #[test]
@@ -292,12 +379,12 @@ mod tests {
         lake.insert("s", 0, 1.0);
         lake.insert("s", 1, f64::NAN);
         lake.insert("s", 2, 3.0);
-        let (n, mean, min, max) = lake.aggregate("s", 0, 10).unwrap();
+        let (n, mean, min, max) = lake.plan(0, 10).series("s").aggregate().unwrap();
         assert_eq!(n, 2);
         assert_eq!(mean, 2.0);
         assert_eq!(min, 1.0);
         assert_eq!(max, 3.0);
-        assert!(lake.aggregate("s", 100, 200).is_none());
+        assert!(lake.plan(100, 200).series("s").aggregate().is_none());
     }
 
     #[test]
@@ -306,7 +393,7 @@ mod tests {
         for i in 0..100 {
             lake.insert("s", i * 100, i as f64);
         }
-        let down = lake.query_downsampled("s", 0, 10_000, 1_000);
+        let down = lake.plan(0, 10_000).series("s").downsample(1_000).points();
         assert_eq!(down.len(), 10);
         // Bucket 0 holds values 0..9 -> mean 4.5.
         assert_eq!(down[0].ts_ms, 0);
@@ -316,7 +403,7 @@ mod tests {
         // NaN points are skipped, empty buckets absent.
         lake.insert("t", 0, f64::NAN);
         lake.insert("t", 5_000, 2.0);
-        let down = lake.query_downsampled("t", 0, 10_000, 1_000);
+        let down = lake.plan(0, 10_000).series("t").downsample(1_000).points();
         assert_eq!(down.len(), 1);
         assert_eq!(down[0].ts_ms, 5_000);
     }
@@ -329,8 +416,8 @@ mod tests {
         }
         let dropped = lake.enforce_retention(20_000);
         assert!(dropped > 0);
-        assert!(lake.query("s", 0, 10_000).is_empty());
-        assert!(!lake.query("s", 15_000, 20_000).is_empty());
+        assert!(lake.plan(0, 10_000).series("s").points().is_empty());
+        assert!(!lake.plan(15_000, 20_000).series("s").points().is_empty());
     }
 
     #[test]
@@ -368,11 +455,43 @@ mod tests {
     }
 
     #[test]
+    fn plan_explains_and_shims_delegate() {
+        let lake = Lake::with_layout(1_000, i64::MAX / 4);
+        for i in 0..30 {
+            lake.insert("s", i * 100, i as f64);
+        }
+        let plan = lake.plan(500, 2_500).series("s").downsample(1_000);
+        assert_eq!(
+            plan.explain(),
+            "LakeScan series=\"s\" range=[500, 2500) segments=3/3 downsample=1000"
+        );
+        // A plan without a series reads nothing.
+        assert!(lake.plan(0, 10_000).points().is_empty());
+        assert!(lake.plan(0, 10_000).aggregate().is_none());
+        // The deprecated wrappers answer identically to their plans.
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                lake.query("s", 500, 2_500),
+                lake.plan(500, 2_500).series("s").points()
+            );
+            assert_eq!(
+                lake.query_downsampled("s", 500, 2_500, 1_000),
+                plan.points()
+            );
+            assert_eq!(
+                lake.aggregate("s", 500, 2_500),
+                lake.plan(500, 2_500).series("s").aggregate()
+            );
+        }
+    }
+
+    #[test]
     fn negative_timestamps_partition_correctly() {
         let lake = Lake::with_layout(1_000, i64::MAX / 4);
         lake.insert("s", -1_500, 1.0);
         lake.insert("s", -500, 2.0);
-        let pts = lake.query("s", -2_000, 0);
+        let pts = lake.plan(-2_000, 0).series("s").points();
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].ts_ms, -1_500);
     }

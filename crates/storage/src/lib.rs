@@ -11,6 +11,10 @@
 //!   per-chunk min/max statistics for predicate pushdown, and a footer —
 //!   the Parquet analogue that gives "significant data compression and
 //!   minimal I/O footprint" (§V-B).
+//! * [`index`] — persisted secondary (inverted) indexes over
+//!   categorical colfile columns (`value → chunk/row bitmap`), the
+//!   "indexed, low-latency lookup" role Druid/Elastic play in the
+//!   paper's stack.
 //! * [`intern`] — string interning backing the in-memory
 //!   dictionary-encoded (`Dict`) categorical columns.
 //! * [`ocean`] — an object store with appendable datasets (the
@@ -27,6 +31,7 @@ pub mod compress;
 pub mod encoding;
 pub mod error;
 pub mod glacier;
+pub mod index;
 pub mod intern;
 pub mod lake;
 pub mod metrics;
@@ -36,8 +41,9 @@ pub mod tiering;
 pub use colfile::{ColumnData, ColumnType, TableFile, TableSchema};
 pub use error::StorageError;
 pub use glacier::Glacier;
+pub use index::{ColumnIndex, RowBitmap};
 pub use intern::StringInterner;
-pub use lake::Lake;
+pub use lake::{Lake, LakePlan};
 pub use metrics::{LakeMetrics, OceanMetrics, TierMetrics};
 pub use ocean::Ocean;
 pub use tiering::{DataClass, LifecycleAction, Tier, TierManager};

@@ -101,8 +101,10 @@ fn lake_concurrent_writers_and_readers() {
             thread::spawn(move || {
                 for _ in 0..200 {
                     for w in 0..WRITERS {
-                        if let Some((n, mean, min, max)) =
-                            lake.aggregate(&format!("series-{w}"), 0, i64::MAX / 8)
+                        if let Some((n, mean, min, max)) = lake
+                            .plan(0, i64::MAX / 8)
+                            .series(&format!("series-{w}"))
+                            .aggregate()
                         {
                             assert!(n > 0);
                             assert!(min <= mean && mean <= max);

@@ -1,0 +1,224 @@
+//! Logical query plan: pushdown equivalence and the explain golden.
+//!
+//! The planner's contract is "same bytes, less work": a planned scan
+//! with row-group pruning and secondary indexes must return a frame
+//! byte-identical to a naive full scan + filter, while decoding
+//! strictly fewer column chunks. The explain golden pins the optimized
+//! plan shape; on drift the actual render is written to
+//! `target/query-explain-actual.txt` so CI can upload it for diffing.
+
+use std::sync::Arc;
+
+use oda::pipeline::frame_io::frame_to_colfile;
+use oda::pipeline::logical::{ExecContext, Query};
+use oda::pipeline::ops::{Agg, AggSpec};
+use oda::pipeline::{Expr, Frame, PipelinePlan, Stage};
+use oda::storage::colfile::{ColumnData, ColumnType, TableFile, TableSchema, TableWriter};
+use proptest::prelude::*;
+
+const TAGS: [&str; 4] = ["t0", "t1", "t2", "t3"];
+const GROUP_ROWS: usize = 16;
+
+/// Write `(ts, sensor, v)` rows into an indexed colfile, `GROUP_ROWS`
+/// rows per row group; ts ascends globally so later thresholds prune
+/// earlier groups.
+fn build_table(tags: &[u8], values: &[f64]) -> Arc<TableFile> {
+    let schema = TableSchema::new(&[
+        ("ts", ColumnType::I64),
+        ("sensor", ColumnType::Dict),
+        ("v", ColumnType::F64),
+    ]);
+    let mut w = TableWriter::new(schema);
+    w.index_column("sensor").unwrap();
+    for (g, chunk) in tags.chunks(GROUP_ROWS).enumerate() {
+        let base = g * GROUP_ROWS;
+        let ts: Vec<i64> = (0..chunk.len())
+            .map(|r| ((base + r) * 100) as i64)
+            .collect();
+        let dict: Vec<String> = TAGS.iter().map(|t| t.to_string()).collect();
+        let codes: Vec<u32> = chunk.iter().map(|&t| u32::from(t)).collect();
+        let v = values[base..base + chunk.len()].to_vec();
+        w.write_row_group(&[
+            ColumnData::I64(ts),
+            ColumnData::dict(dict, codes),
+            ColumnData::F64(v),
+        ])
+        .unwrap();
+    }
+    Arc::new(TableFile::open(w.finish()).unwrap())
+}
+
+/// Naive comparator: decode every row group, then filter in memory.
+fn full_scan(table: &TableFile) -> Frame {
+    let mut parts = Vec::new();
+    for g in 0..table.row_group_count() {
+        let cols = table.read_row_group(g).unwrap();
+        let named: Vec<(String, ColumnData)> = table
+            .schema()
+            .columns
+            .iter()
+            .zip(cols)
+            .map(|((n, _), c)| (n.clone(), c))
+            .collect();
+        parts.push(Frame::new(named).unwrap());
+    }
+    Frame::concat(&parts).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planned scans return frames byte-identical to a naive full scan
+    /// while decoding strictly fewer chunks (the first row group is
+    /// always stats-pruned by construction).
+    #[test]
+    fn pushdown_equivalence(
+        groups in 2usize..7,
+        seed in proptest::collection::vec((0u8..4, -100.0f64..100.0), 7 * GROUP_ROWS),
+        threshold_row in GROUP_ROWS..7 * GROUP_ROWS + 1,
+        tag in 0usize..TAGS.len() + 1,
+        project in any::<bool>(),
+    ) {
+        let rows = groups * GROUP_ROWS;
+        let tags: Vec<u8> = seed.iter().take(rows).map(|(t, _)| *t).collect();
+        let values: Vec<f64> = seed.iter().take(rows).map(|(_, v)| *v).collect();
+        let table = build_table(&tags, &values);
+
+        // ts >= threshold excludes at least row group 0; "t4" matches
+        // nothing and exercises full index pruning.
+        let threshold = (threshold_row.min(rows) * 100) as i64;
+        let tag = TAGS.get(tag).copied().unwrap_or("t4");
+        let pred = Expr::col("ts")
+            .ge(Expr::LitI(threshold))
+            .and(Expr::col("sensor").eq_(Expr::LitS(tag.into())));
+
+        let naive = {
+            let f = full_scan(&table);
+            let mask = pred.eval_mask(&f).unwrap();
+            let f = f.filter_mask(&mask);
+            if project { f.select(&["ts", "v"]).unwrap() } else { f }
+        };
+        let mut q = Query::scan_table(Arc::clone(&table)).filter(pred);
+        if project {
+            q = q.select(&["ts", "v"]);
+        }
+        let (planned, stats) = q.execute_with(&ExecContext::named("prop")).unwrap();
+
+        prop_assert_eq!(&planned, &naive);
+        prop_assert_eq!(
+            frame_to_colfile(&planned).unwrap(),
+            frame_to_colfile(&naive).unwrap(),
+            "planned and naive frames must serialize byte-identically"
+        );
+        let full_chunks = (groups * table.schema().columns.len()) as u64;
+        prop_assert!(
+            stats.chunks_read < full_chunks,
+            "planned scan read {} of {} chunks",
+            stats.chunks_read,
+            full_chunks
+        );
+    }
+
+    /// A `PipelinePlan` clause list executes byte-identically through
+    /// the logical planner and through the stage-by-stage path.
+    #[test]
+    fn lowering_preserves_bytes(
+        seed in proptest::collection::vec((0u8..2, -50.0f64..50.0), 40..120),
+    ) {
+        let rows = seed.len();
+        let bronze = Frame::new(vec![
+            ("ts".into(), ColumnData::I64((0..rows as i64).map(|i| i * 500).collect())),
+            ("node".into(), ColumnData::I64((0..rows as i64).map(|i| i % 3).collect())),
+            (
+                "sensor".into(),
+                ColumnData::Str(seed.iter().map(|(t, _)| format!("s{t}")).collect()),
+            ),
+            ("value".into(), ColumnData::F64(seed.iter().map(|(_, v)| *v).collect())),
+        ])
+        .unwrap();
+        let context = Frame::new(vec![
+            ("node".into(), ColumnData::I64(vec![0, 1, 2])),
+            ("job".into(), ColumnData::I64(vec![100, 101, 102])),
+        ])
+        .unwrap();
+        let plan = PipelinePlan::new()
+            .then(Stage::Where(Expr::col("value").ge(Expr::LitF(-25.0))))
+            .then(Stage::Window { ts_col: "ts".into(), width_ms: 5_000 })
+            .then(Stage::GroupBy {
+                keys: vec!["window".into(), "node".into(), "sensor".into()],
+                aggs: vec![AggSpec::new("value", Agg::Mean, "value")],
+            })
+            .then(Stage::Pivot {
+                index: vec!["window".into(), "node".into()],
+                pivot_col: "sensor".into(),
+                value_col: "value".into(),
+                agg: Agg::Mean,
+            })
+            .then(Stage::Join { right: context, on: vec!["node".into()] });
+
+        // Planner path (lower + optimize) vs stage-by-stage path. Pivot
+        // cells with no contributing rows hold NaN, so compare the
+        // serialized bytes (bit-exact) rather than `Frame` equality
+        // (where NaN != NaN).
+        let planned = plan.execute(bronze.clone()).unwrap();
+        let (staged, _) = plan.execute_timed(bronze).unwrap();
+        prop_assert_eq!(planned.names(), staged.names());
+        prop_assert_eq!(
+            frame_to_colfile(&planned).unwrap(),
+            frame_to_colfile(&staged).unwrap()
+        );
+    }
+}
+
+/// Deterministic fixture for the explain golden: 3 groups x 4 rows.
+fn explain_table() -> Arc<TableFile> {
+    let tags: Vec<u8> = (0..48).map(|r| (r % 2) as u8).collect();
+    let values: Vec<f64> = (0..48).map(|r| r as f64 / 4.0).collect();
+    build_table(&tags, &values)
+}
+
+#[test]
+fn explain_matches_golden() {
+    let q = Query::scan_table(explain_table())
+        .filter(
+            Expr::col("v")
+                .is_nan()
+                .not()
+                .and(Expr::col("sensor").eq_(Expr::LitS("t0".into())))
+                .and(Expr::col("ts").ge(Expr::LitI(1_600))),
+        )
+        .select(&["ts", "v"]);
+    let actual = q.explain();
+    let expected = include_str!("golden/query_explain.txt");
+    if actual != expected {
+        let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("target/query-explain-actual.txt");
+        let _ = std::fs::write(&out, &actual);
+        panic!(
+            "explain drifted from tests/golden/query_explain.txt; \
+             actual written to {}",
+            out.display()
+        );
+    }
+}
+
+#[test]
+fn planned_scan_reports_pruning_stats() {
+    let table = explain_table();
+    let (out, stats) = Query::scan_table(table)
+        .filter(
+            Expr::col("sensor")
+                .eq_(Expr::LitS("t0".into()))
+                .and(Expr::col("ts").ge(Expr::LitI(1_600))),
+        )
+        .select(&["ts", "v"])
+        .execute_with(&ExecContext::named("stats"))
+        .unwrap();
+    // Row group 0 covers ts 0..1500: stats-pruned. t0 occupies even
+    // rows, so groups 1 and 2 survive via the index.
+    assert_eq!(stats.groups_total, 3);
+    assert_eq!(stats.groups_scanned, vec![1, 2]);
+    assert_eq!(stats.index_hits, 1);
+    assert!(stats.chunks_pruned > 0);
+    assert_eq!(out.rows(), 16);
+}
