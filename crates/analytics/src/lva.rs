@@ -281,13 +281,19 @@ mod tests {
                 "ts_ms".into(),
                 ColumnData::I64((0..n).map(|i| i * 1_000).collect()),
             ),
-            ("node".into(), ColumnData::I64(vec![0; n as usize])),
+            ("node".into(), ColumnData::I64(vec![0; n as usize].into())),
             (
                 "sensor".into(),
-                ColumnData::Str(vec!["node_power_w".into(); n as usize]),
+                ColumnData::Str(vec!["node_power_w".into(); n as usize].into()),
             ),
-            ("value".into(), ColumnData::F64(vec![500.0; n as usize])),
-            ("quality".into(), ColumnData::I64(vec![0; n as usize])),
+            (
+                "value".into(),
+                ColumnData::F64(vec![500.0; n as usize].into()),
+            ),
+            (
+                "quality".into(),
+                ColumnData::I64(vec![0; n as usize].into()),
+            ),
         ])
         .unwrap();
         let scanned = scan_bronze_for_summaries(&bronze, &jobs, 15_000, 0, 60_000).unwrap();

@@ -1,0 +1,565 @@
+//! Committed perf trajectory: the append-per-PR `BENCH_pipeline.json`
+//! at the repository root.
+//!
+//! Unlike the other benches (which write a fresh report per run), this
+//! one maintains a *committed* file: every PR that touches the hot path
+//! appends one entry tagged with its PR number, and CI replays the
+//! workloads and fails if any section's measured speedup falls more
+//! than `threshold_pct` below the last committed entry. Speedups are
+//! ratios against an in-binary baseline measured in the same process on
+//! the same machine, so the committed file stays meaningful across
+//! hardware.
+//!
+//! Sections:
+//! * `silver_pivot`         dict-encoded bronze vs materialized-String
+//!   bronze through the batch Silver core (filter → window → group-by
+//!   → pivot).
+//! * `silver_filter_kernel` `Frame::filter_mask` vs a naive per-column
+//!   row loop over the same mask.
+//! * `colfile_lazy_scan`    planned indexed colfile scan vs an eager
+//!   decode-everything scan + in-memory filter.
+//!
+//! Every section asserts byte-identical output between its two arms
+//! before any number is reported.
+//!
+//! Flags (unknown flags, e.g. harness flags cargo forwards, are
+//! ignored):
+//! * `--test`        smoke mode: tiny workloads, no file IO
+//! * `--pr N`        PR number to record with `--update`
+//! * `--update`      append/replace this PR's entry in the file
+//! * `--check`       fail if any section regresses vs the committed
+//!   file's last entry (exit code 1)
+//! * `--file PATH`   trajectory file (default: BENCH_pipeline.json at
+//!   the workspace root, resolved relative to this crate)
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize, Value};
+
+use oda_bench::{bronze_frame_str, bronze_with_rows, tiny_observations};
+use oda_pipeline::frame_io::frame_to_colfile;
+use oda_pipeline::logical::{ExecContext, Query};
+use oda_pipeline::medallion::bronze_frame;
+use oda_pipeline::ops::{Agg, AggSpec};
+use oda_pipeline::{Expr, Frame, PipelinePlan, Stage};
+use oda_storage::colfile::{ColumnData, ColumnType, TableFile, TableSchema, TableWriter};
+
+const SCHEMA: &str = "oda-bench/perf-trajectory-v1";
+const THRESHOLD_PCT: f64 = 15.0;
+const ITERS: usize = 5;
+
+#[derive(Clone, Serialize, Deserialize)]
+struct Section {
+    baseline_ns: u64,
+    current_ns: u64,
+    speedup: f64,
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct Sections {
+    silver_pivot: Section,
+    silver_filter_kernel: Section,
+    colfile_lazy_scan: Section,
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct TrajEntry {
+    pr: u64,
+    sections: Sections,
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct TrajFile {
+    schema: String,
+    threshold_pct: f64,
+    entries: Vec<TrajEntry>,
+}
+
+struct Config {
+    smoke: bool,
+    pr: Option<u64>,
+    update: bool,
+    check: bool,
+    file: String,
+}
+
+fn parse_args() -> Config {
+    // cargo runs bench binaries with cwd = the crate root; the
+    // committed trajectory lives at the workspace root two levels up.
+    let default_file = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let mut config = Config {
+        smoke: false,
+        pr: None,
+        update: false,
+        check: false,
+        file: default_file.to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--test" => config.smoke = true,
+            "--update" => config.update = true,
+            "--check" => config.check = true,
+            "--pr" if i + 1 < args.len() => {
+                i += 1;
+                config.pr = Some(args[i].parse().expect("--pr takes an integer"));
+            }
+            "--file" if i + 1 < args.len() => {
+                i += 1;
+                config.file = args[i].clone();
+            }
+            _ => {} // ignore harness flags cargo bench forwards
+        }
+        i += 1;
+    }
+    if config.update && config.pr.is_none() {
+        panic!("--update requires --pr N");
+    }
+    config
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2] as u64
+}
+
+fn time_ns<T>(f: impl FnOnce() -> T) -> (u128, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_nanos(), out)
+}
+
+fn section(baseline_ns: u64, current_ns: u64) -> Section {
+    Section {
+        baseline_ns,
+        current_ns,
+        speedup: baseline_ns as f64 / current_ns as f64,
+    }
+}
+
+// ---- silver_pivot -------------------------------------------------------
+
+/// The batch Silver core of Fig. 4-b (same plan as the
+/// `pipeline_throughput` bench's pivot section).
+fn silver_core_plan() -> PipelinePlan {
+    PipelinePlan::new()
+        .then(Stage::Where(
+            Expr::col("quality")
+                .eq_(Expr::LitI(0))
+                .and(Expr::col("value").is_nan().not()),
+        ))
+        .then(Stage::Window {
+            ts_col: "ts_ms".into(),
+            width_ms: 15_000,
+        })
+        .then(Stage::GroupBy {
+            keys: vec!["window".into(), "node".into(), "sensor".into()],
+            aggs: vec![AggSpec::new("value", Agg::Mean, "value")],
+        })
+        .then(Stage::Pivot {
+            index: vec!["window".into(), "node".into()],
+            pivot_col: "sensor".into(),
+            value_col: "value".into(),
+            agg: Agg::Mean,
+        })
+}
+
+/// Dict-encoded bronze vs the materialized-String baseline through the
+/// Silver core; each arm's time covers bronze build + plan execution.
+fn bench_silver_pivot(smoke: bool) -> Section {
+    let rows = if smoke { 20_000 } else { 400_000 };
+    let iters = if smoke { 1 } else { 3 };
+    let (catalog, mut obs) = tiny_observations(42, rows / 30 + 2);
+    assert!(obs.len() >= rows, "generated {} < {rows}", obs.len());
+    obs.truncate(rows);
+
+    // One untimed pass proves the two arms agree byte-for-byte (the
+    // wide silver is all-numeric, so colfile bytes are exact equality
+    // even across pivot NaN gap fills).
+    let silver_str = silver_core_plan()
+        .execute(bronze_frame_str(&obs, &catalog))
+        .unwrap();
+    let silver_dict = silver_core_plan()
+        .execute(bronze_frame(&obs, &catalog))
+        .unwrap();
+    assert_eq!(
+        frame_to_colfile(&silver_dict).unwrap(),
+        frame_to_colfile(&silver_str).unwrap(),
+        "silver diverged between dict and str bronze"
+    );
+
+    let mut str_ns = Vec::new();
+    let mut dict_ns = Vec::new();
+    for _ in 0..iters {
+        // Str baseline first so allocator warm-up, if anything, favors it.
+        let (ns, out) = time_ns(|| {
+            silver_core_plan()
+                .execute(bronze_frame_str(&obs, &catalog))
+                .unwrap()
+        });
+        assert_eq!(out.rows(), silver_str.rows());
+        str_ns.push(ns);
+        let (ns, out) = time_ns(|| {
+            silver_core_plan()
+                .execute(bronze_frame(&obs, &catalog))
+                .unwrap()
+        });
+        assert_eq!(out.rows(), silver_dict.rows());
+        dict_ns.push(ns);
+    }
+    section(median_ns(str_ns), median_ns(dict_ns))
+}
+
+// ---- silver_filter_kernel -----------------------------------------------
+
+fn keep<T: Clone>(vals: &[T], mask: &[bool]) -> Vec<T> {
+    vals.iter()
+        .zip(mask)
+        .filter(|&(_, &m)| m)
+        .map(|(x, _)| x.clone())
+        .collect()
+}
+
+/// A naive per-column row loop — the shape `Frame::filter_mask` had
+/// before the kernel layer existed. Kept here as the fixed baseline the
+/// kernel path is measured against.
+fn filter_rowloop(frame: &Frame, mask: &[bool]) -> Frame {
+    let named: Vec<(String, ColumnData)> = frame
+        .names()
+        .iter()
+        .cloned()
+        .zip(frame.columns().iter().map(|c| match c {
+            ColumnData::I64(v) => ColumnData::I64(keep(&v[..], mask).into()),
+            ColumnData::F64(v) => ColumnData::F64(keep(&v[..], mask).into()),
+            ColumnData::Str(v) => ColumnData::Str(keep(&v[..], mask).into()),
+            ColumnData::Dict { dict, codes } => ColumnData::Dict {
+                dict: Arc::clone(dict),
+                codes: keep(&codes[..], mask).into(),
+            },
+        }))
+        .collect();
+    Frame::new(named).unwrap()
+}
+
+/// `Frame::filter_mask` vs the naive row loop over the Silver quality
+/// mask on a large bronze frame.
+fn bench_filter_kernel(smoke: bool) -> Section {
+    let rows = if smoke { 50_000 } else { 2_000_000 };
+    let iters = if smoke { 1 } else { ITERS };
+    let bronze = bronze_with_rows(42, rows);
+    let mask: Vec<bool> = {
+        let value = bronze.f64s("value").unwrap();
+        let quality = bronze.i64s("quality").unwrap();
+        value
+            .iter()
+            .zip(quality.iter())
+            .map(|(v, q)| *q == 0 && v.is_finite())
+            .collect()
+    };
+
+    let naive = filter_rowloop(&bronze, &mask);
+    let fast = bronze.filter_mask(&mask);
+    assert_eq!(
+        frame_to_colfile(&fast).unwrap(),
+        frame_to_colfile(&naive).unwrap(),
+        "filter_mask diverged from the naive row loop"
+    );
+
+    let mut naive_ns = Vec::new();
+    let mut fast_ns = Vec::new();
+    for _ in 0..iters {
+        let (ns, out) = time_ns(|| filter_rowloop(&bronze, &mask));
+        assert_eq!(out.rows(), naive.rows());
+        naive_ns.push(ns);
+        let (ns, out) = time_ns(|| bronze.filter_mask(&mask));
+        assert_eq!(out.rows(), fast.rows());
+        fast_ns.push(ns);
+    }
+    section(median_ns(naive_ns), median_ns(fast_ns))
+}
+
+// ---- colfile_lazy_scan --------------------------------------------------
+
+const SCAN_TAGS: usize = 16;
+
+/// `(ts, sensor, v)` rows, `rows_per_group` per row group, `sensor`
+/// indexed. Each group holds exactly two of the sixteen tags, so an
+/// equality predicate survives in 1/8 of the groups via the index; ts
+/// ascends globally so a range predicate stats-prunes early groups.
+fn build_scan_table(groups: usize, rows_per_group: usize) -> Arc<TableFile> {
+    let schema = TableSchema::new(&[
+        ("ts", ColumnType::I64),
+        ("sensor", ColumnType::Dict),
+        ("v", ColumnType::F64),
+    ]);
+    let mut w = TableWriter::new(schema);
+    w.index_column("sensor").unwrap();
+    let dict: Vec<String> = (0..SCAN_TAGS).map(|t| format!("t{t:02}")).collect();
+    for g in 0..groups {
+        let base = g * rows_per_group;
+        let ts: Vec<i64> = (0..rows_per_group)
+            .map(|r| ((base + r) * 100) as i64)
+            .collect();
+        let pair = 2 * (g % (SCAN_TAGS / 2));
+        let codes: Vec<u32> = (0..rows_per_group).map(|r| (pair + r % 2) as u32).collect();
+        let v: Vec<f64> = (0..rows_per_group)
+            .map(|r| ((base + r) % 997) as f64 * 0.25)
+            .collect();
+        w.write_row_group(&[
+            ColumnData::I64(ts.into()),
+            ColumnData::dict(dict.clone(), codes),
+            ColumnData::F64(v.into()),
+        ])
+        .unwrap();
+    }
+    Arc::new(TableFile::open(w.finish()).unwrap())
+}
+
+/// Decode every row group eagerly and concat — the pre-planner scan
+/// shape, kept as the fixed baseline.
+fn eager_scan(table: &TableFile) -> Frame {
+    let mut parts = Vec::new();
+    for g in 0..table.row_group_count() {
+        let cols = table.read_row_group(g).unwrap();
+        let named: Vec<(String, ColumnData)> = table
+            .schema()
+            .columns
+            .iter()
+            .zip(cols)
+            .map(|((n, _), c)| (n.clone(), c))
+            .collect();
+        parts.push(Frame::new(named).unwrap());
+    }
+    Frame::concat(&parts).unwrap()
+}
+
+/// Planned indexed scan vs eager decode-everything + in-memory filter.
+fn bench_lazy_scan(smoke: bool) -> Section {
+    let (groups, rows_per_group) = if smoke { (8, 512) } else { (64, 8_192) };
+    let iters = if smoke { 1 } else { ITERS };
+    let table = build_scan_table(groups, rows_per_group);
+    let total_rows = groups * rows_per_group;
+    // ts >= 60% of the range stats-prunes early groups; "t14" lives in
+    // groups where g % 8 == 7, so it survives index pruning in 1/8 of
+    // the rest (including the last group, which the ts cut never drops).
+    let threshold = (total_rows * 6 / 10 * 100) as i64;
+    let pred = Expr::col("sensor")
+        .eq_(Expr::LitS("t14".into()))
+        .and(Expr::col("ts").ge(Expr::LitI(threshold)));
+
+    let eager = |table: &TableFile| {
+        let f = eager_scan(table);
+        let mask = pred.eval_mask(&f).unwrap();
+        f.filter_mask(&mask).select(&["ts", "v"]).unwrap()
+    };
+    let planned = |table: &Arc<TableFile>| {
+        Query::scan_table(Arc::clone(table))
+            .filter(pred.clone())
+            .select(&["ts", "v"])
+            .execute_with(&ExecContext::named("perf-trajectory"))
+            .unwrap()
+    };
+
+    let naive = eager(&table);
+    let (fast, stats) = planned(&table);
+    assert_eq!(
+        frame_to_colfile(&fast).unwrap(),
+        frame_to_colfile(&naive).unwrap(),
+        "planned scan diverged from the eager scan"
+    );
+    assert!(
+        naive.rows() > 0,
+        "degenerate workload: predicate matched nothing"
+    );
+    let full_chunks = (groups * table.schema().columns.len()) as u64;
+    assert!(
+        stats.chunks_read < full_chunks,
+        "planned scan decoded {} of {} chunks — no pruning happened",
+        stats.chunks_read,
+        full_chunks
+    );
+
+    let mut eager_ns = Vec::new();
+    let mut planned_ns = Vec::new();
+    for _ in 0..iters {
+        let (ns, out) = time_ns(|| eager(&table));
+        assert_eq!(out.rows(), naive.rows());
+        eager_ns.push(ns);
+        let (ns, out) = time_ns(|| planned(&table));
+        assert_eq!(out.0.rows(), fast.rows());
+        planned_ns.push(ns);
+    }
+    section(median_ns(eager_ns), median_ns(planned_ns))
+}
+
+// ---- trajectory file ----------------------------------------------------
+
+fn load(path: &str) -> Option<TrajFile> {
+    let bytes = std::fs::read(path).ok()?;
+    let text = String::from_utf8(bytes).expect("trajectory file is not UTF-8");
+    let file: TrajFile = serde_json::from_str(&text).expect("trajectory file does not parse");
+    assert_eq!(file.schema, SCHEMA, "unknown trajectory schema");
+    Some(file)
+}
+
+/// Indented JSON render so the committed file diffs cleanly in review.
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                out.push_str(&serde_json::to_string(k).unwrap());
+                out.push_str(": ");
+                pretty(item, indent + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        scalar => out.push_str(&serde_json::to_string(scalar).unwrap()),
+    }
+}
+
+fn save(path: &str, file: &TrajFile) {
+    let mut text = String::new();
+    pretty(&file.to_value(), 0, &mut text);
+    text.push('\n');
+    std::fs::write(path, text).expect("write trajectory file");
+}
+
+fn print_sections(s: &Sections) {
+    println!(
+        "{:>22} {:>14} {:>14} {:>9}",
+        "section", "baseline_ms", "current_ms", "speedup"
+    );
+    for (name, sec) in [
+        ("silver_pivot", &s.silver_pivot),
+        ("silver_filter_kernel", &s.silver_filter_kernel),
+        ("colfile_lazy_scan", &s.colfile_lazy_scan),
+    ] {
+        println!(
+            "{:>22} {:>14.3} {:>14.3} {:>8.2}x",
+            name,
+            sec.baseline_ns as f64 / 1e6,
+            sec.current_ns as f64 / 1e6,
+            sec.speedup
+        );
+    }
+}
+
+/// Compare measured speedups against the last committed entry; any
+/// section more than `threshold_pct` below its committed ratio fails.
+fn check(committed: &TrajFile, measured: &Sections) -> Result<(), String> {
+    let last = committed
+        .entries
+        .last()
+        .ok_or("trajectory file has no entries")?;
+    let floor = 1.0 - committed.threshold_pct / 100.0;
+    let mut failures = Vec::new();
+    for (name, committed_s, measured_s) in [
+        (
+            "silver_pivot",
+            &last.sections.silver_pivot,
+            &measured.silver_pivot,
+        ),
+        (
+            "silver_filter_kernel",
+            &last.sections.silver_filter_kernel,
+            &measured.silver_filter_kernel,
+        ),
+        (
+            "colfile_lazy_scan",
+            &last.sections.colfile_lazy_scan,
+            &measured.colfile_lazy_scan,
+        ),
+    ] {
+        let min = committed_s.speedup * floor;
+        if measured_s.speedup < min {
+            failures.push(format!(
+                "{name}: measured {:.2}x < {:.2}x ({}% below committed {:.2}x from pr {})",
+                measured_s.speedup, min, committed.threshold_pct, committed_s.speedup, last.pr
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    println!(
+        "perf_trajectory: {} workloads{}",
+        if config.smoke { "smoke" } else { "full" },
+        config.pr.map(|pr| format!(", pr {pr}")).unwrap_or_default()
+    );
+    let measured = Sections {
+        silver_pivot: bench_silver_pivot(config.smoke),
+        silver_filter_kernel: bench_filter_kernel(config.smoke),
+        colfile_lazy_scan: bench_lazy_scan(config.smoke),
+    };
+    print_sections(&measured);
+
+    if config.smoke {
+        if config.update || config.check {
+            println!("smoke mode: skipping --update/--check");
+        }
+        return;
+    }
+
+    if config.check {
+        let committed =
+            load(&config.file).unwrap_or_else(|| panic!("--check: {} not found", config.file));
+        match check(&committed, &measured) {
+            Ok(()) => println!(
+                "check ok: no section regressed >{}% vs {}",
+                committed.threshold_pct, config.file
+            ),
+            Err(msg) => {
+                eprintln!("perf trajectory regression:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if config.update {
+        let pr = config.pr.unwrap();
+        let mut file = load(&config.file).unwrap_or(TrajFile {
+            schema: SCHEMA.to_string(),
+            threshold_pct: THRESHOLD_PCT,
+            entries: Vec::new(),
+        });
+        file.entries.retain(|e| e.pr != pr);
+        file.entries.push(TrajEntry {
+            pr,
+            sections: measured.clone(),
+        });
+        file.entries.sort_by_key(|e| e.pr);
+        save(&config.file, &file);
+        println!("updated {} (entry pr {pr})", config.file);
+    }
+}

@@ -10,7 +10,9 @@
 //! dictionary-encoded categorical columns versus the materialized
 //! per-row `String` baseline — and reports the speedup. Results land in
 //! `BENCH_pipeline.json` in the invocation directory so CI can upload
-//! them as an artifact.
+//! them as an artifact. (The committed root `BENCH_pipeline.json` is
+//! owned by the `perf_trajectory` bench; this one writes its per-run
+//! report to `BENCH_pipeline_run.json` so the two never collide.)
 //!
 //! Hand-rolled harness (not criterion): each configuration is one
 //! end-to-end run over identical input, timed wall-clock, and the bench
@@ -24,7 +26,7 @@
 //!   simulated day at 15 s ticks)
 //! * `--pivot-rows N`    bronze rows for the Silver-pivot comparison
 //!   (default 1_000_000; smoke mode caps at 20_000)
-//! * `--out PATH`        output path (default BENCH_pipeline.json)
+//! * `--out PATH`        output path (default BENCH_pipeline_run.json)
 
 use bytes::Bytes;
 use serde::Serialize;
@@ -106,7 +108,7 @@ fn parse_args() -> Config {
         workers: vec![1, 2, 4, 8],
         batches: 5_760,
         pivot_rows: 1_000_000,
-        out: "BENCH_pipeline.json".to_string(),
+        out: "BENCH_pipeline_run.json".to_string(),
         smoke: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();

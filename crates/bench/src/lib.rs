@@ -65,12 +65,12 @@ pub fn bronze_frame_str(obs: &[Observation], catalog: &SensorCatalog) -> Frame {
         });
     }
     Frame::new(vec![
-        ("ts_ms".into(), ColumnData::I64(ts)),
-        ("node".into(), ColumnData::I64(node)),
-        ("device".into(), ColumnData::Str(device)),
-        ("sensor".into(), ColumnData::Str(sensor)),
-        ("value".into(), ColumnData::F64(value)),
-        ("quality".into(), ColumnData::I64(quality)),
+        ("ts_ms".into(), ColumnData::I64(ts.into())),
+        ("node".into(), ColumnData::I64(node.into())),
+        ("device".into(), ColumnData::Str(device.into())),
+        ("sensor".into(), ColumnData::Str(sensor.into())),
+        ("value".into(), ColumnData::F64(value.into())),
+        ("quality".into(), ColumnData::I64(quality.into())),
     ])
     .expect("equal-length columns by construction")
 }
@@ -121,10 +121,10 @@ pub fn silver_long(windows: usize, nodes: u32) -> Frame {
         }
     }
     Frame::new(vec![
-        ("window".into(), ColumnData::I64(w)),
-        ("node".into(), ColumnData::I64(n)),
-        ("sensor".into(), ColumnData::Str(s)),
-        ("mean".into(), ColumnData::F64(m)),
+        ("window".into(), ColumnData::I64(w.into())),
+        ("node".into(), ColumnData::I64(n.into())),
+        ("sensor".into(), ColumnData::Str(s.into())),
+        ("mean".into(), ColumnData::F64(m.into())),
     ])
     .expect("columns align")
 }

@@ -284,8 +284,8 @@ mod tests {
                 .collect::<Result<_, _>>()?;
             let parts: Vec<i64> = records.iter().map(|r| r.ts_ms).collect();
             Frame::new(vec![
-                ("v".into(), ColumnData::F64(vals)),
-                ("ts".into(), ColumnData::I64(parts)),
+                ("v".into(), ColumnData::F64(vals.into())),
+                ("ts".into(), ColumnData::I64(parts.into())),
             ])
         })
     }
@@ -413,7 +413,7 @@ mod tests {
             }
             Frame::new(vec![(
                 "v".into(),
-                ColumnData::F64(vec![1.0; records.len()]),
+                ColumnData::F64(vec![1.0; records.len()].into()),
             )])
         });
         let errs: Vec<String> = (0..6)
@@ -439,8 +439,8 @@ mod tests {
             let doubled: Vec<f64> = f.f64s("v")?.iter().map(|v| v * 2.0).collect();
             let ts = f.i64s("ts")?.to_vec();
             Frame::new(vec![
-                ("v".into(), ColumnData::F64(doubled)),
-                ("ts".into(), ColumnData::I64(ts)),
+                ("v".into(), ColumnData::F64(doubled.into())),
+                ("ts".into(), ColumnData::I64(ts.into())),
             ])
         });
         let plain =

@@ -2,6 +2,7 @@
 
 use crate::error::PipelineError;
 use crate::frame::Frame;
+use oda_storage::buffer::Buffer;
 use oda_storage::colfile::ColumnData;
 use std::sync::Arc;
 
@@ -60,12 +61,14 @@ pub enum CmpOp {
     Ge,
 }
 
-/// Evaluated column of values.
+/// Evaluated column of values. Column references hold shared buffer
+/// views (a refcount bump, not a copy); only computed results own
+/// fresh allocations.
 enum Evaluated {
-    F64(Vec<f64>),
-    I64(Vec<i64>),
-    Str(Vec<String>),
-    Dict(Arc<Vec<String>>, Vec<u32>),
+    F64(Buffer<f64>),
+    I64(Buffer<i64>),
+    Str(Buffer<String>),
+    Dict(Arc<Vec<String>>, Buffer<u32>),
     Bool(Vec<bool>),
 }
 
@@ -137,9 +140,9 @@ impl Expr {
                     Evaluated::Dict(Arc::clone(dict), codes.clone())
                 }
             },
-            Expr::LitF(x) => Evaluated::F64(vec![*x; n]),
-            Expr::LitI(x) => Evaluated::I64(vec![*x; n]),
-            Expr::LitS(s) => Evaluated::Str(vec![s.clone(); n]),
+            Expr::LitF(x) => Evaluated::F64(vec![*x; n].into()),
+            Expr::LitI(x) => Evaluated::I64(vec![*x; n].into()),
+            Expr::LitS(s) => Evaluated::Str(vec![s.clone(); n].into()),
             Expr::Cmp(op, a, b) => {
                 let av = a.eval(frame)?;
                 let bv = b.eval(frame)?;
@@ -238,8 +241,8 @@ impl std::ops::Div for Expr {
 impl Evaluated {
     fn into_f64(self, _rows: usize) -> Result<Vec<f64>, PipelineError> {
         match self {
-            Evaluated::F64(v) => Ok(v),
-            Evaluated::I64(v) => Ok(v.into_iter().map(|x| x as f64).collect()),
+            Evaluated::F64(v) => Ok(v.into_vec()),
+            Evaluated::I64(v) => Ok(v.iter().map(|&x| x as f64).collect()),
             Evaluated::Bool(_) | Evaluated::Str(_) | Evaluated::Dict(..) => {
                 Err(PipelineError::TypeMismatch {
                     column: "expression".into(),
@@ -257,7 +260,7 @@ impl Evaluated {
 pub fn with_column(frame: &Frame, name: &str, expr: &Expr) -> Result<Frame, PipelineError> {
     let values = expr.eval_f64(frame)?;
     let mut out = frame.clone();
-    out.push_column(name, ColumnData::F64(values))?;
+    out.push_column(name, ColumnData::F64(values.into()))?;
     Ok(out)
 }
 
@@ -330,11 +333,11 @@ mod tests {
 
     fn frame() -> Frame {
         Frame::new(vec![
-            ("ts".into(), ColumnData::I64(vec![10, 20, 30])),
-            ("v".into(), ColumnData::F64(vec![1.0, f64::NAN, 3.0])),
+            ("ts".into(), ColumnData::I64(vec![10, 20, 30].into())),
+            ("v".into(), ColumnData::F64(vec![1.0, f64::NAN, 3.0].into())),
             (
                 "s".into(),
-                ColumnData::Str(vec!["x".into(), "y".into(), "x".into()]),
+                ColumnData::Str(vec!["x".into(), "y".into(), "x".into()].into()),
             ),
         ])
         .unwrap()
@@ -412,7 +415,11 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_ieee() {
-        let f = Frame::new(vec![("x".into(), ColumnData::F64(vec![1.0, 0.0, -1.0]))]).unwrap();
+        let f = Frame::new(vec![(
+            "x".into(),
+            ColumnData::F64(vec![1.0, 0.0, -1.0].into()),
+        )])
+        .unwrap();
         let out = (Expr::col("x") / Expr::LitF(0.0)).eval_f64(&f).unwrap();
         assert_eq!(out[0], f64::INFINITY);
         assert!(out[1].is_nan());

@@ -6,6 +6,7 @@
 //! just frames with different schemas.
 
 use crate::error::PipelineError;
+use crate::kernels;
 use oda_storage::colfile::{ColumnData, ColumnType, TableSchema};
 use oda_storage::intern::StringInterner;
 use std::borrow::Cow;
@@ -107,9 +108,9 @@ impl Frame {
             .iter()
             .map(|(n, t)| {
                 let col = match t {
-                    ColumnType::I64 => ColumnData::I64(Vec::new()),
-                    ColumnType::F64 => ColumnData::F64(Vec::new()),
-                    ColumnType::Str => ColumnData::Str(Vec::new()),
+                    ColumnType::I64 => ColumnData::I64(Vec::new().into()),
+                    ColumnType::F64 => ColumnData::F64(Vec::new().into()),
+                    ColumnType::Str => ColumnData::Str(Vec::new().into()),
                     ColumnType::Dict => ColumnData::dict(Vec::new(), Vec::new()),
                 };
                 (n.clone(), col)
@@ -242,45 +243,30 @@ impl Frame {
     }
 
     /// Keep only the rows where `mask` is true.
+    ///
+    /// An all-true mask returns shared views of every column (refcount
+    /// bumps, no row data copied); otherwise the surviving rows are
+    /// compacted through the chunked [`kernels`] filter path. `Dict`
+    /// columns always share their dictionary allocation.
     pub fn filter_mask(&self, mask: &[bool]) -> Frame {
         assert_eq!(mask.len(), self.rows, "mask length mismatch");
+        let rows = kernels::count_true(mask);
+        if rows == self.rows {
+            return self.clone();
+        }
         let columns = self
             .columns
             .iter()
             .map(|c| match c {
-                ColumnData::I64(v) => ColumnData::I64(
-                    v.iter()
-                        .zip(mask)
-                        .filter(|(_, &m)| m)
-                        .map(|(x, _)| *x)
-                        .collect(),
-                ),
-                ColumnData::F64(v) => ColumnData::F64(
-                    v.iter()
-                        .zip(mask)
-                        .filter(|(_, &m)| m)
-                        .map(|(x, _)| *x)
-                        .collect(),
-                ),
-                ColumnData::Str(v) => ColumnData::Str(
-                    v.iter()
-                        .zip(mask)
-                        .filter(|(_, &m)| m)
-                        .map(|(x, _)| x.clone())
-                        .collect(),
-                ),
+                ColumnData::I64(v) => ColumnData::I64(kernels::filter_copy(&v[..], mask).into()),
+                ColumnData::F64(v) => ColumnData::F64(kernels::filter_copy(&v[..], mask).into()),
+                ColumnData::Str(v) => ColumnData::Str(kernels::filter_clone(&v[..], mask).into()),
                 ColumnData::Dict { dict, codes } => ColumnData::Dict {
                     dict: dict.clone(),
-                    codes: codes
-                        .iter()
-                        .zip(mask)
-                        .filter(|(_, &m)| m)
-                        .map(|(x, _)| *x)
-                        .collect(),
+                    codes: kernels::filter_copy(&codes[..], mask).into(),
                 },
             })
             .collect();
-        let rows = mask.iter().filter(|&&m| m).count();
         Frame {
             names: self.names.clone(),
             columns,
@@ -294,14 +280,14 @@ impl Frame {
             .columns
             .iter()
             .map(|c| match c {
-                ColumnData::I64(v) => ColumnData::I64(indices.iter().map(|&i| v[i]).collect()),
-                ColumnData::F64(v) => ColumnData::F64(indices.iter().map(|&i| v[i]).collect()),
+                ColumnData::I64(v) => ColumnData::I64(kernels::gather_copy(&v[..], indices).into()),
+                ColumnData::F64(v) => ColumnData::F64(kernels::gather_copy(&v[..], indices).into()),
                 ColumnData::Str(v) => {
-                    ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
+                    ColumnData::Str(kernels::gather_clone(&v[..], indices).into())
                 }
                 ColumnData::Dict { dict, codes } => ColumnData::Dict {
                     dict: dict.clone(),
-                    codes: indices.iter().map(|&i| codes[i]).collect(),
+                    codes: kernels::gather_copy(&codes[..], indices).into(),
                 },
             })
             .collect();
@@ -315,6 +301,9 @@ impl Frame {
     /// Project to a subset of columns. Accepts any string-like key list
     /// (`&["a", "b"]`, a `Vec<String>` slice, …) — the one key-list type
     /// shared across the query surface.
+    ///
+    /// Projection is zero-copy: each selected column is a shared view
+    /// of this frame's buffer (a refcount bump), never a row-data copy.
     pub fn select<S: AsRef<str>>(&self, cols: &[S]) -> Result<Frame, PipelineError> {
         let mut out = Vec::with_capacity(cols.len());
         for c in cols {
@@ -326,10 +315,17 @@ impl Frame {
     }
 
     /// Vertically concatenate frames with identical schemas.
+    ///
+    /// A single-frame concat returns shared views (no row data moves);
+    /// multi-frame concats append through copy-on-write buffers, and
+    /// `Dict` columns only re-code when the dictionaries differ.
     pub fn concat(frames: &[Frame]) -> Result<Frame, PipelineError> {
         let Some(first) = frames.first() else {
             return Frame::new(Vec::new());
         };
+        if frames.len() == 1 {
+            return Ok(first.clone());
+        }
         let mut columns: Vec<ColumnData> = first.columns.clone();
         for f in &frames[1..] {
             if f.names != first.names {
@@ -340,9 +336,15 @@ impl Frame {
             }
             for (dst, src) in columns.iter_mut().zip(&f.columns) {
                 match (dst, src) {
-                    (ColumnData::I64(d), ColumnData::I64(s)) => d.extend_from_slice(s),
-                    (ColumnData::F64(d), ColumnData::F64(s)) => d.extend_from_slice(s),
-                    (ColumnData::Str(d), ColumnData::Str(s)) => d.extend_from_slice(s),
+                    (ColumnData::I64(d), ColumnData::I64(s)) => {
+                        d.with_mut(|v| v.extend_from_slice(&s[..]))
+                    }
+                    (ColumnData::F64(d), ColumnData::F64(s)) => {
+                        d.with_mut(|v| v.extend_from_slice(&s[..]))
+                    }
+                    (ColumnData::Str(d), ColumnData::Str(s)) => {
+                        d.with_mut(|v| v.extend_from_slice(&s[..]))
+                    }
                     (
                         ColumnData::Dict { dict, codes },
                         ColumnData::Dict {
@@ -351,13 +353,14 @@ impl Frame {
                         },
                     ) => {
                         if Arc::ptr_eq(dict, s_dict) || **dict == **s_dict {
-                            codes.extend_from_slice(s_codes);
+                            codes.with_mut(|v| v.extend_from_slice(&s_codes[..]));
                         } else {
                             // Deterministic merge: remap the source
                             // dictionary into the destination, appending
                             // unseen entries in source order.
                             let remap = merge_dicts(dict, s_dict);
-                            codes.extend(s_codes.iter().map(|&c| remap[c as usize]));
+                            codes
+                                .with_mut(|v| v.extend(s_codes.iter().map(|&c| remap[c as usize])));
                         }
                     }
                     // Mixed representations concatenate too, so frames
@@ -370,19 +373,22 @@ impl Frame {
                             .collect();
                         let mut added: Vec<String> = Vec::new();
                         let base = dict.len();
-                        for v in s {
-                            let code = *index.entry(v.clone()).or_insert_with(|| {
-                                added.push(v.clone());
-                                (base + added.len() - 1) as u32
-                            });
-                            codes.push(code);
-                        }
+                        let new_codes: Vec<u32> = s
+                            .iter()
+                            .map(|v| {
+                                *index.entry(v.clone()).or_insert_with(|| {
+                                    added.push(v.clone());
+                                    (base + added.len() - 1) as u32
+                                })
+                            })
+                            .collect();
+                        codes.with_mut(|v| v.extend_from_slice(&new_codes));
                         if !added.is_empty() {
                             Arc::make_mut(dict).extend(added);
                         }
                     }
                     (ColumnData::Str(d), ColumnData::Dict { dict, codes }) => {
-                        d.extend(codes.iter().map(|&c| dict[c as usize].clone()));
+                        d.with_mut(|v| v.extend(codes.iter().map(|&c| dict[c as usize].clone())));
                     }
                     _ => {
                         return Err(PipelineError::TypeMismatch {
@@ -433,11 +439,11 @@ mod tests {
 
     fn sample() -> Frame {
         Frame::new(vec![
-            ("ts".into(), ColumnData::I64(vec![1, 2, 3, 4])),
-            ("v".into(), ColumnData::F64(vec![1.0, 2.0, 3.0, 4.0])),
+            ("ts".into(), ColumnData::I64(vec![1, 2, 3, 4].into())),
+            ("v".into(), ColumnData::F64(vec![1.0, 2.0, 3.0, 4.0].into())),
             (
                 "s".into(),
-                ColumnData::Str(vec!["a".into(), "b".into(), "a".into(), "b".into()]),
+                ColumnData::Str(vec!["a".to_string(), "b".into(), "a".into(), "b".into()].into()),
             ),
         ])
         .unwrap()
@@ -446,8 +452,8 @@ mod tests {
     #[test]
     fn construction_validates_lengths() {
         let bad = Frame::new(vec![
-            ("a".into(), ColumnData::I64(vec![1])),
-            ("b".into(), ColumnData::I64(vec![1, 2])),
+            ("a".into(), ColumnData::I64(vec![1].into())),
+            ("b".into(), ColumnData::I64(vec![1, 2].into())),
         ]);
         assert_eq!(bad.unwrap_err(), PipelineError::RaggedColumns);
     }
@@ -497,7 +503,7 @@ mod tests {
     #[test]
     fn concat_rejects_mismatched_schemas() {
         let f = sample();
-        let other = Frame::new(vec![("x".into(), ColumnData::I64(vec![1]))]).unwrap();
+        let other = Frame::new(vec![("x".into(), ColumnData::I64(vec![1].into()))]).unwrap();
         assert!(Frame::concat(&[f, other]).is_err());
     }
 
@@ -514,7 +520,55 @@ mod tests {
     #[test]
     fn push_column_checks_length() {
         let mut f = sample();
-        assert!(f.push_column("w", ColumnData::F64(vec![0.0; 4])).is_ok());
-        assert!(f.push_column("bad", ColumnData::F64(vec![0.0; 3])).is_err());
+        assert!(f
+            .push_column("w", ColumnData::F64(vec![0.0; 4].into()))
+            .is_ok());
+        assert!(f
+            .push_column("bad", ColumnData::F64(vec![0.0; 3].into()))
+            .is_err());
+    }
+
+    #[test]
+    fn select_shares_buffers_instead_of_copying() {
+        let f = sample();
+        let g = f.select(&["v", "ts"]).unwrap();
+        // Projection must be a refcount bump on the same allocation,
+        // never a deep copy of the row data.
+        assert!(g.column("v").unwrap().ptr_eq(f.column("v").unwrap()));
+        assert!(g.column("ts").unwrap().ptr_eq(f.column("ts").unwrap()));
+    }
+
+    #[test]
+    fn filter_and_gather_share_dict_buffer_across_views() {
+        let f = Frame::new(vec![(
+            "s".into(),
+            ColumnData::dict(vec!["a".to_string(), "b".into()], vec![0, 1, 0, 1]),
+        )])
+        .unwrap();
+        let (dict, _) = f.dict("s").unwrap();
+
+        // All-true filter: the whole column (dict + codes) is shared.
+        let all = f.filter_mask(&[true; 4]);
+        assert!(all.column("s").unwrap().ptr_eq(f.column("s").unwrap()));
+
+        // Partial filter and gather re-code rows but must keep
+        // pointer-equal dictionaries.
+        let part = f.filter_mask(&[true, false, true, false]);
+        let (p_dict, p_codes) = part.dict("s").unwrap();
+        assert!(Arc::ptr_eq(dict, p_dict));
+        assert_eq!(p_codes, &[0, 0]);
+
+        let took = f.take(&[3, 0]);
+        let (t_dict, t_codes) = took.dict("s").unwrap();
+        assert!(Arc::ptr_eq(dict, t_dict));
+        assert_eq!(t_codes, &[1, 0]);
+    }
+
+    #[test]
+    fn single_frame_concat_shares_buffers() {
+        let f = sample();
+        let g = Frame::concat(std::slice::from_ref(&f)).unwrap();
+        assert!(g.column("ts").unwrap().ptr_eq(f.column("ts").unwrap()));
+        assert_eq!(g, f);
     }
 }

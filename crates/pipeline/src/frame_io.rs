@@ -146,7 +146,7 @@ mod tests {
         let ocean = Ocean::new();
         let f = sample();
         let ds = OceanDataset::create(ocean, "b", "frames", f.schema()).unwrap();
-        let other = Frame::new(vec![("x".into(), ColumnData::I64(vec![1]))]).unwrap();
+        let other = Frame::new(vec![("x".into(), ColumnData::I64(vec![1].into()))]).unwrap();
         assert!(append_frame(&ds, &other).is_err());
     }
 }

@@ -1,0 +1,419 @@
+//! Chunked, branch-lean compute kernels over primitive slices and
+//! dictionary codes.
+//!
+//! Every hot row loop in the pipeline — filter, gather, predicate
+//! masks, grouped aggregation — funnels through this module instead of
+//! living as a private loop in its consumer, so there is exactly one
+//! place where the access pattern is tuned. The kernel contract
+//! (DESIGN.md §14):
+//!
+//! * Kernels take plain slices (`&[T]`, `&[bool]`, `&[u32]` codes) and
+//!   return owned `Vec`s or mutate a caller-provided mask in place —
+//!   they never see `Frame`, `ColumnData`, or `Buffer`. Callers decide
+//!   what is a view and what is a copy; kernels only compute.
+//! * Filter kernels walk the mask in fixed [`CHUNK`]-row blocks and
+//!   count each block first: all-true blocks bulk-copy
+//!   (`extend_from_slice`), all-false blocks are skipped, and only
+//!   mixed blocks fall back to the per-row loop. Dense and sparse
+//!   masks — the common cases after pruning — never branch per row.
+//! * Comparison kernels hoist the operator match out of the loop so
+//!   the inner loop is a single fused compare-and-AND per row, and
+//!   follow `Expr` semantics exactly: i64 coerces to f64, NaN compares
+//!   false for every operator except `!=`.
+
+use crate::expr::CmpOp;
+use crate::ops::Agg;
+
+/// Rows per block in the chunked filter kernels.
+pub const CHUNK: usize = 64;
+
+/// Number of set lanes in `mask`.
+pub fn count_true(mask: &[bool]) -> usize {
+    mask.iter().map(|&m| m as usize).sum()
+}
+
+/// Filter `Copy` elements through `mask`.
+///
+/// # Panics
+/// If `vals` and `mask` lengths differ.
+pub fn filter_copy<T: Copy>(vals: &[T], mask: &[bool]) -> Vec<T> {
+    assert_eq!(vals.len(), mask.len(), "mask length mismatch");
+    let mut out = Vec::with_capacity(count_true(mask));
+    for (vc, mc) in vals.chunks(CHUNK).zip(mask.chunks(CHUNK)) {
+        let n = count_true(mc);
+        if n == mc.len() {
+            out.extend_from_slice(vc);
+        } else if n > 0 {
+            for (v, &m) in vc.iter().zip(mc) {
+                if m {
+                    out.push(*v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Filter `Clone` elements (strings) through `mask`.
+///
+/// # Panics
+/// If `vals` and `mask` lengths differ.
+pub fn filter_clone<T: Clone>(vals: &[T], mask: &[bool]) -> Vec<T> {
+    assert_eq!(vals.len(), mask.len(), "mask length mismatch");
+    let mut out = Vec::with_capacity(count_true(mask));
+    for (vc, mc) in vals.chunks(CHUNK).zip(mask.chunks(CHUNK)) {
+        let n = count_true(mc);
+        if n == mc.len() {
+            out.extend_from_slice(vc);
+        } else if n > 0 {
+            for (v, &m) in vc.iter().zip(mc) {
+                if m {
+                    out.push(v.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gather `Copy` elements by row index (indices may repeat/reorder).
+pub fn gather_copy<T: Copy>(vals: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| vals[i]).collect()
+}
+
+/// Gather `Clone` elements by row index (indices may repeat/reorder).
+pub fn gather_clone<T: Clone>(vals: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| vals[i].clone()).collect()
+}
+
+#[inline]
+fn mask_and_by<T: Copy>(mask: &mut [bool], vals: &[T], f: impl Fn(T) -> bool) {
+    for (m, &x) in mask.iter_mut().zip(vals) {
+        *m &= f(x);
+    }
+}
+
+/// AND a per-code truth table into `mask` over dictionary codes: the
+/// dictionary is tested once per distinct entry (building `table`),
+/// never per row.
+pub fn mask_and_code_table(mask: &mut [bool], codes: &[u32], table: &[bool]) {
+    mask_and_by(mask, codes, |c| table[c as usize]);
+}
+
+/// AND `(s == value) == want` into `mask` over plain strings.
+pub fn mask_and_str_eq(mask: &mut [bool], vals: &[String], value: &str, want: bool) {
+    for (m, s) in mask.iter_mut().zip(vals) {
+        *m &= (s == value) == want;
+    }
+}
+
+/// `x op y` under IEEE semantics (NaN false for all but `!=`).
+pub fn cmp_f64(op: CmpOp, x: f64, y: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+/// AND `x op value` into `mask` over f64 values. The operator match is
+/// hoisted out of the loop.
+pub fn mask_and_cmp_f64(mask: &mut [bool], vals: &[f64], op: CmpOp, value: f64) {
+    match op {
+        CmpOp::Eq => mask_and_by(mask, vals, |x| x == value),
+        CmpOp::Ne => mask_and_by(mask, vals, |x| x != value),
+        CmpOp::Lt => mask_and_by(mask, vals, |x| x < value),
+        CmpOp::Le => mask_and_by(mask, vals, |x| x <= value),
+        CmpOp::Gt => mask_and_by(mask, vals, |x| x > value),
+        CmpOp::Ge => mask_and_by(mask, vals, |x| x >= value),
+    }
+}
+
+/// AND `(x as f64) op value` into `mask` over i64 values (the same
+/// int-to-float coercion `Expr` comparisons use).
+pub fn mask_and_cmp_i64(mask: &mut [bool], vals: &[i64], op: CmpOp, value: f64) {
+    match op {
+        CmpOp::Eq => mask_and_by(mask, vals, |x| x as f64 == value),
+        CmpOp::Ne => mask_and_by(mask, vals, |x| x as f64 != value),
+        CmpOp::Lt => mask_and_by(mask, vals, |x| (x as f64) < value),
+        CmpOp::Le => mask_and_by(mask, vals, |x| x as f64 <= value),
+        CmpOp::Gt => mask_and_by(mask, vals, |x| x as f64 > value),
+        CmpOp::Ge => mask_and_by(mask, vals, |x| x as f64 >= value),
+    }
+}
+
+/// Streaming sum/count/min/max/first/last accumulator with NaN-skipping
+/// semantics (NaN still counts for First/Last, which record raw
+/// values). Shared by `ops::group_by`, `ops::pivot`, and the grouped
+/// kernels below.
+#[derive(Debug, Clone)]
+pub(crate) struct NumAcc {
+    pub(crate) sum: f64,
+    pub(crate) count: u64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+    pub(crate) first: f64,
+    pub(crate) last: f64,
+    pub(crate) seen: bool,
+}
+
+impl NumAcc {
+    pub(crate) fn new() -> NumAcc {
+        NumAcc {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            first: f64::NAN,
+            last: f64::NAN,
+            seen: false,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, v: f64) {
+        if !self.seen {
+            self.first = v;
+            self.seen = true;
+        }
+        self.last = v;
+        if v.is_nan() {
+            return;
+        }
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub(crate) fn get(&self, agg: Agg) -> f64 {
+        match agg {
+            Agg::Sum => self.sum,
+            Agg::Mean => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            Agg::Min => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.min
+                }
+            }
+            Agg::Max => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.max
+                }
+            }
+            Agg::Count => self.count as f64,
+            Agg::First => self.first,
+            Agg::Last => self.last,
+        }
+    }
+}
+
+/// Accumulate f64 values into per-group accumulators: row i feeds
+/// `accs[groups[i]]`.
+pub(crate) fn accumulate_grouped_f64(accs: &mut [NumAcc], groups: &[usize], vals: &[f64]) {
+    for (&g, &v) in groups.iter().zip(vals) {
+        accs[g].push(v);
+    }
+}
+
+/// Accumulate i64 values (coerced to f64) into per-group accumulators.
+pub(crate) fn accumulate_grouped_i64(accs: &mut [NumAcc], groups: &[usize], vals: &[i64]) {
+    for (&g, &v) in groups.iter().zip(vals) {
+        accs[g].push(v as f64);
+    }
+}
+
+/// Accumulate f64 values into a (group, slot) cell grid: row i feeds
+/// `cells[groups[i]][slots[i]]` — the pivot inner loop.
+pub(crate) fn accumulate_cells_f64(
+    cells: &mut [Vec<NumAcc>],
+    groups: &[usize],
+    slots: &[usize],
+    vals: &[f64],
+) {
+    for ((&g, &s), &v) in groups.iter().zip(slots).zip(vals) {
+        cells[g][s].push(v);
+    }
+}
+
+/// Accumulate i64 values (coerced to f64) into a (group, slot) grid.
+pub(crate) fn accumulate_cells_i64(
+    cells: &mut [Vec<NumAcc>],
+    groups: &[usize],
+    slots: &[usize],
+    vals: &[i64],
+) {
+    for ((&g, &s), &v) in groups.iter().zip(slots).zip(vals) {
+        cells[g][s].push(v as f64);
+    }
+}
+
+/// Sum of non-NaN values.
+pub fn sum_f64(vals: &[f64]) -> f64 {
+    vals.iter().filter(|v| !v.is_nan()).sum()
+}
+
+/// `(min, max)` over non-NaN values; `None` when every value is NaN or
+/// the slice is empty.
+pub fn min_max_f64(vals: &[f64]) -> Option<(f64, f64)> {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut seen = false;
+    for &v in vals {
+        if !v.is_nan() {
+            min = min.min(v);
+            max = max.max(v);
+            seen = true;
+        }
+    }
+    seen.then_some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scattered_mask(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 3 != 1).collect()
+    }
+
+    #[test]
+    fn filter_copy_matches_naive_across_block_shapes() {
+        // Cover all-true blocks, all-false blocks, mixed blocks, and a
+        // ragged tail shorter than CHUNK.
+        for n in [0, 1, CHUNK - 1, CHUNK, CHUNK + 7, 3 * CHUNK + 5] {
+            let vals: Vec<i64> = (0..n as i64).collect();
+            for mask in [
+                vec![true; n],
+                vec![false; n],
+                scattered_mask(n),
+                (0..n).map(|i| i < n / 2).collect::<Vec<bool>>(),
+            ] {
+                let naive: Vec<i64> = vals
+                    .iter()
+                    .zip(&mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(v, _)| *v)
+                    .collect();
+                assert_eq!(filter_copy(&vals, &mask), naive, "n={n}");
+                assert_eq!(count_true(&mask), naive.len());
+            }
+        }
+    }
+
+    #[test]
+    fn filter_clone_matches_naive() {
+        let vals: Vec<String> = (0..150).map(|i| format!("s{i}")).collect();
+        let mask = scattered_mask(150);
+        let naive: Vec<String> = vals
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v.clone())
+            .collect();
+        assert_eq!(filter_clone(&vals, &mask), naive);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn filter_rejects_ragged_mask() {
+        filter_copy(&[1i64, 2], &[true]);
+    }
+
+    #[test]
+    fn gather_repeats_and_reorders() {
+        assert_eq!(gather_copy(&[10i64, 20, 30], &[2, 0, 0]), vec![30, 10, 10]);
+        assert_eq!(
+            gather_clone(&["a".to_string(), "b".to_string()], &[1, 1, 0]),
+            vec!["b".to_string(), "b".to_string(), "a".to_string()]
+        );
+    }
+
+    #[test]
+    fn code_table_mask_matches_per_row_lookup() {
+        let codes: Vec<u32> = (0..100).map(|i| (i % 4) as u32).collect();
+        let table = [true, false, true, false];
+        let mut mask = vec![true; 100];
+        mask[7] = false; // pre-cleared lanes stay cleared
+        mask_and_code_table(&mut mask, &codes, &table);
+        for (i, (&m, &c)) in mask.iter().zip(&codes).enumerate() {
+            assert_eq!(m, i != 7 && table[c as usize]);
+        }
+    }
+
+    #[test]
+    fn cmp_masks_follow_ieee_and_coercion_semantics() {
+        let vals = [1.0, f64::NAN, 3.0];
+        for (op, expect) in [
+            (CmpOp::Lt, [true, false, false]),
+            (CmpOp::Ne, [true, true, true]),
+            (CmpOp::Eq, [false, false, false]),
+            (CmpOp::Ge, [false, false, true]),
+        ] {
+            let mut mask = vec![true; 3];
+            mask_and_cmp_f64(&mut mask, &vals, op, 2.0);
+            assert_eq!(mask, expect, "{op:?}");
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(cmp_f64(op, v, 2.0), expect[i]);
+            }
+        }
+        let ints = [1i64, 2, 3];
+        let mut mask = vec![true; 3];
+        mask_and_cmp_i64(&mut mask, &ints, CmpOp::Le, 2.0);
+        assert_eq!(mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn grouped_accumulation_matches_scalar_pushes() {
+        let groups = [0usize, 1, 0, 1, 0];
+        let vals = [1.0, 10.0, f64::NAN, 20.0, 3.0];
+        let mut accs = vec![NumAcc::new(), NumAcc::new()];
+        accumulate_grouped_f64(&mut accs, &groups, &vals);
+        assert_eq!(accs[0].get(Agg::Sum), 4.0);
+        assert_eq!(accs[0].get(Agg::Count), 2.0);
+        assert_eq!(accs[0].get(Agg::First), 1.0);
+        assert_eq!(accs[0].get(Agg::Last), 3.0);
+        assert_eq!(accs[1].get(Agg::Mean), 15.0);
+        let mut iaccs = vec![NumAcc::new()];
+        accumulate_grouped_i64(&mut iaccs, &[0, 0], &[2, 4]);
+        assert_eq!(iaccs[0].get(Agg::Max), 4.0);
+    }
+
+    #[test]
+    fn cell_accumulation_matches_scalar_pushes() {
+        let groups = [0usize, 0, 1];
+        let slots = [0usize, 1, 0];
+        let mut cells = vec![
+            vec![NumAcc::new(), NumAcc::new()],
+            vec![NumAcc::new(), NumAcc::new()],
+        ];
+        accumulate_cells_f64(&mut cells, &groups, &slots, &[1.0, 2.0, 3.0]);
+        assert_eq!(cells[0][0].get(Agg::Sum), 1.0);
+        assert_eq!(cells[0][1].get(Agg::Sum), 2.0);
+        assert_eq!(cells[1][0].get(Agg::Sum), 3.0);
+        assert!(cells[1][1].get(Agg::Mean).is_nan());
+        let mut icells = vec![vec![NumAcc::new()]];
+        accumulate_cells_i64(&mut icells, &[0], &[0], &[7]);
+        assert_eq!(icells[0][0].get(Agg::Last), 7.0);
+    }
+
+    #[test]
+    fn slice_reductions_skip_nan() {
+        assert_eq!(sum_f64(&[1.0, f64::NAN, 2.0]), 3.0);
+        assert_eq!(min_max_f64(&[3.0, f64::NAN, -1.0]), Some((-1.0, 3.0)));
+        assert_eq!(min_max_f64(&[f64::NAN]), None);
+        assert_eq!(min_max_f64(&[]), None);
+    }
+}

@@ -18,6 +18,7 @@ pub mod executor;
 pub mod expr;
 pub mod frame;
 pub mod frame_io;
+pub mod kernels;
 pub mod logical;
 pub mod medallion;
 pub mod metrics;

@@ -24,8 +24,8 @@
 //! # use oda_pipeline::frame::Frame;
 //! # use oda_storage::colfile::ColumnData;
 //! # let frame = Frame::new(vec![
-//! #     ("ts".into(), ColumnData::I64(vec![1, 2])),
-//! #     ("value".into(), ColumnData::F64(vec![0.5, 1.5])),
+//! #     ("ts".into(), ColumnData::I64(vec![1, 2].into())),
+//! #     ("value".into(), ColumnData::F64(vec![0.5, 1.5].into())),
 //! # ]).unwrap();
 //! let out = Query::scan(frame)
 //!     .filter(Expr::col("value").gt(Expr::LitF(1.0)))
@@ -42,11 +42,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use oda_obs::{trace_id, trace_span, TraceEventKind, Tracer, SERVICE_TRACE};
-use oda_storage::colfile::{ChunkStats, ColumnData, ColumnType, TableFile, TableSchema};
+use oda_storage::colfile::{ChunkStats, ColumnData, ColumnType, LazyTable, TableFile, TableSchema};
 
 use crate::error::PipelineError;
 use crate::expr::{CmpOp, Expr};
 use crate::frame::Frame;
+use crate::kernels;
 use crate::metrics::PlanMetrics;
 use crate::ops::{self, Agg, AggSpec};
 use crate::window::assign_window;
@@ -129,36 +130,19 @@ impl ScanPredicate {
             ScanPredicate::CatEq { value, .. } | ScanPredicate::CatNe { value, .. } => {
                 let want = matches!(self, ScanPredicate::CatEq { .. });
                 match col {
-                    ColumnData::Str(v) => {
-                        for (m, s) in mask.iter_mut().zip(v) {
-                            *m = *m && ((s == value) == want);
-                        }
-                    }
+                    ColumnData::Str(v) => kernels::mask_and_str_eq(mask, &v[..], value, want),
                     ColumnData::Dict { dict, codes } => {
-                        let hits: Vec<bool> = dict.iter().map(|s| s == value).collect();
-                        for (m, &c) in mask.iter_mut().zip(codes) {
-                            *m = *m && (hits[c as usize] == want);
-                        }
+                        let table: Vec<bool> = dict.iter().map(|s| (s == value) == want).collect();
+                        kernels::mask_and_code_table(mask, &codes[..], &table);
                     }
                     _ => return Err(mismatch("string column for categorical predicate")),
                 }
             }
-            ScanPredicate::NumCmp { op, value, .. } => {
-                let test = |x: f64| cmp_f64(*op, x, *value);
-                match col {
-                    ColumnData::I64(v) => {
-                        for (m, &x) in mask.iter_mut().zip(v) {
-                            *m = *m && test(x as f64);
-                        }
-                    }
-                    ColumnData::F64(v) => {
-                        for (m, &x) in mask.iter_mut().zip(v) {
-                            *m = *m && test(x);
-                        }
-                    }
-                    _ => return Err(mismatch("numeric column for comparison")),
-                }
-            }
+            ScanPredicate::NumCmp { op, value, .. } => match col {
+                ColumnData::I64(v) => kernels::mask_and_cmp_i64(mask, &v[..], *op, *value),
+                ColumnData::F64(v) => kernels::mask_and_cmp_f64(mask, &v[..], *op, *value),
+                _ => return Err(mismatch("numeric column for comparison")),
+            },
         }
         Ok(())
     }
@@ -533,17 +517,6 @@ fn cmp_symbol(op: CmpOp) -> &'static str {
         CmpOp::Le => "<=",
         CmpOp::Gt => ">",
         CmpOp::Ge => ">=",
-    }
-}
-
-fn cmp_f64(op: CmpOp, x: f64, y: f64) -> bool {
-    match op {
-        CmpOp::Eq => x == y,
-        CmpOp::Ne => x != y,
-        CmpOp::Lt => x < y,
-        CmpOp::Le => x <= y,
-        CmpOp::Gt => x > y,
-        CmpOp::Ge => x >= y,
     }
 }
 
@@ -1017,11 +990,15 @@ fn exec_frame_scan(
 }
 
 fn exec_table_scan(
-    table: &TableFile,
+    table: &Arc<TableFile>,
     projection: Option<&[String]>,
     predicates: &[ScanPredicate],
     stats: &mut ExecStats,
 ) -> Result<Frame, PipelineError> {
+    // Lazy per-chunk decode, memoized for the duration of this scan: a
+    // column needed by both a predicate and the projection decodes
+    // once, and pruned groups never decode at all.
+    let lazy = LazyTable::new(Arc::clone(table));
     let schema = table.schema();
     let col_of = |name: &str| -> Result<usize, PipelineError> {
         schema
@@ -1120,17 +1097,14 @@ fn exec_table_scan(
         let rows = table.row_group_rows(group).unwrap_or(0);
         stats.rows_scanned += rows as u64;
         let mut mask = vec![true; rows];
-        let mut cache: BTreeMap<usize, ColumnData> = BTreeMap::new();
-        let read = |c: usize,
-                    cache: &mut BTreeMap<usize, ColumnData>,
-                    stats: &mut ExecStats|
-         -> Result<ColumnData, PipelineError> {
-            if let Some(col) = cache.get(&c) {
-                return Ok(col.clone());
+        // `chunks_read` counts actual decodes: repeat requests for a
+        // memoized chunk are cache hits, not reads.
+        let read = |c: usize, stats: &mut ExecStats| -> Result<ColumnData, PipelineError> {
+            let before = lazy.chunks_decoded();
+            let col = lazy.column(group, c)?;
+            if lazy.chunks_decoded() > before {
+                stats.chunks_read += 1;
             }
-            let col = table.read_column(group, c)?;
-            stats.chunks_read += 1;
-            cache.insert(c, col.clone());
             Ok(col)
         };
         let mut alive = true;
@@ -1148,7 +1122,7 @@ fn exec_table_scan(
                 }
                 _ => {
                     let c = col_of(p.column()).expect("validated");
-                    p.apply(&read(c, &mut cache, stats)?, &mut mask)?;
+                    p.apply(&read(c, stats)?, &mut mask)?;
                 }
             }
             if mask.iter().all(|m| !m) {
@@ -1162,7 +1136,7 @@ fn exec_table_scan(
         stats.groups_scanned.push(group);
         let columns: Vec<(String, ColumnData)> = proj_cols
             .iter()
-            .map(|&c| Ok((schema.columns[c].0.clone(), read(c, &mut cache, stats)?)))
+            .map(|&c| Ok((schema.columns[c].0.clone(), read(c, stats)?)))
             .collect::<Result<_, PipelineError>>()?;
         parts.push(Frame::new(columns)?.filter_mask(&mask));
     }
@@ -1346,9 +1320,9 @@ mod tests {
                 .collect();
             let value: Vec<f64> = ts.iter().map(|&t| t as f64 / 1_000.0).collect();
             w.write_row_group(&[
-                ColumnData::I64(ts),
+                ColumnData::I64(ts.into()),
                 ColumnData::dict(dict, codes),
-                ColumnData::F64(value),
+                ColumnData::F64(value.into()),
             ])
             .unwrap();
         }

@@ -94,8 +94,8 @@ pub fn bronze_frame(obs: &[Observation], catalog: &SensorCatalog) -> Frame {
         });
     }
     Frame::new(vec![
-        ("ts_ms".into(), ColumnData::I64(ts)),
-        ("node".into(), ColumnData::I64(node)),
+        ("ts_ms".into(), ColumnData::I64(ts.into())),
+        ("node".into(), ColumnData::I64(node.into())),
         (
             "device".into(),
             ColumnData::dict(devices.into_dict(), device),
@@ -104,8 +104,8 @@ pub fn bronze_frame(obs: &[Observation], catalog: &SensorCatalog) -> Frame {
             "sensor".into(),
             ColumnData::dict(sensors.into_dict(), sensor),
         ),
-        ("value".into(), ColumnData::F64(value)),
-        ("quality".into(), ColumnData::I64(quality)),
+        ("value".into(), ColumnData::F64(value.into())),
+        ("quality".into(), ColumnData::I64(quality.into())),
     ])
     .expect("equal-length columns by construction")
 }
@@ -193,20 +193,20 @@ pub fn job_context_frame(jobs: &[Job]) -> Frame {
         }
     }
     Frame::new(vec![
-        ("node".into(), ColumnData::I64(node)),
-        ("job".into(), ColumnData::I64(job)),
+        ("node".into(), ColumnData::I64(node.into())),
+        ("job".into(), ColumnData::I64(job.into())),
         (
             "archetype".into(),
             ColumnData::dict(archetypes.into_dict(), archetype),
         ),
-        ("program".into(), ColumnData::I64(program)),
-        ("user".into(), ColumnData::I64(user)),
+        ("program".into(), ColumnData::I64(program.into())),
+        ("user".into(), ColumnData::I64(user.into())),
         (
             "project".into(),
             ColumnData::dict(projects.into_dict(), project),
         ),
-        ("job_start_ms".into(), ColumnData::I64(start)),
-        ("job_end_ms".into(), ColumnData::I64(end)),
+        ("job_start_ms".into(), ColumnData::I64(start.into())),
+        ("job_end_ms".into(), ColumnData::I64(end.into())),
     ])
     .expect("equal-length columns by construction")
 }
@@ -315,16 +315,16 @@ pub fn streaming_silver_transform(window_ms: i64, lateness_ms: i64) -> Transform
             c_col.push(cell.count as i64);
         }
         Frame::new(vec![
-            ("window".into(), ColumnData::I64(w_col)),
-            ("node".into(), ColumnData::I64(n_col)),
+            ("window".into(), ColumnData::I64(w_col.into())),
+            ("node".into(), ColumnData::I64(n_col.into())),
             (
                 "sensor".into(),
                 ColumnData::dict(out_sensors.into_dict(), s_col),
             ),
-            ("mean".into(), ColumnData::F64(mean_col)),
-            ("min".into(), ColumnData::F64(min_col)),
-            ("max".into(), ColumnData::F64(max_col)),
-            ("count".into(), ColumnData::I64(c_col)),
+            ("mean".into(), ColumnData::F64(mean_col.into())),
+            ("min".into(), ColumnData::F64(min_col.into())),
+            ("max".into(), ColumnData::F64(max_col.into())),
+            ("count".into(), ColumnData::I64(c_col.into())),
         ])
     })
 }
@@ -454,17 +454,17 @@ pub fn streaming_silver_transform_gap_marked(window_ms: i64, lateness_ms: i64) -
             g_col.push(gap);
         }
         Frame::new(vec![
-            ("window".into(), ColumnData::I64(w_col)),
-            ("node".into(), ColumnData::I64(n_col)),
+            ("window".into(), ColumnData::I64(w_col.into())),
+            ("node".into(), ColumnData::I64(n_col.into())),
             (
                 "sensor".into(),
                 ColumnData::dict(out_sensors.into_dict(), s_col),
             ),
-            ("mean".into(), ColumnData::F64(mean_col)),
-            ("min".into(), ColumnData::F64(min_col)),
-            ("max".into(), ColumnData::F64(max_col)),
-            ("count".into(), ColumnData::I64(c_col)),
-            ("gap".into(), ColumnData::I64(g_col)),
+            ("mean".into(), ColumnData::F64(mean_col.into())),
+            ("min".into(), ColumnData::F64(min_col.into())),
+            ("max".into(), ColumnData::F64(max_col.into())),
+            ("count".into(), ColumnData::I64(c_col.into())),
+            ("gap".into(), ColumnData::I64(g_col.into())),
         ])
     })
 }
@@ -491,7 +491,7 @@ pub fn silver_to_gold_job_energy(silver: &Frame, window_ms: i64) -> Result<Frame
         .map(|s| s * (window_ms as f64 / 1_000.0) / 3.6e6)
         .collect();
     let mut out = g.clone();
-    out.push_column("energy_kwh", ColumnData::F64(kwh))?;
+    out.push_column("energy_kwh", ColumnData::F64(kwh.into()))?;
     out.select(&["job", "mean_node_w", "peak_node_w", "samples", "energy_kwh"])
 }
 

@@ -6,6 +6,7 @@
 
 use crate::error::PipelineError;
 use crate::frame::{Frame, StrColumn};
+use crate::kernels::{self, NumAcc};
 use crate::rowkey::{join_keys, KeyCols, RowKey};
 use oda_storage::colfile::ColumnData;
 use std::collections::HashMap;
@@ -48,76 +49,6 @@ impl AggSpec {
             column: column.into(),
             agg,
             output: output.into(),
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-struct NumAcc {
-    sum: f64,
-    count: u64,
-    min: f64,
-    max: f64,
-    first: f64,
-    last: f64,
-    seen: bool,
-}
-
-impl NumAcc {
-    fn new() -> NumAcc {
-        NumAcc {
-            sum: 0.0,
-            count: 0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            first: f64::NAN,
-            last: f64::NAN,
-            seen: false,
-        }
-    }
-
-    fn push(&mut self, v: f64) {
-        if !self.seen {
-            self.first = v;
-            self.seen = true;
-        }
-        self.last = v;
-        if v.is_nan() {
-            return;
-        }
-        self.sum += v;
-        self.count += 1;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    fn get(&self, agg: Agg) -> f64 {
-        match agg {
-            Agg::Sum => self.sum,
-            Agg::Mean => {
-                if self.count == 0 {
-                    f64::NAN
-                } else {
-                    self.sum / self.count as f64
-                }
-            }
-            Agg::Min => {
-                if self.count == 0 {
-                    f64::NAN
-                } else {
-                    self.min
-                }
-            }
-            Agg::Max => {
-                if self.count == 0 {
-                    f64::NAN
-                } else {
-                    self.max
-                }
-            }
-            Agg::Count => self.count as f64,
-            Agg::First => self.first,
-            Agg::Last => self.last,
         }
     }
 }
@@ -243,8 +174,14 @@ pub fn group_by<S: AsRef<str>>(
             }
             _ => {
                 let mut accs = vec![NumAcc::new(); n_groups];
-                for row in 0..frame.rows() {
-                    accs[row_group[row]].push(numeric_at(col, row)?);
+                match col {
+                    ColumnData::F64(v) => {
+                        kernels::accumulate_grouped_f64(&mut accs, &row_group, &v[..])
+                    }
+                    ColumnData::I64(v) => {
+                        kernels::accumulate_grouped_i64(&mut accs, &row_group, &v[..])
+                    }
+                    _ => unreachable!("string aggregates handled above"),
                 }
                 let data = if spec.agg == Agg::Count {
                     ColumnData::I64(accs.iter().map(|a| a.count as i64).collect())
@@ -311,19 +248,31 @@ pub fn pivot<S: AsRef<str>>(
     let key_cols = KeyCols::of(frame, &index_idx);
     let mut group_of: HashMap<RowKey, usize> = HashMap::new();
     let mut representative: Vec<usize> = Vec::new();
-    // Expected index cardinality: every (index, pivot value) pair fills
-    // one cell, so rows / distinct is the dense-grid group count.
-    let mut cells: Vec<Vec<NumAcc>> = Vec::with_capacity(frame.rows() / distinct.len().max(1) + 1);
+    let mut row_group: Vec<usize> = Vec::with_capacity(frame.rows());
     for row in 0..frame.rows() {
         let next = representative.len();
         let g = *group_of.entry(key_cols.key(row)).or_insert_with(|| {
             representative.push(row);
             next
         });
-        if g == cells.len() {
-            cells.push(vec![NumAcc::new(); distinct.len()]);
+        row_group.push(g);
+    }
+    let mut cells: Vec<Vec<NumAcc>> = (0..representative.len())
+        .map(|_| vec![NumAcc::new(); distinct.len()])
+        .collect();
+    match values {
+        ColumnData::F64(v) => {
+            kernels::accumulate_cells_f64(&mut cells, &row_group, &slot_of_row, &v[..])
         }
-        cells[g][slot_of_row[row]].push(numeric_at(values, row)?);
+        ColumnData::I64(v) => {
+            kernels::accumulate_cells_i64(&mut cells, &row_group, &slot_of_row, &v[..])
+        }
+        _ => {
+            return Err(PipelineError::TypeMismatch {
+                column: value_col.into(),
+                expected: "numeric".into(),
+            })
+        }
     }
 
     let key_frame = frame.take(&representative);
@@ -339,7 +288,7 @@ pub fn pivot<S: AsRef<str>>(
         .collect();
     for (p, name) in distinct.iter().enumerate() {
         let col: Vec<f64> = cells.iter().map(|row| row[p].get(agg)).collect();
-        out.push((name.clone(), ColumnData::F64(col)));
+        out.push((name.clone(), ColumnData::F64(col.into())));
     }
     Frame::new(out)
 }
@@ -401,7 +350,7 @@ pub fn melt<S: AsRef<str>>(
         .map(|(n, c)| (n.clone(), c.clone()))
         .collect();
     columns.push((var_col.to_string(), ColumnData::dict(var_dict, var_codes)));
-    columns.push((value_col.to_string(), ColumnData::F64(values)));
+    columns.push((value_col.to_string(), ColumnData::F64(values.into())));
     Frame::new(columns)
 }
 
@@ -590,9 +539,12 @@ mod tests {
         Frame::new(vec![
             (
                 "ts".into(),
-                ColumnData::I64(vec![0, 0, 0, 0, 10, 10, 10, 10]),
+                ColumnData::I64(vec![0, 0, 0, 0, 10, 10, 10, 10].into()),
             ),
-            ("node".into(), ColumnData::I64(vec![1, 1, 2, 2, 1, 1, 2, 2])),
+            (
+                "node".into(),
+                ColumnData::I64(vec![1, 1, 2, 2, 1, 1, 2, 2].into()),
+            ),
             (
                 "sensor".into(),
                 ColumnData::Str(
@@ -604,7 +556,7 @@ mod tests {
             ),
             (
                 "value".into(),
-                ColumnData::F64(vec![100.0, 30.0, 200.0, 40.0, 110.0, 31.0, 210.0, 41.0]),
+                ColumnData::F64(vec![100.0, 30.0, 200.0, 40.0, 110.0, 31.0, 210.0, 41.0].into()),
             ),
         ])
         .unwrap()
@@ -640,8 +592,8 @@ mod tests {
     #[test]
     fn group_by_skips_nan() {
         let f = Frame::new(vec![
-            ("k".into(), ColumnData::I64(vec![1, 1, 1])),
-            ("v".into(), ColumnData::F64(vec![1.0, f64::NAN, 3.0])),
+            ("k".into(), ColumnData::I64(vec![1, 1, 1].into())),
+            ("v".into(), ColumnData::F64(vec![1.0, f64::NAN, 3.0].into())),
         ])
         .unwrap();
         let g = group_by(
@@ -660,10 +612,10 @@ mod tests {
     #[test]
     fn group_by_string_first_last() {
         let f = Frame::new(vec![
-            ("k".into(), ColumnData::I64(vec![1, 1, 2])),
+            ("k".into(), ColumnData::I64(vec![1, 1, 2].into())),
             (
                 "s".into(),
-                ColumnData::Str(vec!["a".into(), "b".into(), "c".into()]),
+                ColumnData::Str(vec!["a".into(), "b".into(), "c".into()].into()),
             ),
         ])
         .unwrap();
@@ -702,9 +654,12 @@ mod tests {
     #[test]
     fn pivot_missing_cells_are_nan() {
         let f = Frame::new(vec![
-            ("k".into(), ColumnData::I64(vec![1, 2])),
-            ("s".into(), ColumnData::Str(vec!["a".into(), "b".into()])),
-            ("v".into(), ColumnData::F64(vec![1.0, 2.0])),
+            ("k".into(), ColumnData::I64(vec![1, 2].into())),
+            (
+                "s".into(),
+                ColumnData::Str(vec!["a".into(), "b".into()].into()),
+            ),
+            ("v".into(), ColumnData::F64(vec![1.0, 2.0].into())),
         ])
         .unwrap();
         let w = pivot(&f, &["k"], "s", "v", Agg::Mean).unwrap();
@@ -730,8 +685,8 @@ mod tests {
     #[test]
     fn melt_rejects_string_value_columns() {
         let f = Frame::new(vec![
-            ("k".into(), ColumnData::I64(vec![1])),
-            ("s".into(), ColumnData::Str(vec!["x".into()])),
+            ("k".into(), ColumnData::I64(vec![1].into())),
+            ("s".into(), ColumnData::Str(vec!["x".into()].into())),
         ])
         .unwrap();
         assert!(melt(&f, &["k"], "var", "val").is_err());
@@ -740,14 +695,14 @@ mod tests {
     #[test]
     fn join_matches_and_suffixes() {
         let left = Frame::new(vec![
-            ("node".into(), ColumnData::I64(vec![1, 2, 3])),
-            ("v".into(), ColumnData::F64(vec![0.1, 0.2, 0.3])),
+            ("node".into(), ColumnData::I64(vec![1, 2, 3].into())),
+            ("v".into(), ColumnData::F64(vec![0.1, 0.2, 0.3].into())),
         ])
         .unwrap();
         let right = Frame::new(vec![
-            ("node".into(), ColumnData::I64(vec![2, 3, 4])),
-            ("job".into(), ColumnData::I64(vec![20, 30, 40])),
-            ("v".into(), ColumnData::F64(vec![9.0, 9.0, 9.0])),
+            ("node".into(), ColumnData::I64(vec![2, 3, 4].into())),
+            ("job".into(), ColumnData::I64(vec![20, 30, 40].into())),
+            ("v".into(), ColumnData::F64(vec![9.0, 9.0, 9.0].into())),
         ])
         .unwrap();
         let j = join_inner(&left, &right, &["node"]).unwrap();
@@ -761,12 +716,13 @@ mod tests {
 
     #[test]
     fn left_join_keeps_unmatched_rows() {
-        let left = Frame::new(vec![("node".into(), ColumnData::I64(vec![1, 2, 3]))]).unwrap();
+        let left =
+            Frame::new(vec![("node".into(), ColumnData::I64(vec![1, 2, 3].into()))]).unwrap();
         let right = Frame::new(vec![
-            ("node".into(), ColumnData::I64(vec![2])),
-            ("job".into(), ColumnData::I64(vec![20])),
-            ("w".into(), ColumnData::F64(vec![9.5])),
-            ("tag".into(), ColumnData::Str(vec!["x".into()])),
+            ("node".into(), ColumnData::I64(vec![2].into())),
+            ("job".into(), ColumnData::I64(vec![20].into())),
+            ("w".into(), ColumnData::F64(vec![9.5].into())),
+            ("tag".into(), ColumnData::Str(vec!["x".into()].into())),
         ])
         .unwrap();
         let j = join_left(&left, &right, &["node"]).unwrap();
@@ -780,10 +736,10 @@ mod tests {
 
     #[test]
     fn left_join_matches_inner_when_all_match() {
-        let left = Frame::new(vec![("k".into(), ColumnData::I64(vec![1, 2]))]).unwrap();
+        let left = Frame::new(vec![("k".into(), ColumnData::I64(vec![1, 2].into()))]).unwrap();
         let right = Frame::new(vec![
-            ("k".into(), ColumnData::I64(vec![1, 2])),
-            ("v".into(), ColumnData::F64(vec![0.1, 0.2])),
+            ("k".into(), ColumnData::I64(vec![1, 2].into())),
+            ("v".into(), ColumnData::F64(vec![0.1, 0.2].into())),
         ])
         .unwrap();
         let lj = join_left(&left, &right, &["k"]).unwrap();
@@ -795,10 +751,10 @@ mod tests {
 
     #[test]
     fn join_one_to_many_expands() {
-        let left = Frame::new(vec![("k".into(), ColumnData::I64(vec![1]))]).unwrap();
+        let left = Frame::new(vec![("k".into(), ColumnData::I64(vec![1].into()))]).unwrap();
         let right = Frame::new(vec![
-            ("k".into(), ColumnData::I64(vec![1, 1, 1])),
-            ("x".into(), ColumnData::I64(vec![7, 8, 9])),
+            ("k".into(), ColumnData::I64(vec![1, 1, 1].into())),
+            ("x".into(), ColumnData::I64(vec![7, 8, 9].into())),
         ])
         .unwrap();
         let j = join_inner(&left, &right, &["k"]).unwrap();
@@ -809,10 +765,10 @@ mod tests {
     #[test]
     fn sorts_are_stable() {
         let f = Frame::new(vec![
-            ("k".into(), ColumnData::I64(vec![3, 1, 2, 1])),
+            ("k".into(), ColumnData::I64(vec![3, 1, 2, 1].into())),
             (
                 "tag".into(),
-                ColumnData::Str(vec!["a".into(), "b".into(), "c".into(), "d".into()]),
+                ColumnData::Str(vec!["a".into(), "b".into(), "c".into(), "d".into()].into()),
             ),
         ])
         .unwrap();
@@ -855,7 +811,7 @@ mod tests {
     #[test]
     fn group_by_dict_first_last_preserves_dictionary() {
         let f = Frame::new(vec![
-            ("k".into(), ColumnData::I64(vec![1, 1, 2])),
+            ("k".into(), ColumnData::I64(vec![1, 1, 2].into())),
             (
                 "s".into(),
                 ColumnData::dict(vec!["a".into(), "b".into(), "c".into()], vec![0, 1, 2]),
@@ -882,9 +838,10 @@ mod tests {
 
     #[test]
     fn left_join_fills_dict_columns_with_empty() {
-        let left = Frame::new(vec![("node".into(), ColumnData::I64(vec![1, 2, 3]))]).unwrap();
+        let left =
+            Frame::new(vec![("node".into(), ColumnData::I64(vec![1, 2, 3].into()))]).unwrap();
         let right = Frame::new(vec![
-            ("node".into(), ColumnData::I64(vec![2])),
+            ("node".into(), ColumnData::I64(vec![2].into())),
             ("tag".into(), ColumnData::dict(vec!["x".into()], vec![0])),
         ])
         .unwrap();
@@ -898,9 +855,9 @@ mod tests {
         let left = Frame::new(vec![
             (
                 "dev".into(),
-                ColumnData::Str(vec!["cpu0".into(), "gpu1".into(), "cpu9".into()]),
+                ColumnData::Str(vec!["cpu0".into(), "gpu1".into(), "cpu9".into()].into()),
             ),
-            ("v".into(), ColumnData::I64(vec![1, 2, 3])),
+            ("v".into(), ColumnData::I64(vec![1, 2, 3].into())),
         ])
         .unwrap();
         let right = Frame::new(vec![
@@ -908,7 +865,7 @@ mod tests {
                 "dev".into(),
                 ColumnData::dict(vec!["gpu1".into(), "cpu0".into()], vec![0, 1]),
             ),
-            ("w".into(), ColumnData::I64(vec![10, 20])),
+            ("w".into(), ColumnData::I64(vec![10, 20].into())),
         ])
         .unwrap();
         let j = join_inner(&left, &right, &["dev"]).unwrap();

@@ -221,18 +221,18 @@ mod tests {
             }
         }
         Frame::new(vec![
-            ("ts".into(), ColumnData::I64(ts)),
-            ("node".into(), ColumnData::I64(node)),
-            ("sensor".into(), ColumnData::Str(sensor)),
-            ("value".into(), ColumnData::F64(value)),
+            ("ts".into(), ColumnData::I64(ts.into())),
+            ("node".into(), ColumnData::I64(node.into())),
+            ("sensor".into(), ColumnData::Str(sensor.into())),
+            ("value".into(), ColumnData::F64(value.into())),
         ])
         .unwrap()
     }
 
     fn job_context() -> Frame {
         Frame::new(vec![
-            ("node".into(), ColumnData::I64(vec![1, 2])),
-            ("job".into(), ColumnData::I64(vec![101, 102])),
+            ("node".into(), ColumnData::I64(vec![1, 2].into())),
+            ("job".into(), ColumnData::I64(vec![101, 102].into())),
         ])
         .unwrap()
     }

@@ -162,14 +162,14 @@ mod tests {
 
     fn frame() -> Frame {
         Frame::new(vec![
-            ("i".into(), ColumnData::I64(vec![1, 1, 2, 2])),
+            ("i".into(), ColumnData::I64(vec![1, 1, 2, 2].into())),
             (
                 "f".into(),
-                ColumnData::F64(vec![0.5, f64::NAN, 0.5, f64::NAN]),
+                ColumnData::F64(vec![0.5, f64::NAN, 0.5, f64::NAN].into()),
             ),
             (
                 "s".into(),
-                ColumnData::Str(vec!["a".into(), "a".into(), "b".into(), "a".into()]),
+                ColumnData::Str(vec!["a".into(), "a".into(), "b".into(), "a".into()].into()),
             ),
             (
                 "d".into(),
@@ -213,7 +213,7 @@ mod tests {
         // same-bit NaNs in one stable group instead of one group per row.
         let f = Frame::new(vec![(
             "v".into(),
-            ColumnData::F64(vec![f64::NAN, 1.0, f64::NAN, 1.0, f64::NAN]),
+            ColumnData::F64(vec![f64::NAN, 1.0, f64::NAN, 1.0, f64::NAN].into()),
         )])
         .unwrap();
         let kc = KeyCols::of(&f, &[0]);
@@ -234,7 +234,7 @@ mod tests {
         // code layout: equal strings must produce equal keys.
         let left = Frame::new(vec![(
             "k".into(),
-            ColumnData::Str(vec!["b".into(), "a".into(), "c".into()]),
+            ColumnData::Str(vec!["b".into(), "a".into(), "c".into()].into()),
         )])
         .unwrap();
         let right = Frame::new(vec![(

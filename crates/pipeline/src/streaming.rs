@@ -603,7 +603,7 @@ mod tests {
                         .ok_or_else(|| PipelineError::Decode("bad float".into()))
                 })
                 .collect::<Result<_, _>>()?;
-            Frame::new(vec![("v".into(), ColumnData::F64(vals))])
+            Frame::new(vec![("v".into(), ColumnData::F64(vals.into()))])
         })
     }
 
@@ -618,7 +618,7 @@ mod tests {
             let total = state.get_cell(0, "sum").map(|c| c.sum).unwrap_or(0.0);
             let mut out = frame;
             let n = out.rows();
-            out.push_column("running_total", ColumnData::F64(vec![total; n]))?;
+            out.push_column("running_total", ColumnData::F64(vec![total; n].into()))?;
             Ok(out)
         })
     }

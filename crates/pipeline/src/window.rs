@@ -32,7 +32,7 @@ pub fn assign_window_as(
     let ts = frame.i64s(ts_col)?;
     let windows: Vec<i64> = ts.iter().map(|&t| window_start(t, width_ms)).collect();
     let mut out = frame.clone();
-    out.push_column(out_col, ColumnData::I64(windows))?;
+    out.push_column(out_col, ColumnData::I64(windows.into()))?;
     Ok(out)
 }
 
@@ -97,7 +97,7 @@ mod tests {
     fn assign_window_adds_column() {
         let f = Frame::new(vec![(
             "ts".into(),
-            ColumnData::I64(vec![0, 7_000, 15_000, 31_000]),
+            ColumnData::I64(vec![0, 7_000, 15_000, 31_000].into()),
         )])
         .unwrap();
         let w = assign_window(&f, "ts", 15_000).unwrap();
@@ -125,7 +125,11 @@ mod tests {
 
     #[test]
     fn observe_frame_uses_max() {
-        let f = Frame::new(vec![("ts".into(), ColumnData::I64(vec![5, 100, 50]))]).unwrap();
+        let f = Frame::new(vec![(
+            "ts".into(),
+            ColumnData::I64(vec![5, 100, 50].into()),
+        )])
+        .unwrap();
         let mut wm = Watermark::new(0);
         wm.observe_frame(&f, "ts").unwrap();
         assert_eq!(wm.current(), 100);

@@ -7,6 +7,7 @@
 //! the footer first and fetch only the chunks a query needs — min/max
 //! stats give row-group–level predicate pushdown.
 
+use crate::buffer::Buffer;
 use crate::compress::{compress, decompress};
 use crate::encoding::{
     decode_dict, decode_f64, decode_i64, decode_str, encode_dict, encode_f64, encode_i64,
@@ -18,6 +19,10 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"OCF1";
+
+/// Row groups at least this tall encode their columns in parallel;
+/// smaller groups stay serial (thread spawn would dominate).
+const PARALLEL_ENCODE_ROWS: usize = 4_096;
 
 /// Logical column type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,14 +38,19 @@ pub enum ColumnType {
 }
 
 /// Column values for one row group.
+///
+/// Every variant holds a shared [`Buffer`] view, so cloning a column —
+/// and by extension selecting, slicing, or concatenating frames built
+/// on top of it — bumps a refcount instead of copying element data.
+/// Mutation goes through the buffer's copy-on-write API.
 #[derive(Debug, Clone)]
 pub enum ColumnData {
     /// Integer values.
-    I64(Vec<i64>),
+    I64(Buffer<i64>),
     /// Float values.
-    F64(Vec<f64>),
+    F64(Buffer<f64>),
     /// String values.
-    Str(Vec<String>),
+    Str(Buffer<String>),
     /// Dictionary-encoded strings: row i's value is `dict[codes[i]]`.
     /// The dictionary is shared (`Arc`) so gathers and concats move
     /// 4-byte codes instead of cloning strings.
@@ -48,7 +58,7 @@ pub enum ColumnData {
         /// Distinct values, in code order.
         dict: Arc<Vec<String>>,
         /// Per-row indexes into `dict`.
-        codes: Vec<u32>,
+        codes: Buffer<u32>,
     },
 }
 
@@ -57,7 +67,44 @@ impl ColumnData {
     pub fn dict(dict: Vec<String>, codes: Vec<u32>) -> ColumnData {
         ColumnData::Dict {
             dict: Arc::new(dict),
-            codes,
+            codes: codes.into(),
+        }
+    }
+
+    /// A zero-copy window of `len` rows starting at `offset`.
+    ///
+    /// # Panics
+    /// If `offset + len` exceeds the column length.
+    pub fn slice(&self, offset: usize, len: usize) -> ColumnData {
+        match self {
+            ColumnData::I64(v) => ColumnData::I64(v.slice(offset, len)),
+            ColumnData::F64(v) => ColumnData::F64(v.slice(offset, len)),
+            ColumnData::Str(v) => ColumnData::Str(v.slice(offset, len)),
+            ColumnData::Dict { dict, codes } => ColumnData::Dict {
+                dict: Arc::clone(dict),
+                codes: codes.slice(offset, len),
+            },
+        }
+    }
+
+    /// True when both columns view the same underlying allocation (for
+    /// `Dict`, the same code buffer and the same dictionary).
+    pub fn ptr_eq(&self, other: &ColumnData) -> bool {
+        match (self, other) {
+            (ColumnData::I64(a), ColumnData::I64(b)) => a.ptr_eq(b),
+            (ColumnData::F64(a), ColumnData::F64(b)) => a.ptr_eq(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.ptr_eq(b),
+            (
+                ColumnData::Dict {
+                    dict: da,
+                    codes: ca,
+                },
+                ColumnData::Dict {
+                    dict: db,
+                    codes: cb,
+                },
+            ) => Arc::ptr_eq(da, db) && ca.ptr_eq(cb),
+            _ => false,
         }
     }
 
@@ -349,21 +396,66 @@ impl TableWriter {
                 }
             }
         }
-        let mut chunks = Vec::with_capacity(columns.len());
-        for data in columns {
+        // Encode + compress columns in parallel (striped like the
+        // executor's worker pool), then append serially in column
+        // order — per-column output is deterministic, so the file is
+        // byte-identical to the serial path.
+        let encode_one = |data: &ColumnData| -> (Vec<u8>, ChunkStats) {
             let encoded = match data {
                 ColumnData::I64(v) => encode_i64(v),
                 ColumnData::F64(v) => encode_f64(v),
                 ColumnData::Str(v) => encode_str(v),
                 ColumnData::Dict { dict, codes } => encode_dict(dict, codes),
             };
-            let compressed = compress(&encoded);
+            (compress(&encoded), stats_of(data))
+        };
+        let workers = if rows >= PARALLEL_ENCODE_ROWS {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(columns.len())
+        } else {
+            1
+        };
+        let encoded: Vec<(Vec<u8>, ChunkStats)> = if workers > 1 {
+            let mut slots: Vec<Option<(Vec<u8>, ChunkStats)>> = Vec::new();
+            slots.resize_with(columns.len(), || None);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let encode_one = &encode_one;
+                        scope.spawn(move || {
+                            columns
+                                .iter()
+                                .enumerate()
+                                .skip(w)
+                                .step_by(workers)
+                                .map(|(i, data)| (i, encode_one(data)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, out) in handle.join().expect("column encoder panicked") {
+                        slots[i] = Some(out);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every column encoded"))
+                .collect()
+        } else {
+            columns.iter().map(encode_one).collect()
+        };
+        let mut chunks = Vec::with_capacity(columns.len());
+        for (compressed, stats) in encoded {
             let offset = self.buf.len();
             self.buf.extend_from_slice(&compressed);
             chunks.push(ChunkMeta {
                 offset,
                 len: compressed.len(),
-                stats: stats_of(data),
+                stats,
             });
         }
         let group = self.row_groups.len();
@@ -480,14 +572,14 @@ impl TableFile {
         let (_, ty) = &self.footer.schema.columns[column];
         let raw = decompress(&self.bytes[meta.offset..meta.offset + meta.len])?;
         match ty {
-            ColumnType::I64 => Ok(ColumnData::I64(decode_i64(&raw, g.rows)?)),
-            ColumnType::F64 => Ok(ColumnData::F64(decode_f64(&raw, g.rows)?)),
-            ColumnType::Str => Ok(ColumnData::Str(decode_str(&raw, g.rows)?)),
+            ColumnType::I64 => Ok(ColumnData::I64(decode_i64(&raw, g.rows)?.into())),
+            ColumnType::F64 => Ok(ColumnData::F64(decode_f64(&raw, g.rows)?.into())),
+            ColumnType::Str => Ok(ColumnData::Str(decode_str(&raw, g.rows)?.into())),
             ColumnType::Dict => {
                 let (dict, codes) = decode_dict(&raw, g.rows)?;
                 Ok(ColumnData::Dict {
                     dict: Arc::new(dict),
-                    codes,
+                    codes: codes.into(),
                 })
             }
         }
@@ -561,6 +653,69 @@ impl TableFile {
     }
 }
 
+/// A memoizing per-chunk decoder over a [`TableFile`].
+///
+/// `column(group, col)` decompresses and decodes a chunk at most once
+/// per `LazyTable`; repeat requests clone the cached [`ColumnData`],
+/// which with buffer-backed columns is a refcount bump. The planner
+/// holds one of these per scan so predicate evaluation and projection
+/// hit the same decode, and pruning skips decode work entirely — not
+/// just IO.
+///
+/// Decode happens under the cache lock: callers are scan executors
+/// whose per-chunk work dwarfs lock hold time, and single-decode
+/// semantics keep the `chunks_decoded` counter exact (the pruning
+/// proptests assert on it).
+#[derive(Debug)]
+pub struct LazyTable {
+    table: Arc<TableFile>,
+    cache: std::sync::Mutex<std::collections::BTreeMap<(usize, usize), ColumnData>>,
+    decoded: std::sync::atomic::AtomicU64,
+    hits: std::sync::atomic::AtomicU64,
+}
+
+impl LazyTable {
+    /// Wrap `table` with an empty decode cache.
+    pub fn new(table: Arc<TableFile>) -> Self {
+        LazyTable {
+            table,
+            cache: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+            decoded: std::sync::atomic::AtomicU64::new(0),
+            hits: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped file.
+    pub fn table(&self) -> &Arc<TableFile> {
+        &self.table
+    }
+
+    /// One column of one row group, decoded on first request and
+    /// shared (refcount bump) on every repeat.
+    pub fn column(&self, group: usize, column: usize) -> Result<ColumnData, StorageError> {
+        use std::sync::atomic::Ordering;
+        let mut cache = self.cache.lock().expect("lazy cache poisoned");
+        if let Some(cached) = cache.get(&(group, column)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached.clone());
+        }
+        let col = self.table.read_column(group, column)?;
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+        cache.insert((group, column), col.clone());
+        Ok(col)
+    }
+
+    /// Chunks decoded so far (each chunk counts once, ever).
+    pub fn chunks_decoded(&self) -> u64 {
+        self.decoded.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Requests served from the memo without decoding.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,11 +757,11 @@ mod tests {
         assert!(w.write_row_group(&group(0, 10)[..2]).is_err());
         // Wrong type.
         let mut bad = group(0, 10);
-        bad[1] = ColumnData::I64(vec![0; 10]);
+        bad[1] = ColumnData::I64(vec![0; 10].into());
         assert!(w.write_row_group(&bad).is_err());
         // Ragged lengths.
         let mut ragged = group(0, 10);
-        ragged[2] = ColumnData::Str(vec!["x".into(); 9]);
+        ragged[2] = ColumnData::Str(vec!["x".to_string(); 9].into());
         assert!(w.write_row_group(&ragged).is_err());
     }
 
@@ -634,7 +789,7 @@ mod tests {
     fn stats_ignore_nan() {
         let s = TableSchema::new(&[("v", ColumnType::F64)]);
         let mut w = TableFile::writer(s);
-        w.write_row_group(&[ColumnData::F64(vec![f64::NAN, 1.0, 5.0, f64::NAN])])
+        w.write_row_group(&[ColumnData::F64(vec![f64::NAN, 1.0, 5.0, f64::NAN].into())])
             .unwrap();
         let file = TableFile::open(w.finish()).unwrap();
         match file.chunk_stats(0, 0).unwrap() {
@@ -726,7 +881,7 @@ mod tests {
             "s3".to_string(),
         ];
         let codes: Vec<u32> = (0..64).map(|i| (i % 4) as u32).collect();
-        let str_col = ColumnData::Str(strings);
+        let str_col = ColumnData::Str(strings.into());
         let dict_col = ColumnData::dict(dict, codes);
         assert_eq!(str_col, dict_col, "logical equality across representations");
         // A Dict column satisfies a Str schema slot and vice versa, and
@@ -782,9 +937,9 @@ mod tests {
             let rows = 10usize;
             w.write_row_group(&[
                 ColumnData::I64((0..rows as i64).map(|i| g * 10_000 + i).collect()),
-                ColumnData::F64(vec![1.0; rows]),
+                ColumnData::F64(vec![1.0; rows].into()),
                 // Group g holds only sensor "s{g%2}".
-                ColumnData::Str(vec![format!("s{}", g % 2); rows]),
+                ColumnData::Str(vec![format!("s{}", g % 2); rows].into()),
             ])
             .unwrap();
         }

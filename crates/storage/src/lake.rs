@@ -140,12 +140,6 @@ impl Lake {
         }
     }
 
-    /// Points of `series` with `t0 <= ts < t1`, sorted by time.
-    #[deprecated(note = "use `lake.plan(t0, t1).series(name).points()`")]
-    pub fn query(&self, series: &str, t0: i64, t1: i64) -> Vec<Point> {
-        self.plan(t0, t1).series(series).points()
-    }
-
     /// Series names active in `[t0, t1)` with the given prefix.
     pub fn series_with_prefix(&self, prefix: &str, t0: i64, t1: i64) -> Vec<String> {
         let mut names = std::collections::BTreeSet::new();
@@ -159,22 +153,6 @@ impl Lake {
             }
         }
         names.into_iter().collect()
-    }
-
-    /// Aggregate `series` over `[t0, t1)`: (count, mean, min, max).
-    #[deprecated(note = "use `lake.plan(t0, t1).series(name).aggregate()`")]
-    pub fn aggregate(&self, series: &str, t0: i64, t1: i64) -> Option<(usize, f64, f64, f64)> {
-        self.plan(t0, t1).series(series).aggregate()
-    }
-
-    /// Downsampled series: mean per `bucket_ms` bucket over `[t0, t1)`,
-    /// ordered by bucket start.
-    #[deprecated(note = "use `lake.plan(t0, t1).series(name).downsample(bucket_ms).points()`")]
-    pub fn query_downsampled(&self, series: &str, t0: i64, t1: i64, bucket_ms: i64) -> Vec<Point> {
-        self.plan(t0, t1)
-            .series(series)
-            .downsample(bucket_ms)
-            .points()
     }
 
     /// Total retained points.
@@ -455,7 +433,7 @@ mod tests {
     }
 
     #[test]
-    fn plan_explains_and_shims_delegate() {
+    fn plan_explains_and_reads_prune_segments() {
         let lake = Lake::with_layout(1_000, i64::MAX / 4);
         for i in 0..30 {
             lake.insert("s", i * 100, i as f64);
@@ -468,22 +446,12 @@ mod tests {
         // A plan without a series reads nothing.
         assert!(lake.plan(0, 10_000).points().is_empty());
         assert!(lake.plan(0, 10_000).aggregate().is_none());
-        // The deprecated wrappers answer identically to their plans.
-        #[allow(deprecated)]
-        {
-            assert_eq!(
-                lake.query("s", 500, 2_500),
-                lake.plan(500, 2_500).series("s").points()
-            );
-            assert_eq!(
-                lake.query_downsampled("s", 500, 2_500, 1_000),
-                plan.points()
-            );
-            assert_eq!(
-                lake.aggregate("s", 500, 2_500),
-                lake.plan(500, 2_500).series("s").aggregate()
-            );
-        }
+        // Downsampled buckets answer over the same pruned range:
+        // ts 500..2400 step 100 lands in absolute buckets 0/1000/2000.
+        let pts = plan.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].ts_ms, 0);
+        assert_eq!(pts[1].value, 14.5); // mean of 10..=19
     }
 
     #[test]

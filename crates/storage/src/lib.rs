@@ -26,6 +26,7 @@
 //! * [`tiering`] — the lifecycle manager applying class-specific
 //!   retention across the tiers.
 
+pub mod buffer;
 pub mod colfile;
 pub mod compress;
 pub mod encoding;
@@ -38,12 +39,13 @@ pub mod metrics;
 pub mod ocean;
 pub mod tiering;
 
-pub use colfile::{ColumnData, ColumnType, TableFile, TableSchema};
+pub use buffer::{buffer_stats, Buffer};
+pub use colfile::{ColumnData, ColumnType, LazyTable, TableFile, TableSchema};
 pub use error::StorageError;
 pub use glacier::Glacier;
 pub use index::{ColumnIndex, RowBitmap};
 pub use intern::StringInterner;
 pub use lake::{Lake, LakePlan};
-pub use metrics::{LakeMetrics, OceanMetrics, TierMetrics};
+pub use metrics::{BufferMetrics, LakeMetrics, OceanMetrics, TierMetrics};
 pub use ocean::Ocean;
 pub use tiering::{DataClass, LifecycleAction, Tier, TierManager};

@@ -282,7 +282,7 @@ mod tests {
     fn cols(base: i64, n: usize) -> Vec<ColumnData> {
         vec![
             ColumnData::I64((0..n as i64).map(|i| base + i).collect()),
-            ColumnData::F64(vec![1.0; n]),
+            ColumnData::F64(vec![1.0; n].into()),
         ]
     }
 

@@ -140,9 +140,9 @@ fn main() {
     let bytes = frame_to_colfile(&silver).unwrap();
     for frame in sink.frames() {
         let cols = vec![
-            oda::storage::colfile::ColumnData::I64(frame.i64s("window").unwrap().to_vec()),
-            oda::storage::colfile::ColumnData::I64(frame.i64s("node").unwrap().to_vec()),
-            oda::storage::colfile::ColumnData::F64(frame.f64s("mean").unwrap().to_vec()),
+            oda::storage::colfile::ColumnData::I64(frame.i64s("window").unwrap().to_vec().into()),
+            oda::storage::colfile::ColumnData::I64(frame.i64s("node").unwrap().to_vec().into()),
+            oda::storage::colfile::ColumnData::F64(frame.f64s("mean").unwrap().to_vec().into()),
         ];
         dataset.append(&cols).unwrap();
     }
@@ -182,6 +182,10 @@ fn main() {
         lake.len(),
         tiers.bytes_by_tier()
     );
+
+    // --- Frame buffer economics: shares vs. forced copies. ---
+    let buffers = oda::storage::BufferMetrics::new(&registry);
+    buffers.publish();
 
     // --- The scrape an operations dashboard would ingest. ---
     println!("\n=== /metrics ===");

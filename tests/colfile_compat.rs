@@ -134,11 +134,11 @@ proptest! {
         }
         let codes: Vec<u32> = strings.iter().map(|s| interner.intern(s)).collect();
         let f_str = Frame::new(vec![
-            ("v".into(), ColumnData::F64(values.clone())),
-            ("tag".into(), ColumnData::Str(strings)),
+            ("v".into(), ColumnData::F64(values.clone().into())),
+            ("tag".into(), ColumnData::Str(strings.into())),
         ]).unwrap();
         let f_dict = Frame::new(vec![
-            ("v".into(), ColumnData::F64(values)),
+            ("v".into(), ColumnData::F64(values.into())),
             ("tag".into(), ColumnData::dict(interner.into_dict(), codes)),
         ]).unwrap();
         // Logical equality across representations.

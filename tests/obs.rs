@@ -165,7 +165,7 @@ fn float_decoder() -> Decoder {
                     .ok_or_else(|| PipelineError::Decode("bad float".into()))
             })
             .collect::<Result<_, _>>()?;
-        Frame::new(vec![("v".into(), ColumnData::F64(vals))])
+        Frame::new(vec![("v".into(), ColumnData::F64(vals.into()))])
     })
 }
 

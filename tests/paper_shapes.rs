@@ -119,8 +119,8 @@ fn s5_shared_refinement_eliminates_redundant_work() {
             "node".into(),
             CD::I64((0..rows as i64).map(|i| i % 8).collect()),
         ),
-        ("sensor".into(), CD::Str(vec!["p".into(); rows])),
-        ("value".into(), CD::F64(vec![1.0; rows])),
+        ("sensor".into(), CD::Str(vec!["p".into(); rows].into())),
+        ("value".into(), CD::F64(vec![1.0; rows].into())),
     ])
     .unwrap();
     let projects = 16usize;

@@ -5,8 +5,31 @@ use oda::pipeline::frame_io::{colfile_to_frame, frame_to_colfile};
 use oda::pipeline::ops::{group_by, melt, pivot, sort_by_i64, Agg, AggSpec};
 use oda::pipeline::window::{assign_window, window_start};
 use oda::pipeline::Frame;
-use oda::storage::colfile::ColumnData;
+use oda::storage::colfile::{ColumnData, LazyTable, TableFile};
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Rebuild a frame from freshly-allocated, owned columns — the
+/// anti-view: no buffer is shared with `frame`.
+fn deep_copy(frame: &Frame) -> Frame {
+    let cols = frame
+        .names()
+        .iter()
+        .zip(frame.columns())
+        .map(|(name, col)| {
+            let owned = match col {
+                ColumnData::I64(v) => ColumnData::I64(v.to_vec().into()),
+                ColumnData::F64(v) => ColumnData::F64(v.to_vec().into()),
+                ColumnData::Str(v) => ColumnData::Str(v.to_vec().into()),
+                ColumnData::Dict { dict, codes } => {
+                    ColumnData::dict(dict.as_ref().clone(), codes.to_vec())
+                }
+            };
+            (name.clone(), owned)
+        })
+        .collect();
+    Frame::new(cols).expect("aligned columns")
+}
 
 /// Arbitrary small long-format frame: (key, tag, value) rows.
 fn long_frame_strategy() -> impl Strategy<Value = Frame> {
@@ -18,12 +41,12 @@ fn long_frame_strategy() -> impl Strategy<Value = Frame> {
         )
             .prop_map(|(keys, tags, values)| {
                 Frame::new(vec![
-                    ("k".into(), ColumnData::I64(keys)),
+                    ("k".into(), ColumnData::I64(keys.into())),
                     (
                         "tag".into(),
                         ColumnData::Str(tags.into_iter().map(|t| format!("t{t}")).collect()),
                     ),
-                    ("v".into(), ColumnData::F64(values)),
+                    ("v".into(), ColumnData::F64(values.into())),
                 ])
                 .expect("aligned columns")
             })
@@ -102,7 +125,7 @@ proptest! {
         ts in proptest::collection::vec(-1_000_000i64..1_000_000, 1..100),
         width in 1i64..100_000,
     ) {
-        let frame = Frame::new(vec![("ts".into(), ColumnData::I64(ts.clone()))]).unwrap();
+        let frame = Frame::new(vec![("ts".into(), ColumnData::I64(ts.clone().into()))]).unwrap();
         let w = assign_window(&frame, "ts", width).unwrap();
         let windows = w.i64s("window").unwrap();
         for (t, &win) in ts.iter().zip(windows) {
@@ -246,6 +269,51 @@ proptest! {
                 last_seq.insert(key, seq);
             }
         }
+    }
+
+    /// View-backed frames — filter/gather/concat outputs whose columns
+    /// share buffers with their source — serialize through the table
+    /// writer byte-identically to frames rebuilt from owned columns.
+    #[test]
+    fn view_backed_frames_serialize_byte_identically(
+        frame in long_frame_strategy(),
+        mask_bits in proptest::collection::vec(any::<bool>(), 200),
+    ) {
+        let mask: Vec<bool> = (0..frame.rows()).map(|i| mask_bits[i]).collect();
+        let filtered = frame.filter_mask(&mask);
+        let indices: Vec<usize> = (0..frame.rows()).rev().collect();
+        let gathered = frame.take(&indices);
+        let merged = Frame::concat(&[filtered.clone(), gathered.clone()]).unwrap();
+        for view in [filtered, gathered, merged] {
+            let view_bytes = frame_to_colfile(&view).unwrap();
+            let owned_bytes = frame_to_colfile(&deep_copy(&view)).unwrap();
+            prop_assert_eq!(view_bytes, owned_bytes);
+        }
+    }
+
+    /// Lazy chunk decode returns exactly what the eager row-group read
+    /// returns, while decoding strictly fewer chunks when only one of
+    /// the table's columns is touched; re-reads hit the memo cache.
+    #[test]
+    fn lazy_decode_matches_eager_with_fewer_chunks(frame in long_frame_strategy()) {
+        let bytes = frame_to_colfile(&frame).unwrap();
+        let table = Arc::new(TableFile::open(bytes).unwrap());
+        let lazy = LazyTable::new(Arc::clone(&table));
+        let mut eager_chunks = 0u64;
+        for g in 0..table.row_group_count() {
+            let eager = table.read_row_group(g).unwrap();
+            eager_chunks += eager.len() as u64;
+            prop_assert_eq!(&lazy.column(g, 0).unwrap(), &eager[0]);
+        }
+        prop_assert!(
+            lazy.chunks_decoded() < eager_chunks,
+            "lazy decoded {} of {} chunks", lazy.chunks_decoded(), eager_chunks
+        );
+        let before = lazy.chunks_decoded();
+        let hits = lazy.cache_hits();
+        prop_assert_eq!(&lazy.column(0, 0).unwrap(), &table.read_column(0, 0).unwrap());
+        prop_assert_eq!(lazy.chunks_decoded(), before);
+        prop_assert_eq!(lazy.cache_hits(), hits + 1);
     }
 
     /// Compression round-trips arbitrary observation batches and the

@@ -39,9 +39,9 @@ fn build_table(tags: &[u8], values: &[f64]) -> Arc<TableFile> {
         let codes: Vec<u32> = chunk.iter().map(|&t| u32::from(t)).collect();
         let v = values[base..base + chunk.len()].to_vec();
         w.write_row_group(&[
-            ColumnData::I64(ts),
+            ColumnData::I64(ts.into()),
             ColumnData::dict(dict, codes),
-            ColumnData::F64(v),
+            ColumnData::F64(v.into()),
         ])
         .unwrap();
     }
@@ -137,8 +137,8 @@ proptest! {
         ])
         .unwrap();
         let context = Frame::new(vec![
-            ("node".into(), ColumnData::I64(vec![0, 1, 2])),
-            ("job".into(), ColumnData::I64(vec![100, 101, 102])),
+            ("node".into(), ColumnData::I64(vec![0, 1, 2].into())),
+            ("job".into(), ColumnData::I64(vec![100, 101, 102].into())),
         ])
         .unwrap();
         let plan = PipelinePlan::new()
