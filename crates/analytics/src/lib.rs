@@ -14,12 +14,17 @@
 //!   indexed, job-contextualized view replacing manual per-source scans.
 //! * [`copacetic`] — the security correlator: flags auth-failure bursts
 //!   followed by a success, from the real-time event feed.
+//! * [`online`] — streaming ODA operators: rolling z-score / EWMA
+//!   anomaly detection, sensor-health scoring, and job-footprint
+//!   classification, emitting deterministic replay-stable alerts from
+//!   inside the pipeline.
 //! * [`sparkline`] — terminal rendering for the example binaries.
 
 pub mod copacetic;
 pub mod dashboard;
 pub mod io_profile;
 pub mod lva;
+pub mod online;
 pub mod profiles;
 pub mod rats;
 pub mod reliability;
@@ -29,6 +34,10 @@ pub use copacetic::{Copacetic, SecurityAlert};
 pub use dashboard::{TicketContext, UaDashboard};
 pub use io_profile::JobIoProfile;
 pub use lva::{LvaIndex, ProfileSummary};
+pub use online::{
+    alerts_jsonl, parse_alerts_jsonl, publish_alerts, train_footprint_classifier, Alert,
+    AlertingSink, OnlineAnalytics, OnlineConfig, Severity,
+};
 pub use profiles::JobPowerProfile;
 pub use rats::RatsReport;
 pub use reliability::{reliability_report, ReliabilityReport};

@@ -19,11 +19,13 @@ pub mod access;
 pub mod advisory;
 pub mod catalog;
 pub mod dictionary;
+pub mod incident;
 pub mod maturity;
 pub mod sanitize;
 
 pub use advisory::{AdvisoryStage, DataRuc, Decision, ReleaseRequest, RequestState};
 pub use catalog::usage_catalog;
 pub use dictionary::DataDictionary;
+pub use incident::{Incident, IncidentLog, IncidentStatus};
 pub use maturity::{Area, Maturity, MaturityMatrix, StreamRow};
 pub use sanitize::Sanitizer;

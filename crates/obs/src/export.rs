@@ -269,6 +269,23 @@ fn w_kind(out: &mut String, kind: &TraceEventKind) {
             out.push(',');
             w_str(out, "groups", groups);
         }
+        TraceEventKind::AlertFired {
+            detector,
+            severity,
+            sensor,
+            node,
+            window_ms,
+        } => {
+            w_str(out, "detector", detector);
+            out.push(',');
+            w_str(out, "severity", severity);
+            out.push(',');
+            w_str(out, "sensor", sensor);
+            out.push(',');
+            w_i64(out, "node", *node);
+            out.push(',');
+            w_i64(out, "window_ms", *window_ms);
+        }
     }
     out.push('}');
 }
@@ -279,6 +296,7 @@ fn category(kind: &TraceEventKind) -> &'static str {
         0 | 1 | 14 | 15..=17 => "stream",
         2..=8 | 18 => "pipeline",
         9..=12 => "storage",
+        19 => "analytics",
         _ => "faults",
     }
 }
@@ -652,6 +670,13 @@ fn kind_from(name: &str, args: &[(String, Value)]) -> Result<TraceEventKind, Exp
             chunks_pruned: get_u64(args, "chunks_pruned")?,
             index_hits: get_u64(args, "index_hits")?,
             groups: get_str(args, "groups")?,
+        },
+        "alert_fired" => TraceEventKind::AlertFired {
+            detector: get_str(args, "detector")?,
+            severity: get_str(args, "severity")?,
+            sensor: get_str(args, "sensor")?,
+            node: get_i64(args, "node")?,
+            window_ms: get_i64(args, "window_ms")?,
         },
         other => return err(format!("unknown event kind {other:?}")),
     })
@@ -1086,6 +1111,35 @@ mod tests {
         assert!(text.contains("\"kind\":\"plan_executed\""));
         assert!(text.contains("\"chunks_pruned\":10"));
         assert!(text.contains("\"groups\":\"0,2,5\""));
+        assert_eq!(parse_jsonl(&text).expect("parse back"), events);
+    }
+
+    #[test]
+    fn alert_fired_round_trips_and_categorizes_as_analytics() {
+        let t = trace_id("online", 4);
+        let kind = TraceEventKind::AlertFired {
+            detector: "zscore".into(),
+            severity: "warning".into(),
+            sensor: "node_power_w".into(),
+            node: -1,
+            window_ms: 45_000,
+        };
+        assert_eq!(category(&kind), "analytics");
+        assert!(!kind.is_span(), "alerts are instant events");
+        let events = vec![TraceEvent {
+            trace: t,
+            span: trace_span(t, kind.name(), 3),
+            parent: None,
+            scope: 4,
+            ctx: 3,
+            seq: 0,
+            dur_ns: 0,
+            kind,
+        }];
+        let text = export_jsonl(&events);
+        assert!(text.contains("\"kind\":\"alert_fired\""));
+        assert!(text.contains("\"node\":-1"));
+        assert!(text.contains("\"window_ms\":45000"));
         assert_eq!(parse_jsonl(&text).expect("parse back"), events);
     }
 

@@ -283,6 +283,19 @@ pub enum TraceEventKind {
         /// when the scan touched no groups or read an in-memory frame).
         groups: String,
     },
+    /// An online detector fired an alert on a closed window.
+    AlertFired {
+        /// Detector that fired (`zscore`, `ewma`, `health`, `footprint`).
+        detector: String,
+        /// Alert severity (`info`, `warning`, `critical`).
+        severity: String,
+        /// Sensor (or subject) the alert is about.
+        sensor: String,
+        /// Node scope (-1 for facility-wide subjects).
+        node: i64,
+        /// Event-time window start the alert fired on (ms).
+        window_ms: i64,
+    },
 }
 
 impl TraceEventKind {
@@ -308,6 +321,7 @@ impl TraceEventKind {
             TraceEventKind::LeaderElected { .. } => "leader_elected",
             TraceEventKind::IsrChange { .. } => "isr_change",
             TraceEventKind::PlanExecuted { .. } => "plan_executed",
+            TraceEventKind::AlertFired { .. } => "alert_fired",
         }
     }
 
@@ -334,6 +348,7 @@ impl TraceEventKind {
             TraceEventKind::LeaderElected { .. } => 16,
             TraceEventKind::IsrChange { .. } => 17,
             TraceEventKind::PlanExecuted { .. } => 18,
+            TraceEventKind::AlertFired { .. } => 19,
         }
     }
 

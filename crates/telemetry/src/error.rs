@@ -7,6 +7,10 @@ pub enum TelemetryError {
     /// Carries the requested name so operators can spot typos vs.
     /// genuinely absent instrumentation.
     UnknownSensor(String),
+    /// A simulator or scenario knob was given a value the models cannot
+    /// run with (non-positive rate, empty node range, NaN scale…).
+    /// Carries a human-readable description of the rejected setting.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for TelemetryError {
@@ -14,6 +18,9 @@ impl std::fmt::Display for TelemetryError {
         match self {
             TelemetryError::UnknownSensor(name) => {
                 write!(f, "unknown sensor {name:?}: not in this system's catalog")
+            }
+            TelemetryError::InvalidConfig(what) => {
+                write!(f, "invalid simulator configuration: {what}")
             }
         }
     }

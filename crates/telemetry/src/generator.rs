@@ -6,8 +6,9 @@
 //! events of the window — one [`TelemetryBatch`] per tick, suitable for
 //! publishing to the STREAM broker.
 
+use crate::error::TelemetryError;
 use crate::events::{Event, EventGenerator, Incident};
-use crate::jobs::{JobEvent, Scheduler, WorkloadConfig};
+use crate::jobs::{ApplicationArchetype, JobEvent, Scheduler, WorkloadConfig};
 use crate::power::PowerModel;
 use crate::record::{Component, Device, Observation, Quality};
 use crate::sensors::{Attachment, SensorCatalog, SensorSpec};
@@ -44,6 +45,23 @@ pub struct TelemetryGenerator {
     now_ms: i64,
     /// Monotonic per-node counters: [node][counter_slot].
     counters: Vec<[f64; 5]>,
+    /// Facility power cap applied to every node's draw (W), when set.
+    power_cap_w: Option<f64>,
+    /// Multiplicative per-sensor calibration biases (firmware skew).
+    sensor_bias: Vec<SensorBias>,
+}
+
+/// A multiplicative calibration bias on one sensor over a node range —
+/// the simulator's model of a bad firmware rollout skewing readings on
+/// part of the fleet.
+#[derive(Debug, Clone, PartialEq)]
+struct SensorBias {
+    sensor: u16,
+    /// First biased node (inclusive).
+    node_lo: u32,
+    /// One past the last biased node (exclusive).
+    node_hi: u32,
+    scale: f64,
 }
 
 /// Index slots for the monotonic per-node counters.
@@ -77,6 +95,8 @@ impl TelemetryGenerator {
             tick_ms: 1_000,
             now_ms: 0,
             counters: vec![[0.0; 5]; n],
+            power_cap_w: None,
+            sensor_bias: Vec::new(),
         }
     }
 
@@ -123,6 +143,101 @@ impl TelemetryGenerator {
     /// thermal telemetry reflects the change.
     pub fn set_coolant_supply_c(&mut self, c: f64) {
         self.thermal.supply_c = c;
+    }
+
+    /// Current facility power cap (W per node), if any.
+    pub fn power_cap_w(&self) -> Option<f64> {
+        self.power_cap_w
+    }
+
+    /// Set or clear a per-node power cap (the simulator's RAPL-style
+    /// actuator for facility power-cap events). Subsequent power,
+    /// cabinet, and plant telemetry reflect the clamp. RNG-free: the
+    /// noise stream is untouched, so capped and uncapped runs stay
+    /// sample-aligned.
+    pub fn set_power_cap_w(&mut self, cap: Option<f64>) -> Result<(), TelemetryError> {
+        if let Some(c) = cap {
+            if !c.is_finite() || c <= 0.0 {
+                return Err(TelemetryError::InvalidConfig(format!(
+                    "power cap must be finite and > 0 W, got {c}"
+                )));
+            }
+        }
+        self.power_cap_w = cap;
+        Ok(())
+    }
+
+    /// Apply a multiplicative calibration bias to `sensor` on nodes
+    /// `node_lo..node_hi` — the firmware-skew fault scenario packs
+    /// script. Replaces any earlier bias on the same sensor and range,
+    /// so scripted ramps set absolute scales rather than compounding.
+    pub fn set_sensor_scale(
+        &mut self,
+        sensor: &str,
+        node_lo: u32,
+        node_hi: u32,
+        scale: f64,
+    ) -> Result<(), TelemetryError> {
+        let id = self.catalog.sensor_id(sensor)?;
+        if node_lo >= node_hi || node_hi > self.system.node_count() {
+            return Err(TelemetryError::InvalidConfig(format!(
+                "bias node range {node_lo}..{node_hi} invalid for {} nodes",
+                self.system.node_count()
+            )));
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(TelemetryError::InvalidConfig(format!(
+                "sensor scale must be finite and > 0, got {scale}"
+            )));
+        }
+        if let Some(b) = self
+            .sensor_bias
+            .iter_mut()
+            .find(|b| b.sensor == id && b.node_lo == node_lo && b.node_hi == node_hi)
+        {
+            b.scale = scale;
+        } else {
+            self.sensor_bias.push(SensorBias {
+                sensor: id,
+                node_lo,
+                node_hi,
+                scale,
+            });
+        }
+        Ok(())
+    }
+
+    /// Remove all sensor calibration biases (firmware fixed).
+    pub fn clear_sensor_scales(&mut self) {
+        self.sensor_bias.clear();
+    }
+
+    /// Queue a scripted job for the scheduler — deterministic, RNG-free
+    /// (see [`Scheduler::submit`]); it starts on the next tick once
+    /// nodes are free.
+    pub fn submit_job(
+        &mut self,
+        nodes_req: usize,
+        archetype: ApplicationArchetype,
+        duration_ms: i64,
+    ) -> Result<(), TelemetryError> {
+        self.scheduler
+            .submit(self.now_ms, nodes_req, archetype, duration_ms)
+    }
+
+    /// Change the background workload's mean interarrival seconds.
+    pub fn set_mean_interarrival_s(&mut self, s: f64) -> Result<(), TelemetryError> {
+        self.scheduler.set_mean_interarrival_s(s)
+    }
+
+    /// Product of calibration biases covering `(sensor, node)`; 1.0 when
+    /// unbiased.
+    fn bias_for(&self, sensor: u16, node: u32) -> f64 {
+        self.sensor_bias
+            .iter()
+            .filter(|b| b.sensor == sensor && node >= b.node_lo && node < b.node_hi)
+            .map(|b| b.scale)
+            .product()
     }
 
     fn noisy(&mut self, value: f64, spec: &SensorSpec) -> (f64, Quality) {
@@ -175,7 +290,10 @@ impl TelemetryGenerator {
                         job.map(|j| j.archetype),
                     )
                 };
-                let node_w = self.power.node_power(cpu_u, gpu_u);
+                let mut node_w = self.power.node_power(cpu_u, gpu_u);
+                if let Some(cap) = self.power_cap_w {
+                    node_w = node_w.min(cap);
+                }
                 cabinet_power[self.system.cabinet_of(node) as usize] += node_w;
                 total_power += node_w;
                 let outlet = self.node_thermal[node as usize].step(&self.thermal, node_w, dt_s);
@@ -191,8 +309,11 @@ impl TelemetryGenerator {
             // sensors; approximate from scheduler utilization to avoid a
             // full node sweep.
             let util = self.scheduler.utilization();
-            total_power =
-                f64::from(self.system.node_count()) * self.power.node_power(0.3 * util, 0.6 * util);
+            let mut est_node_w = self.power.node_power(0.3 * util, 0.6 * util);
+            if let Some(cap) = self.power_cap_w {
+                est_node_w = est_node_w.min(cap);
+            }
+            total_power = f64::from(self.system.node_count()) * est_node_w;
         }
 
         // Cabinet cooling-loop sensors.
@@ -336,6 +457,7 @@ impl TelemetryGenerator {
                 "nic_rx_bytes" => self.counters[node as usize][CTR_NIC_RX],
                 _ => continue,
             };
+            let value = value * self.bias_for(spec.id, node);
             let (v, q) = self.noisy(value, spec);
             obs.push(Observation {
                 ts_ms: ts,
@@ -516,6 +638,61 @@ mod tests {
                 "facility sensor {id} missing"
             );
         }
+    }
+
+    #[test]
+    fn power_cap_clamps_node_power() -> Result<(), crate::TelemetryError> {
+        let mut g = tiny_gen(21);
+        g.submit_job(8, ApplicationArchetype::Hpl, 600_000)?;
+        let node_power_id = g.catalog().sensor_id("node_power_w")?;
+        g.set_power_cap_w(Some(900.0))?;
+        assert!(g.set_power_cap_w(Some(-5.0)).is_err());
+        assert!(g.set_power_cap_w(Some(f64::NAN)).is_err());
+        for _ in 0..300 {
+            for o in g.next_batch().observations {
+                if o.sensor == node_power_id && o.quality == Quality::Good {
+                    // Noise rides on top of the capped true value.
+                    assert!(o.value < 900.0 * 1.2, "cap not applied: {}", o.value);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn sensor_bias_scales_only_targeted_nodes() -> Result<(), crate::TelemetryError> {
+        let scaled = 1.5;
+        let run = |bias: bool| -> Result<Vec<Observation>, crate::TelemetryError> {
+            let mut g = tiny_gen(33);
+            if bias {
+                g.set_sensor_scale("node_outlet_temp_c", 0, 2, scaled)?;
+            }
+            Ok(g.run(10).into_iter().flat_map(|b| b.observations).collect())
+        };
+        let plain = run(false)?;
+        let biased = run(true)?;
+        let outlet = tiny_gen(33).catalog().sensor_id("node_outlet_temp_c")?;
+        assert_eq!(plain.len(), biased.len(), "bias must not add/drop samples");
+        for (p, b) in plain.iter().zip(&biased) {
+            if p.sensor == outlet && p.component.node < 2 && p.quality == Quality::Good {
+                assert!((b.value - p.value * scaled).abs() < 1e-9);
+            } else if p.value.is_finite() {
+                assert_eq!(p.value, b.value, "untargeted sample changed");
+            }
+        }
+        // Replacing the same range overwrites instead of compounding.
+        let mut g = tiny_gen(33);
+        g.set_sensor_scale("node_outlet_temp_c", 0, 2, 1.2)?;
+        g.set_sensor_scale("node_outlet_temp_c", 0, 2, 1.5)?;
+        assert!((g.bias_for(outlet, 1) - 1.5).abs() < 1e-12);
+        // Invalid knob values are errors, not panics.
+        assert!(g.set_sensor_scale("nope", 0, 2, 1.1).is_err());
+        assert!(g.set_sensor_scale("node_outlet_temp_c", 2, 2, 1.1).is_err());
+        assert!(g
+            .set_sensor_scale("node_outlet_temp_c", 0, 99, 1.1)
+            .is_err());
+        assert!(g.set_sensor_scale("node_outlet_temp_c", 0, 2, 0.0).is_err());
+        Ok(())
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the paper's Fig. 10 classifier clusters, and what drives the power
 //! model of each node.
 
+use crate::error::TelemetryError;
 use crate::system::SystemModel;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -265,6 +266,9 @@ pub struct Scheduler {
     /// Jobs waiting for nodes, FIFO, with their requested node counts.
     queue: Vec<(usize, Job)>,
     completed: Vec<Job>,
+    /// Count of jobs handed in via [`Scheduler::submit`] (decorrelates
+    /// their profile phases without touching the RNG).
+    scripted: u64,
 }
 
 impl Scheduler {
@@ -287,7 +291,65 @@ impl Scheduler {
             running: BTreeMap::new(),
             queue: Vec::new(),
             completed: Vec::new(),
+            scripted: 0,
         }
+    }
+
+    /// Change the Poisson arrival rate mid-run (scenario scripts ramp
+    /// load this way). Rejects rates the sampler cannot run with instead
+    /// of panicking later inside [`Self::advance`].
+    pub fn set_mean_interarrival_s(&mut self, s: f64) -> Result<(), TelemetryError> {
+        if !s.is_finite() || s <= 0.0 {
+            return Err(TelemetryError::InvalidConfig(format!(
+                "mean_interarrival_s must be finite and > 0, got {s}"
+            )));
+        }
+        self.config.mean_interarrival_s = s;
+        Ok(())
+    }
+
+    /// Hand a fully described job to the queue — no RNG draws, so
+    /// scenario scripts can inject deterministic bursts without
+    /// perturbing the background workload stream. The job starts at the
+    /// next [`Self::advance`] once nodes are available.
+    pub fn submit(
+        &mut self,
+        now_ms: i64,
+        nodes_req: usize,
+        archetype: ApplicationArchetype,
+        duration_ms: i64,
+    ) -> Result<(), TelemetryError> {
+        if nodes_req == 0 || nodes_req > self.system.node_count() as usize {
+            return Err(TelemetryError::InvalidConfig(format!(
+                "scripted job wants {nodes_req} nodes; system has {}",
+                self.system.node_count()
+            )));
+        }
+        if duration_ms <= 0 {
+            return Err(TelemetryError::InvalidConfig(format!(
+                "scripted job duration must be > 0 ms, got {duration_ms}"
+            )));
+        }
+        // Low-discrepancy phase sequence: distinct per scripted job,
+        // reproducible, and RNG-free.
+        let phase = (self.scripted as f64 * 0.618_033_988_749_895).fract();
+        self.scripted += 1;
+        self.queue.push((
+            nodes_req,
+            Job {
+                id: 0, // assigned at start
+                user: 900 + (self.scripted as u32 % 100),
+                project: "PRJ900".into(),
+                program: 2,
+                archetype,
+                nodes: Vec::new(),
+                submit_ms: now_ms,
+                start_ms: 0,
+                end_ms: duration_ms, // holds duration until start
+                phase,
+            },
+        ));
+        Ok(())
     }
 
     fn draw_archetype(&mut self) -> ApplicationArchetype {
@@ -365,9 +427,21 @@ impl Scheduler {
             // Keep free list sorted so allocation order is deterministic.
             self.free_nodes.sort_unstable_by(|a, b| b.cmp(a));
         }
-        // Admit new arrivals into the queue.
-        let exp = Exp::new(1.0 / self.config.mean_interarrival_s).expect("valid exp");
+        // Admit new arrivals into the queue. A degenerate rate (zero,
+        // negative, or NaN interarrival — reachable through a hand-built
+        // WorkloadConfig) disables Poisson arrivals instead of panicking
+        // inside the exponential sampler.
+        let rate = 1.0 / self.config.mean_interarrival_s;
+        let exp = if rate.is_finite() && rate > 0.0 {
+            Exp::new(rate).ok()
+        } else {
+            None
+        };
         while self.next_arrival_ms <= now_ms {
+            let Some(exp) = exp else {
+                self.next_arrival_ms = i64::MAX;
+                break;
+            };
             let arrive_at = self.next_arrival_ms;
             let sized_job = self.draw_job(arrive_at);
             self.queue.push(sized_job);
@@ -630,6 +704,70 @@ mod tests {
         assert!(
             done_easy >= done_fifo,
             "EASY completed {done_easy} < FIFO {done_fifo}"
+        );
+    }
+
+    #[test]
+    fn degenerate_arrival_rate_is_an_error_not_a_panic() {
+        // Regression: a zero/negative/NaN interarrival used to reach
+        // `Exp::new(..).expect(..)` inside advance() and panic. Now the
+        // setter rejects it up front…
+        let mut s = Scheduler::new(SystemModel::tiny(), 1);
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let err = s.set_mean_interarrival_s(bad).unwrap_err();
+            assert!(matches!(err, TelemetryError::InvalidConfig(_)), "{bad}");
+        }
+        // …and a hand-built config that bypasses the setter disables
+        // arrivals instead of panicking mid-tick.
+        let cfg = WorkloadConfig {
+            mean_interarrival_s: 0.0,
+            ..WorkloadConfig::default()
+        };
+        let mut s = Scheduler::with_config(SystemModel::tiny(), 1, cfg);
+        let events = s.advance(3_600_000);
+        assert!(events.is_empty(), "no arrivals with a degenerate rate");
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn scripted_submit_validates_and_starts_without_rng() {
+        let mut s = Scheduler::new(SystemModel::tiny(), 5);
+        // Out-of-range requests are errors, not panics-at-launch.
+        assert!(matches!(
+            s.submit(0, 0, ApplicationArchetype::Debug, 60_000),
+            Err(TelemetryError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            s.submit(0, 999, ApplicationArchetype::Debug, 60_000),
+            Err(TelemetryError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            s.submit(0, 2, ApplicationArchetype::Debug, -1),
+            Err(TelemetryError::InvalidConfig(_))
+        ));
+        // Scripted bursts must not consume RNG state: two schedulers,
+        // one with a burst, draw identical background arrivals.
+        let mut a = Scheduler::new(SystemModel::tiny(), 9);
+        let mut b = Scheduler::new(SystemModel::tiny(), 9);
+        b.submit(0, 2, ApplicationArchetype::DlTraining, 120_000)
+            .expect("valid scripted job");
+        b.submit(0, 2, ApplicationArchetype::DlTraining, 120_000)
+            .expect("valid scripted job");
+        for t in 1..=240 {
+            a.advance(t * 60_000);
+            b.advance(t * 60_000);
+        }
+        let ids = |s: &Scheduler| -> Vec<(i64, usize)> {
+            s.completed()
+                .iter()
+                .filter(|j| j.project != "PRJ900")
+                .map(|j| (j.submit_ms, j.nodes.len()))
+                .collect()
+        };
+        assert_eq!(ids(&a), ids(&b), "scripted jobs perturbed the RNG");
+        assert!(
+            b.completed().iter().any(|j| j.project == "PRJ900"),
+            "scripted jobs never completed"
         );
     }
 

@@ -21,6 +21,10 @@
 //!   user-assistance and Copacetic applications.
 //! * **Streams** ([`generator`]): deterministic, seeded assembly of all
 //!   of the above into long-format [`record::Observation`] batches.
+//! * **Scenario packs** ([`scenario`]): scripted facility disturbances
+//!   (cooling excursion, power-cap event, job storm, firmware skew)
+//!   replayed deterministically from a seed — the test substrate for
+//!   the online detectors in `oda-analytics`.
 //! * **Volume accounting** ([`rates`]): analytic bytes/day per data
 //!   source, the basis of the Fig. 4-a ingest-rate experiment.
 //!
@@ -33,6 +37,7 @@ pub mod jobs;
 pub mod power;
 pub mod rates;
 pub mod record;
+pub mod scenario;
 pub mod sensors;
 pub mod system;
 pub mod thermal;
@@ -41,5 +46,6 @@ pub use error::TelemetryError;
 pub use generator::{TelemetryBatch, TelemetryGenerator};
 pub use jobs::{ApplicationArchetype, Job, JobEvent, Scheduler};
 pub use record::{Component, Device, Observation, Quality};
+pub use scenario::{ScenarioAction, ScenarioKind, ScenarioPack, ScenarioRun, ScenarioStep};
 pub use sensors::{SensorCatalog, SensorKind, SensorSpec};
 pub use system::SystemModel;

@@ -14,7 +14,7 @@ use oda::pipeline::checkpoint::CheckpointStore;
 use oda::pipeline::frame_io::frame_to_colfile;
 use oda::pipeline::medallion::{observation_decoder, streaming_silver_transform};
 use oda::pipeline::ops::{group_by, Agg, AggSpec};
-use oda::pipeline::streaming::MemorySink;
+use oda::pipeline::streaming::{MemorySink, Sink};
 use oda::pipeline::{Frame, StreamingQuery};
 use oda::storage::tiering::{DataClass, LifecycleAction, Tier, TierManager};
 use oda::stream::{Broker, Cluster, Consumer, MessageBus, RetentionPolicy};
@@ -111,6 +111,37 @@ fn drive_query<B: MessageBus + 'static>(
     tracer: Option<&oda::obs::Tracer>,
 ) -> RunReport {
     let mut sink = MemorySink::new();
+    let restarts = drive_query_into(
+        bus,
+        catalog,
+        &checkpoints,
+        plan,
+        workers,
+        metrics,
+        tracer,
+        &mut sink,
+    );
+    RunReport {
+        sink,
+        checkpoints,
+        restarts,
+    }
+}
+
+/// Sink-generic core of the supervisor loop, so the same crash/recovery
+/// harness can drive a plain [`MemorySink`] or an
+/// [`oda::analytics::AlertingSink`] wrapping one.
+#[allow(clippy::too_many_arguments)]
+fn drive_query_into<B: MessageBus + 'static, S: Sink>(
+    bus: Arc<B>,
+    catalog: &SensorCatalog,
+    checkpoints: &CheckpointStore,
+    plan: Option<Arc<FaultPlan>>,
+    workers: usize,
+    metrics: Option<&oda::obs::Registry>,
+    tracer: Option<&oda::obs::Tracer>,
+    sink: &mut S,
+) -> usize {
     let mut restarts = 0;
     let mut last_recovered_epoch = 0u64;
     loop {
@@ -142,7 +173,7 @@ fn drive_query<B: MessageBus + 'static>(
         );
         last_recovered_epoch = query.epoch();
         let outcome = loop {
-            match query.run_once(&mut sink) {
+            match query.run_once(sink) {
                 Ok(0) => break Ok(()),
                 Ok(_) => {}
                 Err(e) => break Err(e),
@@ -164,11 +195,7 @@ fn drive_query<B: MessageBus + 'static>(
             }
         }
     }
-    RunReport {
-        sink,
-        checkpoints,
-        restarts,
-    }
+    restarts
 }
 
 /// Produce the same synthetic telemetry stream into a replicated
@@ -528,6 +555,108 @@ fn node_crash_failover_gold_byte_identity() {
         new_site_injections > 0,
         "the matrix never exercised NodeCrash/ReplicaLag — rates too low"
     );
+}
+
+/// Detector knobs tuned down so the short chaos stream (a few Silver
+/// windows per series) arms and fires: the byte-identity claim is only
+/// interesting when alerts actually exist.
+fn chaos_alert_engine() -> oda::analytics::OnlineAnalytics {
+    let config = oda::analytics::OnlineConfig {
+        min_windows: 2,
+        z_window: 4,
+        z_threshold: 1.5,
+        ewma_threshold: 2.0,
+        ..oda::analytics::OnlineConfig::default()
+    };
+    oda::analytics::OnlineAnalytics::new(config)
+}
+
+/// Run the supervisor loop with the online detectors riding on the sink.
+fn run_alerting(plan: Option<Arc<FaultPlan>>, workers: usize) -> (RunReport, Vec<u8>) {
+    let (broker, catalog) = seeded_broker();
+    let checkpoints = CheckpointStore::new();
+    if let Some(p) = &plan {
+        broker.arm_faults(p.clone() as Arc<dyn FaultPoint>);
+        checkpoints.arm_faults(p.clone() as Arc<dyn FaultPoint>);
+    }
+    let mut sink = oda::analytics::AlertingSink::new(MemorySink::new(), chaos_alert_engine());
+    let restarts = drive_query_into(
+        broker,
+        &catalog,
+        &checkpoints,
+        plan,
+        workers,
+        None,
+        None,
+        &mut sink,
+    );
+    let (inner, engine) = sink.into_parts();
+    (
+        RunReport {
+            sink: inner,
+            checkpoints,
+            restarts,
+        },
+        engine.alerts_bytes(),
+    )
+}
+
+#[test]
+fn alerts_do_not_perturb_chaos_byte_identity() {
+    // The online detectors are a tap on the sink path: wrapping the
+    // sink in an AlertingSink must leave every Silver epoch frame and
+    // the Gold reduction byte-identical to the plain run — and the
+    // alert stream itself must be byte-identical across every chaos
+    // seed and worker count, because the epoch-dedupe in AlertingSink
+    // skips replayed (byte-identical) epochs instead of re-analyzing
+    // them.
+    let plain = run_pipeline(None);
+    let plain_gold = frame_to_colfile(&gold_reduction(&plain.sink)).unwrap();
+    let (baseline, baseline_alerts) = run_alerting(None, 1);
+    assert_eq!(baseline.restarts, 0);
+    assert!(
+        !baseline_alerts.is_empty(),
+        "detector knobs too tight: the chaos stream raised no alerts"
+    );
+    // The tap changed nothing downstream.
+    assert_eq!(baseline.sink.epochs(), plain.sink.epochs());
+    for (ours, theirs) in baseline.sink.frames().iter().zip(plain.sink.frames()) {
+        assert_eq!(
+            frame_to_colfile(ours).unwrap(),
+            frame_to_colfile(theirs).unwrap(),
+            "alerting sink perturbed a Silver epoch frame"
+        );
+    }
+    assert_eq!(
+        frame_to_colfile(&gold_reduction(&baseline.sink)).unwrap(),
+        plain_gold,
+        "alerting sink perturbed gold"
+    );
+
+    let seeds: Vec<u64> = match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => vec![11, 29, 4242],
+    };
+    for &seed in &seeds {
+        for workers in [1usize, 8] {
+            let plan = Arc::new(FaultPlan::chaos(seed));
+            let (report, alerts) = run_alerting(Some(plan), workers);
+            assert_eq!(
+                report.sink.epochs(),
+                baseline.sink.epochs(),
+                "seed {seed} workers {workers}"
+            );
+            assert_eq!(
+                frame_to_colfile(&gold_reduction(&report.sink)).unwrap(),
+                plain_gold,
+                "seed {seed} workers {workers}: gold diverged"
+            );
+            assert_eq!(
+                alerts, baseline_alerts,
+                "seed {seed} workers {workers}: alert stream diverged under chaos"
+            );
+        }
+    }
 }
 
 #[test]
