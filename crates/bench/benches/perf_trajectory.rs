@@ -18,9 +18,22 @@
 //!   row loop over the same mask.
 //! * `colfile_lazy_scan`    planned indexed colfile scan vs an eager
 //!   decode-everything scan + in-memory filter.
+//! * `metrics_render`       the registry's single-buffer streaming
+//!   Prometheus render vs a snapshot-then-format scrape (clone every
+//!   series, one `String` per line, join at the end).
+//! * `health_eval`          the health engine's windowed incremental
+//!   tick vs recomputing every tick by replaying the full snapshot
+//!   history through a fresh engine.
+//! * `serve_scrape_p99`     p99 `/metrics` scrape latency over a real
+//!   socket: sequential client vs eight concurrent clients. Wall-clock
+//!   dominated (TCP + thread scheduling), so it is listed in the
+//!   file's `informational` array and exempt from the `--check` gate.
 //!
-//! Every section asserts byte-identical output between its two arms
-//! before any number is reported.
+//! Every gated section asserts byte-identical output between its two
+//! arms before any number is reported.
+//!
+//! The trajectory file carries an `informational` array naming
+//! sections that are recorded but never gated; `--check` skips them.
 //!
 //! Flags (unknown flags, e.g. harness flags cargo forwards, are
 //! ignored):
@@ -32,22 +45,30 @@
 //! * `--file PATH`   trajectory file (default: BENCH_pipeline.json at
 //!   the workspace root, resolved relative to this crate)
 
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
 use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize, Value};
 
 use oda_bench::{bronze_frame_str, bronze_with_rows, tiny_observations};
+use oda_obs::{HealthEngine, MetricsSnapshot, Registry};
 use oda_pipeline::frame_io::frame_to_colfile;
 use oda_pipeline::logical::{ExecContext, Query};
 use oda_pipeline::medallion::bronze_frame;
 use oda_pipeline::ops::{Agg, AggSpec};
 use oda_pipeline::{Expr, Frame, PipelinePlan, Stage};
+use oda_serve::{serve, Endpoints, ServerConfig};
 use oda_storage::colfile::{ColumnData, ColumnType, TableFile, TableSchema, TableWriter};
 
 const SCHEMA: &str = "oda-bench/perf-trajectory-v1";
 const THRESHOLD_PCT: f64 = 15.0;
 const ITERS: usize = 5;
+
+/// Sections recorded for trend-watching but exempt from the `--check`
+/// gate (wall-clock-noisy workloads a CI runner can't time reliably).
+const INFORMATIONAL: &[&str] = &["serve_scrape_p99"];
 
 #[derive(Clone, Serialize, Deserialize)]
 struct Section {
@@ -56,12 +77,10 @@ struct Section {
     speedup: f64,
 }
 
-#[derive(Clone, Serialize, Deserialize)]
-struct Sections {
-    silver_pivot: Section,
-    silver_filter_kernel: Section,
-    colfile_lazy_scan: Section,
-}
+/// Section name → measurement. A map (not a fixed struct) so PRs can
+/// add sections without rewriting history: old entries simply lack the
+/// new keys and the check gate compares the intersection.
+type Sections = BTreeMap<String, Section>;
 
 #[derive(Clone, Serialize, Deserialize)]
 struct TrajEntry {
@@ -73,6 +92,7 @@ struct TrajEntry {
 struct TrajFile {
     schema: String,
     threshold_pct: f64,
+    informational: Vec<String>,
     entries: Vec<TrajEntry>,
 }
 
@@ -394,6 +414,270 @@ fn bench_lazy_scan(smoke: bool) -> Section {
     section(median_ns(eager_ns), median_ns(planned_ns))
 }
 
+// ---- metrics_render -----------------------------------------------------
+
+/// A registry shaped like a live chaos run's: counter and gauge
+/// families fanned out across per-sensor label sets plus a few
+/// histograms. Returns the registry and the `name → help` map the
+/// naive arm needs to reproduce the exposition byte-for-byte.
+#[allow(clippy::type_complexity)]
+fn build_scrape_registry(
+    families: usize,
+    series_per_family: usize,
+) -> (Registry, BTreeMap<String, String>, BTreeMap<String, String>) {
+    let reg = Registry::new();
+    let mut counter_help = BTreeMap::new();
+    let mut gauge_help = BTreeMap::new();
+    for f in 0..families {
+        let name = format!("bench_family_{f:03}_total");
+        let help = format!("synthetic counter family {f}");
+        for s in 0..series_per_family {
+            let sensor = format!("s{s:03}");
+            let node = format!("n{:02}", s % 8);
+            reg.counter(&name, &help, &[("node", &node), ("sensor", &sensor)])
+                .add((f * series_per_family + s) as u64);
+        }
+        counter_help.insert(name, help);
+    }
+    for f in 0..families / 4 {
+        let name = format!("bench_level_{f:03}");
+        let help = format!("synthetic gauge family {f}");
+        for s in 0..series_per_family {
+            let sensor = format!("s{s:03}");
+            reg.gauge(&name, &help, &[("sensor", &sensor)])
+                .set((s as i64) - (f as i64));
+        }
+        gauge_help.insert(name, help);
+    }
+    (reg, counter_help, gauge_help)
+}
+
+fn fmt_label_pairs(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
+        })
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// The generic scrape shape: snapshot the registry (cloning every
+/// series key), format one `String` per line, join at the end. This is
+/// what a scrape endpoint looks like before it grows a streaming
+/// renderer, kept as the fixed baseline.
+fn render_from_snapshot(
+    reg: &Registry,
+    counter_help: &BTreeMap<String, String>,
+    gauge_help: &BTreeMap<String, String>,
+) -> String {
+    let snap = reg.snapshot();
+    let mut lines: Vec<String> = Vec::new();
+    let mut current_family = String::new();
+    for ((name, labels), value) in &snap.counters {
+        if *name != current_family {
+            current_family = name.clone();
+            let help = counter_help.get(name).map(String::as_str).unwrap_or("");
+            lines.push(format!("# HELP {name} {help}"));
+            lines.push(format!("# TYPE {name} counter"));
+        }
+        lines.push(format!("{name}{} {value}", fmt_label_pairs(labels)));
+    }
+    current_family.clear();
+    for ((name, labels), value) in &snap.gauges {
+        if *name != current_family {
+            current_family = name.clone();
+            let help = gauge_help.get(name).map(String::as_str).unwrap_or("");
+            lines.push(format!("# HELP {name} {help}"));
+            lines.push(format!("# TYPE {name} gauge"));
+        }
+        lines.push(format!("{name}{} {value}", fmt_label_pairs(labels)));
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// `Registry::render_prometheus` (one preallocated buffer, streaming
+/// writes under the read locks) vs the snapshot-then-format scrape.
+fn bench_metrics_render(smoke: bool) -> Section {
+    let (families, series) = if smoke { (16, 8) } else { (64, 48) };
+    let iters = if smoke { 1 } else { ITERS };
+    let (reg, counter_help, gauge_help) = build_scrape_registry(families, series);
+
+    let fast = reg.render_prometheus();
+    let naive = render_from_snapshot(&reg, &counter_help, &gauge_help);
+    assert_eq!(
+        fast, naive,
+        "snapshot-format render diverged from the streaming render"
+    );
+    assert!(fast.len() > families * series, "degenerate exposition");
+
+    let mut naive_ns = Vec::new();
+    let mut fast_ns = Vec::new();
+    for _ in 0..iters {
+        let (ns, out) = time_ns(|| render_from_snapshot(&reg, &counter_help, &gauge_help));
+        assert_eq!(out.len(), naive.len());
+        naive_ns.push(ns);
+        let (ns, out) = time_ns(|| reg.render_prometheus());
+        assert_eq!(out.len(), fast.len());
+        fast_ns.push(ns);
+    }
+    section(median_ns(naive_ns), median_ns(fast_ns))
+}
+
+// ---- health_eval --------------------------------------------------------
+
+/// Synthetic tick history: monotone counters + wandering gauges across
+/// `series` label sets, the families the stock SLOs watch.
+fn health_history(ticks: usize, series: usize) -> Vec<MetricsSnapshot> {
+    let mut history = Vec::with_capacity(ticks);
+    for t in 1..=ticks {
+        let mut snap = MetricsSnapshot::default();
+        for s in 0..series {
+            let labels = vec![("worker".to_string(), format!("w{s:02}"))];
+            snap.counters.insert(
+                ("stream_produce_records_total".to_string(), labels.clone()),
+                (t * (100 + s)) as u64,
+            );
+            snap.counters.insert(
+                ("stream_fetch_records_total".to_string(), labels.clone()),
+                (t * (90 + s)) as u64,
+            );
+            // A slow error drip so the burn math has nonzero numerators.
+            snap.counters.insert(
+                ("retry_exhausted_total".to_string(), labels.clone()),
+                (t / 50 + s / 7) as u64,
+            );
+            snap.gauges.insert(
+                ("stream_consumer_lag".to_string(), labels),
+                ((t * 13 + s * 7) % 500) as i64,
+            );
+        }
+        snap.counters
+            .insert(("pipeline_epochs_total".to_string(), Vec::new()), t as u64);
+        history.push(snap);
+    }
+    history
+}
+
+/// The windowed incremental engine (one delta per tick against a
+/// bounded ring of window-boundary snapshots) vs the naive shape:
+/// recompute each tick's report by replaying the entire history into a
+/// fresh engine. Both arms must render the identical final report.
+fn bench_health_eval(smoke: bool) -> Section {
+    let (ticks, series) = if smoke { (48, 12) } else { (256, 48) };
+    let iters = if smoke { 1 } else { ITERS };
+    let history = health_history(ticks, series);
+
+    let incremental = |history: &[MetricsSnapshot]| {
+        let mut engine = HealthEngine::with_defaults();
+        let mut last = None;
+        for snap in history {
+            last = Some(engine.observe_snapshot(snap.clone()));
+        }
+        last.expect("nonempty history")
+    };
+    let replay_each_tick = |history: &[MetricsSnapshot]| {
+        let mut last = None;
+        for t in 0..history.len() {
+            let mut engine = HealthEngine::with_defaults();
+            for snap in &history[..=t] {
+                last = Some(engine.observe_snapshot(snap.clone()));
+            }
+        }
+        last.expect("nonempty history")
+    };
+
+    let fast = incremental(&history);
+    let naive = replay_each_tick(&history);
+    assert_eq!(
+        oda_obs::render_health_json(&fast),
+        oda_obs::render_health_json(&naive),
+        "incremental health report diverged from full replay"
+    );
+
+    let mut naive_ns = Vec::new();
+    let mut fast_ns = Vec::new();
+    for _ in 0..iters {
+        let (ns, out) = time_ns(|| replay_each_tick(&history));
+        assert_eq!(out.tick, naive.tick);
+        naive_ns.push(ns);
+        let (ns, out) = time_ns(|| incremental(&history));
+        assert_eq!(out.tick, fast.tick);
+        fast_ns.push(ns);
+    }
+    section(median_ns(naive_ns), median_ns(fast_ns))
+}
+
+// ---- serve_scrape_p99 ---------------------------------------------------
+
+fn scrape_once(addr: std::net::SocketAddr) -> u128 {
+    let (ns, ok) = time_ns(|| {
+        let mut s = match std::net::TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => return false,
+        };
+        if write!(s, "GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n").is_err() {
+            return false;
+        }
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).is_ok() && raw.starts_with("HTTP/1.1 200")
+    });
+    assert!(ok, "scrape failed mid-bench");
+    ns
+}
+
+fn p99_ns(mut samples: Vec<u128>) -> u64 {
+    samples.sort_unstable();
+    samples[(samples.len() * 99 / 100).min(samples.len() - 1)] as u64
+}
+
+/// p99 `/metrics` latency over a real socket: one sequential client
+/// (baseline) vs eight concurrent clients (current). Recorded for the
+/// trajectory but `informational` — TCP and scheduler noise make it
+/// ungateable on shared CI runners.
+fn bench_serve_scrape(smoke: bool) -> Section {
+    let requests = if smoke { 32 } else { 240 };
+    const CLIENTS: usize = 8;
+    let (reg, _, _) = build_scrape_registry(if smoke { 8 } else { 32 }, 16);
+    let server = serve(
+        Endpoints::new().with_registry(&reg),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind ephemeral");
+    let addr = server.addr();
+
+    for _ in 0..CLIENTS {
+        scrape_once(addr); // warm the accept loop and allocator
+    }
+    let sequential: Vec<u128> = (0..requests).map(|_| scrape_once(addr)).collect();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || -> Vec<u128> {
+                (0..requests / CLIENTS).map(|_| scrape_once(addr)).collect()
+            })
+        })
+        .collect();
+    let concurrent: Vec<u128> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("scrape worker joins"))
+        .collect();
+    server.shutdown();
+
+    section(p99_ns(sequential), p99_ns(concurrent))
+}
+
 // ---- trajectory file ----------------------------------------------------
 
 fn load(path: &str) -> Option<TrajFile> {
@@ -454,13 +738,14 @@ fn print_sections(s: &Sections) {
         "{:>22} {:>14} {:>14} {:>9}",
         "section", "baseline_ms", "current_ms", "speedup"
     );
-    for (name, sec) in [
-        ("silver_pivot", &s.silver_pivot),
-        ("silver_filter_kernel", &s.silver_filter_kernel),
-        ("colfile_lazy_scan", &s.colfile_lazy_scan),
-    ] {
+    for (name, sec) in s {
+        let tag = if INFORMATIONAL.contains(&name.as_str()) {
+            "  (informational)"
+        } else {
+            ""
+        };
         println!(
-            "{:>22} {:>14.3} {:>14.3} {:>8.2}x",
+            "{:>22} {:>14.3} {:>14.3} {:>8.2}x{tag}",
             name,
             sec.baseline_ns as f64 / 1e6,
             sec.current_ns as f64 / 1e6,
@@ -470,7 +755,9 @@ fn print_sections(s: &Sections) {
 }
 
 /// Compare measured speedups against the last committed entry; any
-/// section more than `threshold_pct` below its committed ratio fails.
+/// gated section more than `threshold_pct` below its committed ratio
+/// fails. Sections in the file's `informational` list are reported but
+/// never gated; sections the committed entry predates are skipped.
 fn check(committed: &TrajFile, measured: &Sections) -> Result<(), String> {
     let last = committed
         .entries
@@ -478,23 +765,14 @@ fn check(committed: &TrajFile, measured: &Sections) -> Result<(), String> {
         .ok_or("trajectory file has no entries")?;
     let floor = 1.0 - committed.threshold_pct / 100.0;
     let mut failures = Vec::new();
-    for (name, committed_s, measured_s) in [
-        (
-            "silver_pivot",
-            &last.sections.silver_pivot,
-            &measured.silver_pivot,
-        ),
-        (
-            "silver_filter_kernel",
-            &last.sections.silver_filter_kernel,
-            &measured.silver_filter_kernel,
-        ),
-        (
-            "colfile_lazy_scan",
-            &last.sections.colfile_lazy_scan,
-            &measured.colfile_lazy_scan,
-        ),
-    ] {
+    for (name, committed_s) in &last.sections {
+        if committed.informational.iter().any(|i| i == name) {
+            continue;
+        }
+        let Some(measured_s) = measured.get(name) else {
+            failures.push(format!("{name}: committed section not measured"));
+            continue;
+        };
         let min = committed_s.speedup * floor;
         if measured_s.speedup < min {
             failures.push(format!(
@@ -517,11 +795,16 @@ fn main() {
         if config.smoke { "smoke" } else { "full" },
         config.pr.map(|pr| format!(", pr {pr}")).unwrap_or_default()
     );
-    let measured = Sections {
-        silver_pivot: bench_silver_pivot(config.smoke),
-        silver_filter_kernel: bench_filter_kernel(config.smoke),
-        colfile_lazy_scan: bench_lazy_scan(config.smoke),
-    };
+    let mut measured: Sections = BTreeMap::new();
+    measured.insert("silver_pivot".into(), bench_silver_pivot(config.smoke));
+    measured.insert(
+        "silver_filter_kernel".into(),
+        bench_filter_kernel(config.smoke),
+    );
+    measured.insert("colfile_lazy_scan".into(), bench_lazy_scan(config.smoke));
+    measured.insert("metrics_render".into(), bench_metrics_render(config.smoke));
+    measured.insert("health_eval".into(), bench_health_eval(config.smoke));
+    measured.insert("serve_scrape_p99".into(), bench_serve_scrape(config.smoke));
     print_sections(&measured);
 
     if config.smoke {
@@ -551,8 +834,14 @@ fn main() {
         let mut file = load(&config.file).unwrap_or(TrajFile {
             schema: SCHEMA.to_string(),
             threshold_pct: THRESHOLD_PCT,
+            informational: Vec::new(),
             entries: Vec::new(),
         });
+        for name in INFORMATIONAL {
+            if !file.informational.iter().any(|i| i == name) {
+                file.informational.push(name.to_string());
+            }
+        }
         file.entries.retain(|e| e.pr != pr);
         file.entries.push(TrajEntry {
             pr,

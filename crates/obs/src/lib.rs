@@ -18,6 +18,12 @@
 //! tier placements, and byte-stable exporters ([`export`]) for Chrome
 //! `trace_event` JSON and self-describing JSONL.
 //!
+//! On top of the registry sits the operator-plane half: a
+//! deterministic SLO health engine ([`health`]) that diffs
+//! [`Registry::snapshot`]s over logical ticks, evaluates multi-window
+//! burn rates against declared [`SloObjective`]s, and renders
+//! byte-stable `Healthy/Degraded/Unhealthy` reports for `/healthz`.
+//!
 //! # Determinism rules
 //!
 //! The stack's chaos suite asserts *byte-identical* Gold output under
@@ -45,6 +51,7 @@
 //! own. Tests that assert metric *values* guard on [`enabled`].
 
 pub mod export;
+pub mod health;
 pub mod histogram;
 pub mod lineage;
 pub mod metric;
@@ -55,6 +62,10 @@ pub mod trace;
 pub use export::{
     critical_path, export_chrome_trace, export_jsonl, parse_jsonl, render_span_tree, span_tree,
     ExportError, SpanNode,
+};
+pub use health::{
+    default_objectives, render_health_json, HealthEngine, HealthReport, MetricsSnapshot,
+    ObjectiveReport, Selector, SloKind, SloObjective, Subsystem, SubsystemHealth, Verdict,
 };
 pub use histogram::{exponential_bounds, Histogram, HistogramSnapshot};
 pub use lineage::{Lineage, LineageNode, LineageNodeId, LineageQuery};

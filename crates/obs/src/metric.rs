@@ -4,15 +4,22 @@
 //! one uncontended atomic add per observation, no locks. With the
 //! `collect` feature off the atomic disappears and every method is an
 //! inlined no-op returning zero.
+//!
+//! Arithmetic saturates at the type extremes instead of wrapping. A
+//! metric pinned at `u64::MAX` / `i64::MIN` is visibly broken on a
+//! dashboard, while a wrapped one silently lies — and `Gauge::sub`
+//! used to be `add(-n)`, which panicked in debug builds on
+//! `n == i64::MIN` (`-i64::MIN` overflows). Saturation also keeps the
+//! instruments panic-free regardless of build profile.
 
 #[cfg(feature = "collect")]
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing `u64` counter (events, records, bytes).
 ///
-/// Counters only go up; wrapping on overflow keeps addition exactly
-/// associative, though at u64 width overflow is not a practical
-/// concern. Cheap to clone behind an `Arc` from the registry.
+/// Counters only go up; addition saturates at `u64::MAX`, though at
+/// u64 width overflow is not a practical concern. Cheap to clone
+/// behind an `Arc` from the registry.
 #[derive(Debug, Default)]
 pub struct Counter {
     #[cfg(feature = "collect")]
@@ -28,11 +35,21 @@ impl Counter {
         }
     }
 
-    /// Add `n` to the counter.
+    /// Add `n` to the counter, saturating at `u64::MAX`.
     #[inline]
     pub fn add(&self, n: u64) {
         #[cfg(feature = "collect")]
-        self.value.fetch_add(n, Ordering::Relaxed);
+        {
+            // fetch_update is a CAS loop, but counters are uncontended
+            // in practice (one writer per cached Arc) and the common
+            // case is a single compare_exchange — the cost over
+            // fetch_add is noise next to never wrapping a dashboard.
+            let _ = self
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_add(n))
+                });
+        }
         #[cfg(not(feature = "collect"))]
         let _ = n;
     }
@@ -85,19 +102,37 @@ impl Gauge {
         let _ = v;
     }
 
-    /// Add a (possibly negative) delta.
+    /// Add a (possibly negative) delta, saturating at the i64 extremes.
     #[inline]
     pub fn add(&self, n: i64) {
         #[cfg(feature = "collect")]
-        self.value.fetch_add(n, Ordering::Relaxed);
+        {
+            let _ = self
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_add(n))
+                });
+        }
         #[cfg(not(feature = "collect"))]
         let _ = n;
     }
 
-    /// Subtract a delta.
+    /// Subtract a delta, saturating at the i64 extremes.
+    ///
+    /// Implemented directly (not as `add(-n)`): negating `i64::MIN`
+    /// overflows, which panicked in debug builds before saturation.
     #[inline]
     pub fn sub(&self, n: i64) {
-        self.add(-n);
+        #[cfg(feature = "collect")]
+        {
+            let _ = self
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(n))
+                });
+        }
+        #[cfg(not(feature = "collect"))]
+        let _ = n;
     }
 
     /// Current value (zero when collection is compiled out).
@@ -140,6 +175,51 @@ mod tests {
             assert_eq!(g.get(), 12);
         } else {
             assert_eq!(g.get(), 0);
+        }
+    }
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        c.add(u64::MAX);
+        c.inc();
+        if crate::enabled() {
+            assert_eq!(c.get(), u64::MAX);
+        } else {
+            assert_eq!(c.get(), 0);
+        }
+    }
+
+    #[test]
+    fn gauge_sub_i64_min_does_not_panic() {
+        // Regression: `sub(n)` was `add(-n)`, and `-i64::MIN` overflows
+        // (a panic in debug builds). Must saturate instead.
+        let g = Gauge::new();
+        g.sub(i64::MIN);
+        if crate::enabled() {
+            assert_eq!(g.get(), i64::MAX);
+        }
+    }
+
+    #[test]
+    fn gauge_saturates_at_extremes() {
+        let g = Gauge::new();
+        g.set(i64::MAX);
+        g.add(1);
+        if crate::enabled() {
+            assert_eq!(g.get(), i64::MAX);
+        }
+        g.set(i64::MIN);
+        g.add(-1);
+        g.sub(1);
+        if crate::enabled() {
+            assert_eq!(g.get(), i64::MIN);
+        }
+        g.set(i64::MIN);
+        g.add(i64::MIN);
+        if crate::enabled() {
+            assert_eq!(g.get(), i64::MIN);
         }
     }
 

@@ -149,6 +149,53 @@ impl Registry {
             .unwrap_or(0)
     }
 
+    /// A point-in-time copy of every series in the registry.
+    ///
+    /// The snapshot is an owned, immutable view keyed by
+    /// `(family name, sorted label pairs)` — the input to the health
+    /// engine's delta/rate math ([`crate::health`]). Taking it is
+    /// read-only: short read-lock probes plus relaxed atomic loads, so
+    /// snapshotting never perturbs the data plane.
+    pub fn snapshot(&self) -> crate::health::MetricsSnapshot {
+        let mut snap = crate::health::MetricsSnapshot::default();
+        for (name, family) in self
+            .inner
+            .counters
+            .read()
+            .expect("obs registry poisoned")
+            .iter()
+        {
+            for (labels, c) in &family.series {
+                snap.counters
+                    .insert((name.clone(), labels.clone()), c.get());
+            }
+        }
+        for (name, family) in self
+            .inner
+            .gauges
+            .read()
+            .expect("obs registry poisoned")
+            .iter()
+        {
+            for (labels, g) in &family.series {
+                snap.gauges.insert((name.clone(), labels.clone()), g.get());
+            }
+        }
+        for (name, family) in self
+            .inner
+            .histograms
+            .read()
+            .expect("obs registry poisoned")
+            .iter()
+        {
+            for (labels, h) in &family.series {
+                snap.histograms
+                    .insert((name.clone(), labels.clone()), h.snapshot());
+            }
+        }
+        snap
+    }
+
     /// Render every metric in Prometheus text exposition format.
     ///
     /// Output is deterministic: families sort by name, series by their

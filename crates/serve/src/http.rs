@@ -1,0 +1,253 @@
+//! Minimal HTTP/1.1 framing: enough to parse a scraper's `GET` and
+//! write one response, nothing more.
+//!
+//! The operator plane serves Prometheus scrapers, `curl`, and the test
+//! suite's raw-socket clients — all of which speak plain `GET` with
+//! small headers. Parsing is deliberately strict and bounded: one
+//! request line plus headers, each line capped, total header block
+//! capped, anything else is a 4xx. Responses always carry
+//! `Content-Length` and `Connection: close`, so clients never have to
+//! guess framing and the server never has to manage keep-alive state.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request/header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most accepted header lines per request.
+pub const MAX_HEADER_LINES: usize = 64;
+
+/// A parsed request: method plus split path/query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path without the query string, e.g. `/healthz`.
+    pub path: String,
+    /// Raw query string without the `?` (empty when absent).
+    pub query: String,
+}
+
+impl Request {
+    /// The value of query parameter `key`, if present
+    /// (`a=1&b=2` style; no percent-decoding — operands are
+    /// identifier-shaped in this API).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Why a request failed to parse, mapped to a status code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line or headers → 400.
+    BadRequest(&'static str),
+    /// A line or the header block exceeded the caps → 431.
+    TooLarge,
+    /// Socket error or timeout mid-request (no response owed).
+    Io(String),
+}
+
+/// Read and parse one request from `reader` (headers are consumed and
+/// discarded; bodies are not supported — this is a read-only API).
+pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let line = read_line(reader)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::BadRequest("empty request"))?;
+    let target = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+    for _ in 0..MAX_HEADER_LINES {
+        let header = read_line(reader)?;
+        if header.is_empty() {
+            let (path, query) = match target.split_once('?') {
+                Some((p, q)) => (p, q),
+                None => (target, ""),
+            };
+            return Ok(Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                query: query.to_string(),
+            });
+        }
+    }
+    Err(HttpError::TooLarge)
+}
+
+/// One CRLF- (or LF-) terminated line, capped at [`MAX_LINE_BYTES`].
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(HttpError::Io("connection closed".into()));
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    buf.push(byte[0]);
+                }
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::TooLarge);
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::BadRequest("non-UTF8 request"))
+}
+
+/// A response ready to serialize: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+/// `Content-Type` for Prometheus text exposition.
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+/// `Content-Type` for JSON bodies.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// `Content-Type` for JSONL (newline-delimited JSON) bodies.
+pub const CONTENT_TYPE_JSONL: &str = "application/x-ndjson";
+/// `Content-Type` for plain text.
+pub const CONTENT_TYPE_TEXT: &str = "text/plain; charset=utf-8";
+
+impl Response {
+    /// 200 with the given content type.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        Self {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// 404 with a short text body.
+    pub fn not_found(what: &str) -> Self {
+        Self {
+            status: 404,
+            content_type: CONTENT_TYPE_TEXT,
+            body: format!("not found: {what}\n"),
+        }
+    }
+
+    /// An error response with a short text body.
+    pub fn error(status: u16, msg: &str) -> Self {
+        Self {
+            status,
+            content_type: CONTENT_TYPE_TEXT,
+            body: format!("{msg}\n"),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize status line, headers, and body to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        parse_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /trace/critical-path?query=gold&epoch=2 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/trace/critical-path");
+        assert_eq!(r.query_param("query"), Some("gold"));
+        assert_eq!(r.query_param("epoch"), Some("2"));
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn parses_bare_lf_lines() {
+        let r = parse("GET /metrics HTTP/1.0\nHost: x\n\n").unwrap();
+        assert_eq!(r.path, "/metrics");
+        assert_eq!(r.query, "");
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_version() {
+        assert!(matches!(parse("\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse("GET /x HTTP/2\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn caps_line_length_and_header_count() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 10));
+        assert_eq!(parse(&long), Err(HttpError::TooLarge));
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADER_LINES + 1 {
+            many.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert_eq!(parse(&many), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn response_bytes_include_length_and_close() {
+        let mut out = Vec::new();
+        Response::ok(CONTENT_TYPE_TEXT, "hi\n".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi\n"));
+    }
+}

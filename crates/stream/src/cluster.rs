@@ -621,6 +621,11 @@ impl Cluster {
     }
 
     fn note_isr_change(&self, topic: &str, partition: u32, node: u32, joined: bool) {
+        if !joined {
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.isr_shrinks.inc();
+            }
+        }
         if let Some(tr) = self.tracer.read().as_ref() {
             let trace = trace_id(topic, SERVICE_TRACE);
             // Distinct span site per (partition, node) pair.

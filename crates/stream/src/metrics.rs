@@ -35,6 +35,8 @@ pub struct StreamMetrics {
     pub fetch_retry: RetryMetrics,
     /// Leader elections performed by a replicated cluster.
     pub leader_elections: Arc<Counter>,
+    /// Times a replica left a partition's in-sync set (ISR shrink).
+    pub isr_shrinks: Arc<Counter>,
     lag: Mutex<HashMap<(String, String, u32), Arc<Gauge>>>,
     replica_lag: Mutex<HashMap<(String, u32, u32), Arc<Gauge>>>,
 }
@@ -78,6 +80,11 @@ impl StreamMetrics {
             leader_elections: registry.counter(
                 "stream_leader_elections_total",
                 "Partition leader elections after a node crash",
+                &[],
+            ),
+            isr_shrinks: registry.counter(
+                "stream_isr_shrinks_total",
+                "Replicas dropped from a partition's in-sync set",
                 &[],
             ),
             lag: Mutex::new(HashMap::new()),

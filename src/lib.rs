@@ -19,6 +19,7 @@ pub use oda_govern as govern;
 pub use oda_ml as ml;
 pub use oda_obs as obs;
 pub use oda_pipeline as pipeline;
+pub use oda_serve as serve;
 pub use oda_storage as storage;
 pub use oda_stream as stream;
 pub use oda_telemetry as telemetry;
